@@ -1,0 +1,189 @@
+// Command nepal is the interactive face of the Nepal graph database: it
+// loads a schema and inventory data, executes Nepal queries (including
+// time-travel forms), and can print query plans and the generated
+// Gremlin/SQL for the retargetable backends.
+//
+// Usage examples:
+//
+//	# run a query against the built-in demo topology
+//	nepal -demo -q "Retrieve P From PATHS P Where P MATCHES VNF()->[Vertical()]{1,6}->Host()"
+//
+//	# load a snapshot produced by nepalgen and query at a point in time
+//	nepal -model netmodel -data inventory.json \
+//	      -q "AT '2017-02-15 10:00:00' Select source(P).name From PATHS P Where P MATCHES VNF()->[Vertical()]{1,6}->Host(id=5)"
+//
+//	# show the operator plan and the generated SQL for a query
+//	nepal -demo -explain -codegen sql -q "..."
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/codegen"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/netmodel"
+	"repro/internal/plan"
+	"repro/internal/query"
+	"repro/internal/schema"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		model      = flag.String("model", "netmodel", "built-in schema: netmodel, legacy, or legacy66")
+		schemaPath = flag.String("schema", "", "load schema from a JSON document instead of a built-in model")
+		dataPath   = flag.String("data", "", "load a snapshot JSON file (see nepalgen)")
+		demo       = flag.Bool("demo", false, "load the built-in Figure-1 demo topology")
+		backend    = flag.String("backend", "gremlin", "query backend: gremlin or relational")
+		q          = flag.String("q", "", "query to execute (default: read queries from stdin, one per line)")
+		explain    = flag.Bool("explain", false, "print the operator plan instead of executing")
+		gen        = flag.String("codegen", "", "also print generated target code: sql, gremlin, script, or ddl")
+	)
+	flag.Parse()
+
+	if err := run(*model, *schemaPath, *dataPath, *demo, *backend, *q, *explain, *gen); err != nil {
+		fmt.Fprintln(os.Stderr, "nepal:", err)
+		os.Exit(1)
+	}
+}
+
+func run(model, schemaPath, dataPath string, demo bool, backend, q string, explain bool, gen string) error {
+	sch, err := loadSchema(model, schemaPath)
+	if err != nil {
+		return err
+	}
+	db, err := core.Open(sch, core.WithBackend(backend))
+	if err != nil {
+		return err
+	}
+
+	if demo {
+		if _, err := netmodel.BuildDemo(db.Store(), 1000); err != nil {
+			return err
+		}
+	}
+	if dataPath != "" {
+		f, err := os.Open(dataPath)
+		if err != nil {
+			return err
+		}
+		snap, err := graph.ReadSnapshot(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		stats, err := db.ApplySnapshot(snap)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "loaded %s: +%d nodes, +%d edges\n",
+			dataPath, stats.NodesInserted, stats.EdgesInserted)
+	}
+
+	if gen == "ddl" {
+		fmt.Println(codegen.DDL(sch))
+		return nil
+	}
+
+	if q != "" {
+		return execute(db, q, explain, gen)
+	}
+	scanner := bufio.NewScanner(os.Stdin)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	for scanner.Scan() {
+		line := strings.TrimSpace(scanner.Text())
+		if line == "" || strings.HasPrefix(line, "--") {
+			continue
+		}
+		if err := execute(db, line, explain, gen); err != nil {
+			fmt.Fprintln(os.Stderr, "nepal:", err)
+		}
+	}
+	return scanner.Err()
+}
+
+func loadSchema(model, schemaPath string) (*schema.Schema, error) {
+	if schemaPath != "" {
+		f, err := os.Open(schemaPath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return schema.Load(f)
+	}
+	switch model {
+	case "netmodel":
+		return netmodel.Schema()
+	case "legacy":
+		return workload.LegacySchema(false)
+	case "legacy66":
+		return workload.LegacySchema(true)
+	}
+	return nil, fmt.Errorf("unknown model %q (use netmodel, legacy, or legacy66)", model)
+}
+
+func execute(db *core.DB, src string, explain bool, gen string) error {
+	if explain {
+		out, err := db.Explain(src)
+		if err != nil {
+			return err
+		}
+		fmt.Print(out)
+	}
+	if gen != "" {
+		if err := printGenerated(db, src, gen); err != nil {
+			return err
+		}
+	}
+	if explain || gen != "" {
+		return nil
+	}
+	res, err := db.Query(src)
+	if err != nil {
+		return err
+	}
+	fmt.Print(res.Format(db.RenderPath))
+	fmt.Printf("(%d rows)\n", len(res.Rows))
+	return nil
+}
+
+// printGenerated emits the retargetable translation of each range
+// variable's MATCHES expression.
+func printGenerated(db *core.DB, src, gen string) error {
+	parsed, err := query.Parse(src)
+	if err != nil {
+		return err
+	}
+	analyzed, err := query.Analyze(parsed, db.Schema())
+	if err != nil {
+		return err
+	}
+	for _, rv := range parsed.Vars {
+		checked := analyzed.Checked[rv.Name]
+		p, err := plan.Build(checked, db.Store().Stats())
+		if err != nil {
+			p = plan.BuildSeeded(checked, plan.Forward)
+		}
+		fmt.Printf("-- generated code for variable %s --\n", rv.Name)
+		switch gen {
+		case "sql":
+			at := ""
+			if parsed.At != nil && !parsed.At.IsRange {
+				at = parsed.At.Start.Format("2006-01-02 15:04:05")
+			}
+			fmt.Println(codegen.SQL(p, at))
+		case "gremlin":
+			fmt.Println(codegen.Gremlin(p))
+		case "script":
+			fmt.Println(codegen.Script(p, db.Backend()))
+		default:
+			return fmt.Errorf("unknown codegen target %q (use sql, gremlin, script, or ddl)", gen)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,63 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunDemoQuery(t *testing.T) {
+	q := "Retrieve P From PATHS P Where P MATCHES VNF()->[Vertical()]{1,6}->Host()"
+	if err := run("netmodel", "", "", true, "gremlin", q, false, ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunExplainAndCodegen(t *testing.T) {
+	q := "Retrieve P From PATHS P Where P MATCHES VNF()->[Vertical()]{1,6}->Host(id=1001)"
+	if err := run("netmodel", "", "", true, "relational", q, true, ""); err != nil {
+		t.Fatal(err)
+	}
+	for _, gen := range []string{"sql", "gremlin", "script"} {
+		if err := run("netmodel", "", "", true, "gremlin", q, false, gen); err != nil {
+			t.Fatalf("codegen %s: %v", gen, err)
+		}
+	}
+	if err := run("netmodel", "", "", false, "gremlin", "", false, "ddl"); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("netmodel", "", "", true, "gremlin", q, false, "cobol"); err == nil {
+		t.Fatal("unknown codegen target accepted")
+	}
+}
+
+func TestRunModelsAndErrors(t *testing.T) {
+	q := "Retrieve P From PATHS P Where P MATCHES LegacyNode(id=1)"
+	for _, model := range []string{"legacy", "legacy66"} {
+		if err := run(model, "", "", false, "relational", q, false, ""); err != nil {
+			t.Fatalf("model %s: %v", model, err)
+		}
+	}
+	if err := run("bogus", "", "", false, "gremlin", q, false, ""); err == nil {
+		t.Fatal("unknown model accepted")
+	}
+	if err := run("netmodel", "", "", false, "oracle", q, false, ""); err == nil {
+		t.Fatal("unknown backend accepted")
+	}
+	if err := run("netmodel", "", "/does/not/exist.json", false, "gremlin", q, false, ""); err == nil {
+		t.Fatal("missing data file accepted")
+	}
+}
+
+func TestRunWithSchemaFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "schema.json")
+	doc := `{"node_types": {"Thing": {"fields": {"color": {"type": "string"}}}}}`
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	q := "Retrieve P From PATHS P Where P MATCHES Thing(color='red')"
+	if err := run("", path, "", false, "gremlin", q, false, ""); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,127 @@
+// Command nepalbench regenerates the paper's evaluation tables: Table 1
+// (virtualized service graph), Table 2 (legacy topology), the §6
+// edge-subclassing ablation, and the §6 history storage overhead — each
+// printed side by side with the numbers the paper reports.
+//
+// Absolute times differ from the paper (embedded engine vs the authors'
+// Gremlin/Postgres testbed, synthetic vs production data); the shape —
+// which queries are interactive, which are mining queries, where the
+// slow tail sits, and what subclassing buys — is the reproduction target.
+//
+// Usage:
+//
+//	nepalbench [-backend relational|gremlin] [-instances 50] [-services 8000] [-quick]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+	"time"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	backend := flag.String("backend", "relational", "query backend: relational or gremlin")
+	instances := flag.Int("instances", 50, "query instances per mix (paper: 50)")
+	services := flag.Int("services", 8000, "legacy topology scale (paper's feed ~ 1,200,000)")
+	quick := flag.Bool("quick", false, "small quick run (8 instances, 2500 services)")
+	flag.Parse()
+	if *quick {
+		*instances = 8
+		*services = 2500
+	}
+
+	if err := run(*backend, *instances, *services); err != nil {
+		fmt.Fprintln(os.Stderr, "nepalbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(backend string, instances, services int) error {
+	fmt.Printf("nepalbench: backend=%s instances=%d legacy-services=%d\n", backend, instances, services)
+
+	fmt.Println("\nbuilding virtualized service fixture (Table 1: ~2k nodes, 60-day history)...")
+	start := time.Now()
+	svc, err := bench.BuildServiceFixture()
+	if err != nil {
+		return err
+	}
+	live, versions := svc.Store.Counts()
+	fmt.Printf("  %d live objects, %d stored versions (%.1fs)\n", live, versions, time.Since(start).Seconds())
+
+	rows, err := bench.Table1(svc, backend, instances)
+	if err != nil {
+		return err
+	}
+	printTable("Table 1. Query response times, virtualized service graph", rows)
+
+	fmt.Printf("\nbuilding legacy topology fixtures (Table 2 / ablation: %d services, both load modes)...\n", services)
+	start = time.Now()
+	single, err := bench.BuildLegacyFixture(services, false)
+	if err != nil {
+		return err
+	}
+	sub, err := bench.BuildLegacyFixture(services, true)
+	if err != nil {
+		return err
+	}
+	live, versions = single.Store.Counts()
+	fmt.Printf("  %d live objects, %d stored versions per mode (%.1fs)\n", live, versions, time.Since(start).Seconds())
+
+	rows, err = bench.Table2(single, backend, instances)
+	if err != nil {
+		return err
+	}
+	printTable("Table 2. Query response times, legacy topology (single-class load)", rows)
+
+	ablation, err := bench.Ablation(single, sub, backend, instances)
+	if err != nil {
+		return err
+	}
+	fmt.Println("\n§6 ablation. Legacy graph reloaded with 66 edge subclasses")
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "Type\tsingle-class\tsubclassed\tpaper single\tpaper subclassed")
+	for _, r := range ablation {
+		fmt.Fprintf(w, "%s\t%s\t%s\t%s\t%s\n",
+			r.Type, fmtDur(r.SingleClass), fmtDur(r.Subclassed),
+			fmtDur(r.PaperSingle), fmtDur(r.PaperSubclassed))
+	}
+	w.Flush()
+
+	fmt.Println("\n§6 storage. Two-month history overhead vs 60 independent copies")
+	w = tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "Dataset\tmeasured\tpaper\tnaive 60 copies")
+	for _, r := range bench.HistoryOverheads(svc, single) {
+		fmt.Fprintf(w, "%s\t%.1f%%\t%.0f%%\t%.0f%%\n",
+			r.Dataset, r.Overhead*100, r.PaperOverhead*100, r.NaiveCopies*100)
+	}
+	w.Flush()
+	return nil
+}
+
+func printTable(title string, rows []bench.Row) {
+	fmt.Println("\n" + title)
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "Type\t#paths\tTime (snap)\tTime (hist)\tslow>4xmed\tpaper #paths\tpaper snap\tpaper hist")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s\t%.1f\t%s\t%s\t%d/%d\t%.1f\t%s\t%s\n",
+			r.Type, r.AvgPaths, fmtDur(r.Snap), fmtDur(r.Hist), r.SlowSamples, r.Instances,
+			r.PaperPaths, fmtDur(r.PaperSnap), fmtDur(r.PaperHist))
+	}
+	w.Flush()
+}
+
+func fmtDur(d time.Duration) string {
+	switch {
+	case d == 0:
+		return "-"
+	case d < time.Millisecond:
+		return fmt.Sprintf("%.3f ms", float64(d)/1e6)
+	case d < time.Second:
+		return fmt.Sprintf("%.1f ms", float64(d)/1e6)
+	}
+	return fmt.Sprintf("%.2f s", d.Seconds())
+}

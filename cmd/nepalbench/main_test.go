@@ -1,0 +1,12 @@
+package main
+
+import "testing"
+
+func TestRunQuickBench(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bench harness run")
+	}
+	if err := run("relational", 2, 600); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,38 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestGenerateKinds(t *testing.T) {
+	dir := t.TempDir()
+	for _, kind := range []string{"demo", "service", "legacy", "legacy66"} {
+		out := filepath.Join(dir, kind+".json")
+		if err := run(kind, 300, 1, out, false); err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		f, err := os.Open(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		snap, err := graph.ReadSnapshot(f)
+		f.Close()
+		if err != nil {
+			t.Fatalf("%s: unreadable snapshot: %v", kind, err)
+		}
+		if len(snap.Nodes) == 0 || len(snap.Edges) == 0 {
+			t.Fatalf("%s: empty snapshot", kind)
+		}
+	}
+	if err := run("bogus", 10, 1, "", true); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+	// stats-only mode writes nothing.
+	if err := run("demo", 0, 1, "", true); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,308 @@
+// Package core is Nepal's public API: a model-driven, temporal,
+// path-first graph database layer for network inventory and topology.
+//
+// A DB combines a strongly-typed temporal graph store with one of the two
+// query backends (the Gremlin-style property-graph engine or the
+// relational engine) and the Nepal query language executor. Open it over
+// a schema, load inventory (directly or via update-by-snapshot), and run
+// Nepal queries:
+//
+//	db, _ := core.Open(netmodel.MustSchema())
+//	res, _ := db.Query(`
+//	    AT '2017-02-15 10:00:00'
+//	    Select source(P).name From PATHS P
+//	    Where P MATCHES VNF()->[Vertical()]{1,6}->Host(id=23245)`)
+//
+// Several DBs over different backends can be joined in one query through
+// QueryRouted — Nepal's data-integration mode (§3.1).
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/exec"
+	"repro/internal/graph"
+	"repro/internal/gremlin"
+	"repro/internal/plan"
+	"repro/internal/query"
+	"repro/internal/relational"
+	"repro/internal/rpe"
+	"repro/internal/schema"
+	"repro/internal/temporal"
+)
+
+// Backend names accepted by WithBackend.
+const (
+	BackendGremlin    = "gremlin"
+	BackendRelational = "relational"
+)
+
+type config struct {
+	backend string
+	clock   *temporal.Clock
+}
+
+// Option configures Open.
+type Option func(*config)
+
+// WithBackend selects the query backend: BackendGremlin (default) or
+// BackendRelational.
+func WithBackend(name string) Option {
+	return func(c *config) { c.backend = name }
+}
+
+// WithClock installs a transaction clock; tests and deterministic loads
+// pass a temporal.NewManualClock.
+func WithClock(clock *temporal.Clock) Option {
+	return func(c *config) { c.clock = clock }
+}
+
+// DB is an open Nepal database.
+type DB struct {
+	store    *graph.Store
+	engine   *plan.Engine
+	executor *exec.Executor
+	backend  string
+	views    query.Views
+}
+
+// Open creates an empty database over the finalized schema.
+func Open(sch *schema.Schema, opts ...Option) (*DB, error) {
+	cfg := config{backend: BackendGremlin}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	store := graph.NewStore(sch, cfg.clock)
+	var acc plan.Accessor
+	switch cfg.backend {
+	case BackendGremlin:
+		acc = gremlin.New(store)
+	case BackendRelational:
+		acc = relational.New(store)
+	default:
+		return nil, fmt.Errorf("core: unknown backend %q (use %q or %q)",
+			cfg.backend, BackendGremlin, BackendRelational)
+	}
+	engine := plan.NewEngine(acc)
+	return &DB{store: store, engine: engine, executor: exec.New(engine),
+		backend: cfg.backend, views: query.Views{}}, nil
+}
+
+// DefineView registers a named pathway view: a reusable RPE that supplies
+// the implicit MATCHES predicate for variables ranging over it (§3.4's
+// "additional views can be defined" — PATHS is the built-in view of all
+// pathways). Example:
+//
+//	db.DefineView("Placements", "VM()->OnServer()->Host()")
+//	db.Query("Select source(P).name From Placements P")
+//
+// A variable may combine a view with its own MATCHES predicate; the
+// pathway must then satisfy both, with validity-intersection semantics.
+func (db *DB) DefineView(name, rpeSrc string) error {
+	if name == query.BaseView || name == "" {
+		return fmt.Errorf("core: %q cannot name a view", name)
+	}
+	expr, err := rpe.Parse(rpeSrc)
+	if err != nil {
+		return err
+	}
+	if _, err := rpe.Check(expr, db.Schema()); err != nil {
+		return err
+	}
+	db.views[name] = expr
+	return nil
+}
+
+// Store exposes the underlying temporal graph store.
+func (db *DB) Store() *graph.Store { return db.store }
+
+// Schema returns the database schema.
+func (db *DB) Schema() *schema.Schema { return db.store.Schema() }
+
+// Backend reports the configured backend name.
+func (db *DB) Backend() string { return db.backend }
+
+// Engine exposes the backend engine (for benchmark harnesses).
+func (db *DB) Engine() *plan.Engine { return db.engine }
+
+// InsertNode validates and inserts a node, returning its UID.
+func (db *DB) InsertNode(class string, fields graph.Fields) (graph.UID, error) {
+	return db.store.InsertNode(class, fields)
+}
+
+// InsertEdge validates and inserts an edge between two nodes.
+func (db *DB) InsertEdge(class string, src, dst graph.UID, fields graph.Fields) (graph.UID, error) {
+	return db.store.InsertEdge(class, src, dst, fields)
+}
+
+// Update replaces an object's fields, versioning the previous state.
+func (db *DB) Update(uid graph.UID, fields graph.Fields) error {
+	return db.store.Update(uid, fields)
+}
+
+// Delete closes an object's current version (cascading to incident edges
+// for nodes); its history remains queryable.
+func (db *DB) Delete(uid graph.UID) error { return db.store.Delete(uid) }
+
+// ApplySnapshot reconciles the database with a full source snapshot — the
+// update-by-snapshot service for sources that publish periodic dumps.
+func (db *DB) ApplySnapshot(snap *graph.Snapshot) (graph.DiffStats, error) {
+	return db.store.ApplySnapshot(snap)
+}
+
+// Query parses, analyzes, and executes a Nepal query.
+func (db *DB) Query(src string) (*exec.Result, error) {
+	a, err := db.analyze(src)
+	if err != nil {
+		return nil, err
+	}
+	return db.executor.Run(a)
+}
+
+// QueryRouted executes a query whose range variables may be routed to
+// other databases: routes maps a variable name to the DB serving it.
+// Pathways from the routed stores are joined in the executor, with node
+// identity crossing store boundaries via the schema-unique id field.
+func (db *DB) QueryRouted(src string, routes map[string]*DB) (*exec.Result, error) {
+	a, err := db.analyze(src)
+	if err != nil {
+		return nil, err
+	}
+	x := exec.New(db.engine)
+	for name, other := range routes {
+		x.Route(name, other.engine)
+	}
+	return x.Run(a)
+}
+
+func (db *DB) analyze(src string) (*query.Analyzed, error) {
+	q, err := query.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return query.AnalyzeWithViews(q, db.Schema(), db.views)
+}
+
+// MatchPaths evaluates a bare RPE against the current snapshot and
+// returns the matching pathways — the programmatic fast path equivalent
+// to "Retrieve P From PATHS P Where P MATCHES <rpe>".
+func (db *DB) MatchPaths(rpeSrc string) ([]plan.Pathway, error) {
+	return db.MatchPathsAt(rpeSrc, time.Time{})
+}
+
+// MatchPathsAt is MatchPaths against the snapshot at time at (the zero
+// time means the current snapshot).
+func (db *DB) MatchPathsAt(rpeSrc string, at time.Time) ([]plan.Pathway, error) {
+	c, err := rpe.CheckString(rpeSrc, db.Schema())
+	if err != nil {
+		return nil, err
+	}
+	p, err := plan.Build(c, db.store.Stats())
+	if err != nil {
+		return nil, err
+	}
+	view := graph.CurrentView(db.store)
+	if !at.IsZero() {
+		view = graph.PointView(db.store, at)
+	}
+	set, err := db.engine.Eval(view, p)
+	if err != nil {
+		return nil, err
+	}
+	return set.Paths(), nil
+}
+
+// Explain returns the query's textual plan: per-variable anchors and
+// operator DAGs (§5.1's Select/Extend/Union form).
+func (db *DB) Explain(src string) (string, error) {
+	a, err := db.analyze(src)
+	if err != nil {
+		return "", err
+	}
+	var sb strings.Builder
+	for _, rv := range a.Query.Vars {
+		checked := a.Checked[rv.Name]
+		fmt.Fprintf(&sb, "-- variable %s --\n", rv.Name)
+		p, err := plan.Build(checked, db.store.Stats())
+		if err != nil {
+			fmt.Fprintf(&sb, "anchor: imported from join (%v)\n", err)
+			p = plan.BuildSeeded(checked, plan.Forward)
+		}
+		sb.WriteString(p.Explain())
+	}
+	return sb.String(), nil
+}
+
+// RenderPath formats a pathway against this database's store.
+func (db *DB) RenderPath(p plan.Pathway) string { return p.Render(db.store) }
+
+// EvolutionStep is one constant-state slice of a pathway's history: the
+// element field values that held during Period, and whether the pathway
+// satisfied the RPE then.
+type EvolutionStep struct {
+	Period    temporal.Interval
+	Fields    []graph.Fields
+	Satisfies bool
+	Exists    bool
+}
+
+// PathEvolution answers the §4 path evolution query: for a specific
+// pathway (fixed node and edge UIDs), it returns the timeline of field
+// values across every version boundary of its elements, with the periods
+// during which the pathway satisfied the given RPE. Visualization
+// applications drill into a returned pathway with it.
+func (db *DB) PathEvolution(p plan.Pathway, rpeSrc string) ([]EvolutionStep, error) {
+	c, err := rpe.CheckString(rpeSrc, db.Schema())
+	if err != nil {
+		return nil, err
+	}
+	objs := make([]*graph.Object, len(p.Elems))
+	boundaries := map[int64]time.Time{}
+	for i, uid := range p.Elems {
+		obj := db.store.Object(uid)
+		if obj == nil {
+			return nil, fmt.Errorf("core: pathway element %d not found", uid)
+		}
+		objs[i] = obj
+		for _, v := range obj.Versions {
+			boundaries[v.Period.Start.UnixNano()] = v.Period.Start
+			if !v.Period.IsCurrent() {
+				boundaries[v.Period.End.UnixNano()] = v.Period.End
+			}
+		}
+	}
+	times := make([]time.Time, 0, len(boundaries))
+	for _, t := range boundaries {
+		times = append(times, t)
+	}
+	sort.Slice(times, func(i, j int) bool { return times[i].Before(times[j]) })
+
+	var steps []EvolutionStep
+	for i, start := range times {
+		var period temporal.Interval
+		if i+1 < len(times) {
+			period = temporal.Between(start, times[i+1])
+		} else {
+			period = temporal.Current(start)
+		}
+		step := EvolutionStep{Period: period, Exists: true}
+		elements := make([]rpe.Element, len(objs))
+		for j, obj := range objs {
+			ver := obj.VersionAt(start)
+			if ver == nil {
+				step.Exists = false
+				break
+			}
+			step.Fields = append(step.Fields, ver.Fields)
+			elements[j] = rpe.Element{Class: obj.Class, Fields: ver.Fields}
+		}
+		if step.Exists {
+			step.Satisfies = c.MatchesPathway(elements)
+		}
+		steps = append(steps, step)
+	}
+	return steps, nil
+}

@@ -1,0 +1,626 @@
+package exec
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/plan"
+	"repro/internal/query"
+	"repro/internal/schema"
+	"repro/internal/temporal"
+)
+
+// SeedCostThreshold is the anchor cost above which a variable prefers an
+// anchor imported from a join over its own (§3.3: "in join queries, an
+// anchor can be imported from a joined path"; "small depends on available
+// system resources").
+const SeedCostThreshold = 512
+
+// Executor runs analyzed queries. Default serves every variable unless
+// Routes maps a variable name to another engine (data-integration mode).
+type Executor struct {
+	Default *plan.Engine
+	Routes  map[string]*plan.Engine
+}
+
+// New returns an executor over a single engine.
+func New(e *plan.Engine) *Executor { return &Executor{Default: e} }
+
+// Route directs a range variable to a specific engine, joining its paths
+// with paths from other stores in the executor.
+func (x *Executor) Route(varName string, e *plan.Engine) {
+	if x.Routes == nil {
+		x.Routes = make(map[string]*plan.Engine)
+	}
+	x.Routes[varName] = e
+}
+
+func (x *Executor) engineFor(varName string) *plan.Engine {
+	if e, ok := x.Routes[varName]; ok {
+		return e
+	}
+	return x.Default
+}
+
+// Run executes the analyzed query.
+func (x *Executor) Run(a *query.Analyzed) (*Result, error) {
+	rows, perVarTimes, err := x.rows(a, nil)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{}
+	if a.Query.Agg != query.AggNone {
+		res.Agg = aggregate(a.Query, rows, perVarTimes)
+		return res, nil
+	}
+	for _, t := range a.Query.Projs {
+		res.Columns = append(res.Columns, t.String())
+	}
+	// Pathway-set aggregation: count(P) counts distinct pathways bound to
+	// the variable across the result rows and collapses to a single row.
+	if len(a.Query.Projs) > 0 && a.Query.Projs[0].Fn == query.FnCount {
+		out := Row{Bindings: map[string]plan.Pathway{}}
+		for _, t := range a.Query.Projs {
+			distinct := map[string]bool{}
+			for _, row := range rows {
+				if p, ok := row.bind[t.Var]; ok {
+					distinct[p.Key()] = true
+				}
+			}
+			out.Values = append(out.Values, int64(len(distinct)))
+		}
+		res.Rows = append(res.Rows, out)
+		return res, nil
+	}
+	for _, row := range rows {
+		out := Row{Bindings: row.bind, Coexist: row.coexist, VarTimes: row.varTimes}
+		for _, t := range a.Query.Projs {
+			v, err := x.termValue(a, t, row)
+			if err != nil {
+				return nil, err
+			}
+			out.Values = append(out.Values, v)
+		}
+		res.Rows = append(res.Rows, out)
+	}
+	return res, nil
+}
+
+// workRow is a candidate tuple during join processing.
+type workRow struct {
+	bind     map[string]plan.Pathway
+	views    map[string]graph.View
+	coexist  temporal.Set
+	varTimes map[string]temporal.Set
+}
+
+// rows materializes the joined tuples of a query. outer supplies bindings
+// for correlated subqueries.
+func (x *Executor) rows(a *query.Analyzed, outer *workRow) ([]workRow, bool, error) {
+	q := a.Query
+	perVarTimes := hasPerVarTimes(q)
+
+	views := make(map[string]graph.View, len(q.Vars))
+	for _, rv := range q.Vars {
+		views[rv.Name] = x.viewFor(rv.Name, q, rv.At)
+	}
+
+	order, err := x.evalOrder(a)
+	if err != nil {
+		return nil, perVarTimes, err
+	}
+
+	joins, subNE := splitPreds(a)
+
+	// Evaluate variables in order, growing the tuple set and applying join
+	// predicates as soon as both sides are bound (pushing selections into
+	// the nested-loops join).
+	tuples := []workRow{{bind: map[string]plan.Pathway{}, views: views, varTimes: map[string]temporal.Set{}}}
+	bound := map[string]bool{}
+	if outer != nil {
+		for name, p := range outer.bind {
+			tuples[0].bind[name] = p
+			bound[name] = true
+		}
+		for name, v := range outer.views {
+			if _, shadowed := views[name]; !shadowed {
+				tuples[0].views[name] = v
+			}
+		}
+	}
+
+	for _, step := range order {
+		var next []workRow
+		for _, tup := range tuples {
+			paths, err := x.evalVar(a, step, views[step.name], tup, bound)
+			if err != nil {
+				return nil, perVarTimes, err
+			}
+			for _, p := range paths {
+				nt := workRow{
+					bind:     cloneBind(tup.bind),
+					views:    tup.views,
+					varTimes: cloneTimes(tup.varTimes),
+				}
+				nt.bind[step.name] = p
+				nt.varTimes[step.name] = p.Validity
+				if x.joinsSatisfied(a, joins, nt) {
+					next = append(next, nt)
+				}
+			}
+		}
+		bound[step.name] = true
+		tuples = next
+	}
+
+	// Temporal row semantics: with query-level time, all pathways in a row
+	// must coexist and the row reports the maximal coexistence ranges.
+	if !perVarTimes {
+		window := x.windowFor(q)
+		var kept []workRow
+		for _, tup := range tuples {
+			co := coexistence(q, tup)
+			if co.IsEmpty() {
+				continue
+			}
+			overlap := co.Intersect(temporal.Set{window})
+			if overlap.IsEmpty() {
+				continue
+			}
+			tup.coexist = co
+			kept = append(kept, tup)
+		}
+		tuples = kept
+	}
+
+	// NOT EXISTS subqueries.
+	for _, sub := range subNE {
+		tuples, err = x.applyNotExists(sub, tuples)
+		if err != nil {
+			return nil, perVarTimes, err
+		}
+	}
+	return tuples, perVarTimes, nil
+}
+
+// evalStep is one variable evaluation with its chosen strategy.
+type evalStep struct {
+	name   string
+	plan   *plan.Plan
+	seeded bool
+	// seedFrom names the join term supplying seeds: the already-bound
+	// variable and which end of it, plus which end of this variable the
+	// seeds bind to.
+	seedDir    plan.Direction
+	seedVar    string
+	seedVarFn  query.PathFn
+	anchorCost float64
+}
+
+// evalOrder plans the variable evaluation order: anchored variables by
+// ascending anchor cost, then variables whose anchors are imported from
+// joins against already-ordered variables.
+func (x *Executor) evalOrder(a *query.Analyzed) ([]evalStep, error) {
+	q := a.Query
+	var anchored []evalStep
+	pending := map[string]bool{}
+	for _, rv := range q.Vars {
+		checked := a.Checked[rv.Name]
+		st := x.engineFor(rv.Name).Accessor().Store()
+		p, err := plan.Build(checked, st.Stats())
+		if err != nil {
+			pending[rv.Name] = true
+			continue
+		}
+		anchored = append(anchored, evalStep{name: rv.Name, plan: p, anchorCost: p.Anchor.Cost})
+	}
+	sort.SliceStable(anchored, func(i, j int) bool { return anchored[i].anchorCost < anchored[j].anchorCost })
+
+	ordered := make([]evalStep, 0, len(q.Vars))
+	placed := map[string]bool{}
+	place := func(s evalStep) {
+		ordered = append(ordered, s)
+		placed[s.name] = true
+	}
+
+	// Costly-anchored variables become seeded when a join links them to a
+	// cheaper variable placed earlier.
+	for _, s := range anchored {
+		if s.anchorCost > SeedCostThreshold {
+			if seed, ok := x.findSeed(a, s.name, placed); ok {
+				seed.plan = plan.BuildSeeded(a.Checked[s.name], seed.seedDir)
+				place(seed)
+				continue
+			}
+		}
+		place(s)
+	}
+	// Unanchored variables require an imported anchor.
+	for progress := true; progress && len(pending) > 0; {
+		progress = false
+		for _, name := range schema.SortedNames(pending) {
+			seed, ok := x.findSeed(a, name, placed)
+			if !ok {
+				continue
+			}
+			seed.plan = plan.BuildSeeded(a.Checked[name], seed.seedDir)
+			place(seed)
+			delete(pending, name)
+			progress = true
+		}
+	}
+	if len(pending) > 0 {
+		return nil, fmt.Errorf("exec: variable(s) %v have no anchor and no join to import one from (§3.3)",
+			schema.SortedNames(pending))
+	}
+	return ordered, nil
+}
+
+// findSeed looks for a join predicate equating source/target of name with
+// source/target of an already-placed (or outer) variable.
+func (x *Executor) findSeed(a *query.Analyzed, name string, placed map[string]bool) (evalStep, bool) {
+	available := func(v string) bool {
+		return placed[v] || a.IsOuterRef(v)
+	}
+	for _, p := range a.Query.Preds {
+		jp, ok := p.(*query.JoinPred)
+		if !ok || jp.Negated || jp.Left.Field != "" || jp.Right.Field != "" {
+			continue
+		}
+		for _, ori := range []struct{ mine, other query.Term }{
+			{jp.Left, jp.Right}, {jp.Right, jp.Left},
+		} {
+			if ori.mine.Var != name || ori.mine.Fn == query.FnLen || ori.other.Fn == query.FnLen {
+				continue
+			}
+			if ori.other.Var == name || !available(ori.other.Var) {
+				continue
+			}
+			dir := plan.Forward
+			if ori.mine.Fn == query.FnTarget {
+				dir = plan.Backward
+			}
+			return evalStep{name: name, seeded: true, seedDir: dir,
+				seedVar: ori.other.Var, seedVarFn: ori.other.Fn}, true
+		}
+	}
+	return evalStep{}, false
+}
+
+// evalVar evaluates one variable for the current tuple.
+func (x *Executor) evalVar(a *query.Analyzed, step evalStep, view graph.View, tup workRow, bound map[string]bool) ([]plan.Pathway, error) {
+	eng := x.engineFor(step.name)
+	if !step.seeded {
+		set, err := eng.Eval(view, step.plan)
+		if err != nil {
+			return nil, err
+		}
+		return x.applyViewFilter(a, step.name, view, set.Paths()), nil
+	}
+	// Seeds come from the joined variable's endpoint in this tuple; when
+	// stores differ, identity crosses via the unique id field.
+	seedPath, ok := tup.bind[step.seedVar]
+	if !ok {
+		return nil, fmt.Errorf("exec: internal: seed variable %q not bound", step.seedVar)
+	}
+	var seedNode graph.UID
+	if step.seedVarFn == query.FnTarget {
+		seedNode = seedPath.Target()
+	} else {
+		seedNode = seedPath.Source()
+	}
+	seeds, err := x.translateSeed(a, step, seedNode)
+	if err != nil {
+		return nil, err
+	}
+	set, err := eng.EvalSeeded(view, step.plan, seeds)
+	if err != nil {
+		return nil, err
+	}
+	return x.applyViewFilter(a, step.name, view, set.Paths()), nil
+}
+
+// applyViewFilter restricts a variable's pathways to its named view (when
+// the variable also carries an explicit MATCHES): the pathway must
+// satisfy both RPEs simultaneously, so its validity intersects with the
+// view's and must still overlap the selection window.
+func (x *Executor) applyViewFilter(a *query.Analyzed, varName string, view graph.View, paths []plan.Pathway) []plan.Pathway {
+	vc, ok := a.ViewChecked[varName]
+	if !ok {
+		return paths
+	}
+	st := x.engineFor(varName).Accessor().Store()
+	out := paths[:0]
+	for _, p := range paths {
+		vv := plan.ComputeValidity(st, vc, p.Elems)
+		joint := p.Validity.Intersect(vv)
+		if joint.IsEmpty() {
+			continue
+		}
+		overlaps := false
+		for _, iv := range joint {
+			if iv.Overlaps(view.Window()) {
+				overlaps = true
+				break
+			}
+		}
+		if !overlaps {
+			continue
+		}
+		p.Validity = joint
+		out = append(out, p)
+	}
+	return out
+}
+
+// translateSeed maps a node UID from the seed variable's store into the
+// target variable's store. Same engine: identity. Different engines: via
+// the schema-unique id field.
+func (x *Executor) translateSeed(a *query.Analyzed, step evalStep, seed graph.UID) ([]graph.UID, error) {
+	from := x.engineFor(step.seedVar).Accessor().Store()
+	to := x.engineFor(step.name).Accessor().Store()
+	if from == to {
+		return []graph.UID{seed}, nil
+	}
+	obj := from.Object(seed)
+	if obj == nil {
+		return nil, nil
+	}
+	cur := obj.Current()
+	if cur == nil {
+		if len(obj.Versions) == 0 {
+			return nil, nil
+		}
+		cur = &obj.Versions[len(obj.Versions)-1]
+	}
+	id, ok := cur.Fields["id"]
+	if !ok {
+		return nil, nil
+	}
+	uid, found := to.LookupUnique(schema.NodeRoot, "id", id)
+	if !found {
+		return nil, nil
+	}
+	return []graph.UID{uid}, nil
+}
+
+// joinsSatisfied applies all join predicates whose variables are bound in
+// the tuple (just-bound variable included).
+func (x *Executor) joinsSatisfied(a *query.Analyzed, joins []*query.JoinPred, tup workRow) bool {
+	isBound := func(v string) bool {
+		_, ok := tup.bind[v]
+		return ok
+	}
+	for _, jp := range joins {
+		if !isBound(jp.Left.Var) || !isBound(jp.Right.Var) {
+			continue
+		}
+		lv, lerr := x.joinValue(a, jp.Left, tup)
+		rv, rerr := x.joinValue(a, jp.Right, tup)
+		if lerr != nil || rerr != nil {
+			return false
+		}
+		eq := valueEqual(lv, rv)
+		if eq == jp.Negated {
+			return false
+		}
+	}
+	return true
+}
+
+// joinValue computes a join term's comparable value: the endpoint node's
+// unique id (store-independent identity), a field value, or the length.
+func (x *Executor) joinValue(a *query.Analyzed, t query.Term, tup workRow) (any, error) {
+	p, ok := tup.bind[t.Var]
+	if !ok {
+		return nil, fmt.Errorf("exec: unbound variable %q", t.Var)
+	}
+	if t.Fn == query.FnLen {
+		return int64(p.Hops()), nil
+	}
+	node := p.Source()
+	if t.Fn == query.FnTarget {
+		node = p.Target()
+	}
+	st := x.engineFor(t.Var).Accessor().Store()
+	view, ok := tup.views[t.Var]
+	if !ok {
+		view = graph.CurrentView(st)
+	}
+	obj := st.Object(node)
+	if obj == nil {
+		return nil, fmt.Errorf("exec: dangling node %d", node)
+	}
+	fields := view.FieldsAt(obj)
+	if fields == nil && len(obj.Versions) > 0 {
+		fields = obj.Versions[len(obj.Versions)-1].Fields
+	}
+	field := "id"
+	if t.Field != "" {
+		field = t.Field
+	}
+	return fields[field], nil
+}
+
+// termValue computes a projection value for a finished row.
+func (x *Executor) termValue(a *query.Analyzed, t query.Term, row workRow) (any, error) {
+	if t.Fn == query.FnNone {
+		return row.bind[t.Var], nil
+	}
+	return x.joinValue(a, t, row)
+}
+
+// applyNotExists filters tuples through one NOT EXISTS subquery.
+func (x *Executor) applyNotExists(sub *query.Analyzed, tuples []workRow) ([]workRow, error) {
+	var kept []workRow
+	for _, tup := range tuples {
+		subRows, _, err := x.rows(sub, &tup)
+		if err != nil {
+			return nil, err
+		}
+		if len(subRows) == 0 {
+			kept = append(kept, tup)
+		}
+	}
+	return kept, nil
+}
+
+// viewFor resolves the temporal view of a variable.
+func (x *Executor) viewFor(varName string, q *query.Query, varAt *query.TimeSpec) graph.View {
+	st := x.engineFor(varName).Accessor().Store()
+	ts := varAt
+	if ts == nil {
+		ts = q.At
+	}
+	if ts == nil {
+		if q.Agg != query.AggNone {
+			// Aggregates scan the full history by default.
+			return graph.RangeView(st, time.Unix(0, 0).UTC(), temporal.Forever)
+		}
+		return graph.CurrentView(st)
+	}
+	if ts.IsRange {
+		return graph.RangeView(st, ts.Start, ts.End)
+	}
+	return graph.PointView(st, ts.Start)
+}
+
+// windowFor is the query-level selection window used for coexistence.
+func (x *Executor) windowFor(q *query.Query) temporal.Interval {
+	if q.At == nil {
+		if q.Agg != query.AggNone {
+			return temporal.Between(time.Unix(0, 0).UTC(), temporal.Forever)
+		}
+		// Implicit current snapshot: the coexistence check happens against
+		// "now" — with routed variables on stores with independent clocks,
+		// the latest of the participating nows.
+		now := x.Default.Accessor().Store().Now()
+		for _, eng := range x.Routes {
+			if n := eng.Accessor().Store().Now(); n.After(now) {
+				now = n
+			}
+		}
+		return temporal.Between(now, now.Add(time.Nanosecond))
+	}
+	if q.At.IsRange {
+		return temporal.Between(q.At.Start, q.At.End)
+	}
+	return temporal.Between(q.At.Start, q.At.Start.Add(time.Nanosecond))
+}
+
+// coexistence intersects all bound pathway validities of a row.
+func coexistence(q *query.Query, tup workRow) temporal.Set {
+	var co temporal.Set
+	first := true
+	for _, rv := range q.Vars {
+		p, ok := tup.bind[rv.Name]
+		if !ok {
+			continue
+		}
+		if first {
+			co = p.Validity
+			first = false
+			continue
+		}
+		co = co.Intersect(p.Validity)
+	}
+	return co
+}
+
+// aggregate computes First/Last/When-Exists over the row times.
+func aggregate(q *query.Query, rows []workRow, perVar bool) *AggValue {
+	var all temporal.Set
+	for _, tup := range rows {
+		if perVar {
+			for _, s := range tup.varTimes {
+				all = append(all, s...)
+			}
+			continue
+		}
+		all = append(all, tup.coexist...)
+	}
+	all = all.Normalize()
+	if q.At != nil && q.At.IsRange {
+		all = all.ClipTo(temporal.Between(q.At.Start, q.At.End))
+	}
+	out := &AggValue{Exists: !all.IsEmpty()}
+	if !out.Exists {
+		return out
+	}
+	switch q.Agg {
+	case query.AggFirstTime:
+		out.Time, _ = all.First()
+	case query.AggLastTime:
+		last, _ := all.Last()
+		if last.Equal(temporal.Forever) {
+			out.Current = true
+		}
+		out.Time = last
+	case query.AggWhenExists:
+		out.Set = all
+	}
+	return out
+}
+
+func hasPerVarTimes(q *query.Query) bool {
+	for _, rv := range q.Vars {
+		if rv.At != nil {
+			return true
+		}
+	}
+	return false
+}
+
+func splitPreds(a *query.Analyzed) ([]*query.JoinPred, []*query.Analyzed) {
+	var joins []*query.JoinPred
+	subs := a.Subqueries
+	for _, p := range a.Query.Preds {
+		if jp, ok := p.(*query.JoinPred); ok {
+			joins = append(joins, jp)
+		}
+	}
+	return joins, subs
+}
+
+func cloneBind(m map[string]plan.Pathway) map[string]plan.Pathway {
+	out := make(map[string]plan.Pathway, len(m)+1)
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+func cloneTimes(m map[string]temporal.Set) map[string]temporal.Set {
+	out := make(map[string]temporal.Set, len(m)+1)
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// valueEqual compares join values with numeric canonicalization.
+func valueEqual(a, b any) bool {
+	if af, ok := asFloat(a); ok {
+		bf, ok := asFloat(b)
+		return ok && af == bf
+	}
+	return a == b
+}
+
+func asFloat(v any) (float64, bool) {
+	switch n := v.(type) {
+	case int:
+		return float64(n), true
+	case int32:
+		return float64(n), true
+	case int64:
+		return float64(n), true
+	case float32:
+		return float64(n), true
+	case float64:
+		return n, true
+	}
+	return 0, false
+}

@@ -1,0 +1,100 @@
+// Package exec executes analyzed Nepal queries: it evaluates each pathway
+// range variable through a backend engine (seeding imported anchors from
+// joins when a variable has none of its own), joins the per-variable
+// pathway sets on source()/target() equality, applies NOT EXISTS
+// subqueries, enforces the §4 temporal semantics (coexistence ranges for
+// query-level AT, independent ranges for per-variable times), computes
+// the First/Last/When-Exists aggregates, and performs Select-clause post
+// processing.
+//
+// The executor can route different range variables to different engines —
+// Nepal's data-integration mode, where paths from different inventories
+// with different underlying databases are joined in the shim layer.
+// Cross-store joins therefore compare the schema-unique id field of the
+// endpoint nodes rather than store-local UIDs.
+package exec
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/plan"
+	"repro/internal/temporal"
+)
+
+// Row is one result tuple: the pathway bound to each range variable plus
+// its temporal annotation.
+type Row struct {
+	// Values holds the projected values in projection order: a
+	// plan.Pathway for Retrieve, scalars for Select terms.
+	Values []any
+	// Bindings maps each range variable to its pathway.
+	Bindings map[string]plan.Pathway
+	// Coexist is the maximal range during which all bound pathways
+	// coexisted; populated for query-level time semantics.
+	Coexist temporal.Set
+	// VarTimes holds each variable's own maximal validity ranges;
+	// populated when variables carry their own time bindings.
+	VarTimes map[string]temporal.Set
+}
+
+// Result is a query's full answer.
+type Result struct {
+	Columns []string
+	Rows    []Row
+	// Agg carries the answer of a temporal aggregate query; nil otherwise.
+	Agg *AggValue
+}
+
+// AggValue is the answer to First/Last/When-Exists.
+type AggValue struct {
+	// Time is set for First/Last Time When Exists.
+	Time time.Time
+	// Current is true when a Last-Time aggregate is still open (the
+	// pathway still exists).
+	Current bool
+	// Set is the full interval set for When Exists.
+	Set temporal.Set
+	// Exists reports whether any satisfying pathway was found at all.
+	Exists bool
+}
+
+// Format renders the result as an aligned text table for CLI output.
+func (r *Result) Format(render func(plan.Pathway) string) string {
+	var sb strings.Builder
+	if r.Agg != nil {
+		switch {
+		case !r.Agg.Exists:
+			sb.WriteString("no satisfying pathway\n")
+		case r.Agg.Set != nil:
+			fmt.Fprintf(&sb, "when exists: %s\n", r.Agg.Set)
+		case r.Agg.Current:
+			sb.WriteString("still exists (no last time)\n")
+		default:
+			fmt.Fprintf(&sb, "%s\n", r.Agg.Time.UTC().Format("2006-01-02 15:04:05"))
+		}
+		return sb.String()
+	}
+	sb.WriteString(strings.Join(r.Columns, " | "))
+	sb.WriteByte('\n')
+	for _, row := range r.Rows {
+		parts := make([]string, len(row.Values))
+		for i, v := range row.Values {
+			if p, ok := v.(plan.Pathway); ok {
+				parts[i] = render(p)
+				if len(p.Validity) > 0 {
+					parts[i] += " " + p.Validity.String()
+				}
+			} else {
+				parts[i] = fmt.Sprintf("%v", v)
+			}
+		}
+		sb.WriteString(strings.Join(parts, " | "))
+		if row.Coexist != nil {
+			sb.WriteString("  times: " + row.Coexist.String())
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

@@ -1,0 +1,146 @@
+package graph
+
+import (
+	"time"
+
+	"repro/internal/temporal"
+)
+
+// View selects which temporal slice of a Store a query runs against.
+//
+// A point view (AT t, or the implicit "current snapshot") admits objects
+// whose visible version at t satisfies the query. A range view
+// (AT t1 : t2) admits objects that satisfy the query at some moment inside
+// the window; per §4, the validity ranges reported for results are the
+// *maximal* ranges in the database, which may extend beyond the window.
+type View struct {
+	store  *Store
+	window temporal.Interval
+	point  bool
+	at     time.Time
+}
+
+// PointView returns a view of the database as of transaction time t.
+func PointView(st *Store, t time.Time) View {
+	return View{store: st, point: true, at: t, window: temporal.Between(t, t.Add(time.Nanosecond))}
+}
+
+// CurrentView returns a view of the current snapshot.
+func CurrentView(st *Store) View { return PointView(st, st.Now()) }
+
+// RangeView returns a view selecting over the window [t1, t2).
+func RangeView(st *Store, t1, t2 time.Time) View {
+	return View{store: st, window: temporal.Between(t1, t2)}
+}
+
+// Store returns the underlying store.
+func (v View) Store() *Store { return v.store }
+
+// IsPoint reports whether the view is a point (timeslice) view.
+func (v View) IsPoint() bool { return v.point }
+
+// At returns the timeslice instant of a point view.
+func (v View) At() time.Time { return v.at }
+
+// Window returns the selection window (for a point view, the degenerate
+// nanosecond window at the instant).
+func (v View) Window() temporal.Interval { return v.window }
+
+// Pred tests one version's fields.
+type Pred func(Fields) bool
+
+// Match evaluates pred over the object's versions and returns the maximal
+// (unclipped) periods during which the object existed and satisfied pred,
+// restricted to versions that overlap the view's selection window... more
+// precisely: ok is true when the returned set overlaps the window; the set
+// itself contains all maximal match periods so that range queries report
+// full assertion ranges as §4 requires.
+func (v View) Match(obj *Object, pred Pred) (temporal.Set, bool) {
+	if obj == nil {
+		return nil, false
+	}
+	if v.point {
+		ver := obj.VersionAt(v.at)
+		if ver == nil || (pred != nil && !pred(ver.Fields)) {
+			return nil, false
+		}
+		// Expand to the maximal contiguous match period around the instant
+		// so that joins and result reporting see true assertion ranges.
+		return v.maximalSet(obj, pred), true
+	}
+	set := v.maximalSet(obj, pred)
+	if set.IsEmpty() {
+		return nil, false
+	}
+	for _, iv := range set {
+		if iv.Overlaps(v.window) {
+			return set, true
+		}
+	}
+	return nil, false
+}
+
+// maximalSet returns the normalized union of version periods where pred
+// holds across the object's entire history.
+func (v View) maximalSet(obj *Object, pred Pred) temporal.Set {
+	set := make(temporal.Set, 0, len(obj.Versions))
+	for i := range obj.Versions {
+		ver := &obj.Versions[i]
+		if pred == nil || pred(ver.Fields) {
+			set = append(set, ver.Period)
+		}
+	}
+	return set.Normalize()
+}
+
+// Visible reports whether the object exists anywhere in the view's window,
+// regardless of field values. It is the allocation-free fast path the
+// execution engines call per candidate element.
+func (v View) Visible(obj *Object) bool {
+	if v.point {
+		return obj.VersionAt(v.at) != nil
+	}
+	for i := range obj.Versions {
+		if obj.Versions[i].Period.Overlaps(v.window) {
+			return true
+		}
+	}
+	return false
+}
+
+// Satisfies reports whether the object satisfies pred at some instant the
+// view admits: exactly at the point instant for point views, or during
+// any version overlapping the window for range views. Like Visible it
+// allocates nothing; Match is the variant that also reports the maximal
+// periods.
+func (v View) Satisfies(obj *Object, pred Pred) bool {
+	if v.point {
+		ver := obj.VersionAt(v.at)
+		return ver != nil && (pred == nil || pred(ver.Fields))
+	}
+	for i := range obj.Versions {
+		ver := &obj.Versions[i]
+		if ver.Period.Overlaps(v.window) && (pred == nil || pred(ver.Fields)) {
+			return true
+		}
+	}
+	return false
+}
+
+// FieldsAt returns a representative field map for result rendering: the
+// version at the point instant, or the latest version overlapping the
+// window for a range view.
+func (v View) FieldsAt(obj *Object) Fields {
+	if v.point {
+		if ver := obj.VersionAt(v.at); ver != nil {
+			return ver.Fields
+		}
+		return nil
+	}
+	for i := len(obj.Versions) - 1; i >= 0; i-- {
+		if obj.Versions[i].Period.Overlaps(v.window) {
+			return obj.Versions[i].Fields
+		}
+	}
+	return nil
+}

@@ -1,0 +1,104 @@
+// Package gremlin implements Nepal's property-graph backend. It emulates
+// the paper's Gremlin target (§5.2): every element carries its inheritance
+// path as its label (e.g. Node:Container:VM:VMWare) and polymorphic class
+// matching is label-prefix matching; adjacency is a single per-node edge
+// list with no class partitioning, so traversals examine every incident
+// edge and filter afterwards — exactly the behavior whose cost the
+// relational per-class partitioning ablation (§6) contrasts.
+//
+// Gremlin client libraries for Go are thin, so rather than driving an
+// external TinkerPop server the traversal engine is embedded; the
+// generated Gremlin query text for a plan is available via
+// internal/codegen for inspection.
+package gremlin
+
+import (
+	"strings"
+
+	"repro/internal/graph"
+	"repro/internal/plan"
+	"repro/internal/rpe"
+	"repro/internal/schema"
+)
+
+// Backend is the Gremlin-style accessor over a temporal graph store.
+type Backend struct {
+	store *graph.Store
+}
+
+// New returns a backend over the store.
+func New(store *graph.Store) *Backend { return &Backend{store: store} }
+
+// Name implements plan.Accessor.
+func (b *Backend) Name() string { return "gremlin" }
+
+// Store implements plan.Accessor.
+func (b *Backend) Store() *graph.Store { return b.store }
+
+// Label returns the Gremlin label of a class: its inheritance path.
+func Label(c *schema.Class) string { return c.Path() }
+
+// LabelMatches reports whether an element labeled with elemLabel belongs
+// to the class subtree rooted at query label — prefix matching per §5.2.
+func LabelMatches(queryLabel, elemLabel string) bool {
+	if !strings.HasPrefix(elemLabel, queryLabel) {
+		return false
+	}
+	return len(elemLabel) == len(queryLabel) || elemLabel[len(queryLabel)] == ':'
+}
+
+// AnchorElements implements the Select operator: a unique-index hit when
+// the atom pins a unique field with equality (TinkerPop-style id index),
+// otherwise a label-prefix scan over the per-label element lists.
+func (b *Backend) AnchorElements(view graph.View, c *rpe.Checked, a *rpe.Atom) []graph.UID {
+	cls := c.ClassOf(a)
+	if uid, ok := uniqueLookup(b.store, cls, a); ok {
+		obj := b.store.Object(uid)
+		if obj != nil && obj.Class.IsSubclassOf(cls) {
+			return []graph.UID{uid}
+		}
+		return nil
+	}
+	queryLabel := Label(cls)
+	var out []graph.UID
+	for _, cand := range b.store.Schema().Classes() {
+		if cand.Kind != cls.Kind || !LabelMatches(queryLabel, Label(cand)) {
+			continue
+		}
+		out = append(out, b.store.ByClass(cand.Name)...)
+	}
+	return out
+}
+
+// IncidentEdges implements the Extend operator's physical access: the full
+// unpartitioned adjacency list. The atom hint is deliberately ignored —
+// a property-graph traversal visits every incident edge and filters by
+// label afterwards.
+func (b *Backend) IncidentEdges(view graph.View, node graph.UID, dir plan.Direction, _ *rpe.Atom, _ *rpe.Checked) []graph.UID {
+	if dir == plan.Forward {
+		return b.store.OutEdges(node)
+	}
+	return b.store.InEdges(node)
+}
+
+// uniqueLookup resolves an equality predicate on a unique field through
+// the store's unique index. The field may be declared on the atom's class
+// or any ancestor; the index is keyed by the declaring class.
+func uniqueLookup(st *graph.Store, cls *schema.Class, a *rpe.Atom) (graph.UID, bool) {
+	for _, p := range a.Preds {
+		if p.Op != rpe.OpEq {
+			continue
+		}
+		for cur := cls; cur != nil; cur = cur.Parent {
+			for _, f := range cur.OwnFields {
+				if f.Name == p.Field && f.Unique {
+					if uid, ok := st.LookupUnique(cur.Name, f.Name, p.Value); ok {
+						return uid, true
+					}
+					return 0, true // unique miss: provably empty
+				}
+			}
+		}
+	}
+	return 0, false
+}

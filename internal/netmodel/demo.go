@@ -1,0 +1,145 @@
+package netmodel
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// Demo mirrors Figure 1's simplified virtualized network: one firewall VNF
+// of two VFCs on two VMs sharing a host, one DNS VNF of one VFC on a VM on
+// a second host, a tenant virtual network joining the VMs, and a physical
+// leaf-spine fabric (two hosts, two top-of-rack switches, one spine)
+// wired with bidirectional physical links.
+type Demo struct {
+	FirewallVNF, DNSVNF    graph.UID
+	FwVFC1, FwVFC2, DNSVFC graph.UID
+	VM1, VM2, VM3          graph.UID
+	TenantNet              graph.UID
+	VRouter                graph.UID
+	Host1, Host2           graph.UID
+	TOR1, TOR2, Spine      graph.UID
+}
+
+// BuildDemo populates st with the demo topology and returns the handles.
+// IDs are assigned from base upward so several demos can share a store.
+func BuildDemo(st *graph.Store, base int64) (*Demo, error) {
+	d := &Demo{}
+	next := base
+	id := func() int64 { next++; return next }
+
+	node := func(class, name string, extra graph.Fields) (graph.UID, error) {
+		f := graph.Fields{"id": id(), "name": name}
+		for k, v := range extra {
+			f[k] = v
+		}
+		return st.InsertNode(class, f)
+	}
+	steps := []func() (err error){
+		func() (err error) {
+			d.Host1, err = node("ComputeHost", "host-1", graph.Fields{"rack": "r1", "status": "Active"})
+			return
+		},
+		func() (err error) {
+			d.Host2, err = node("ComputeHost", "host-2", graph.Fields{"rack": "r2", "status": "Active"})
+			return
+		},
+		func() (err error) { d.TOR1, err = node("TORSwitch", "tor-1", graph.Fields{"status": "Active"}); return },
+		func() (err error) { d.TOR2, err = node("TORSwitch", "tor-2", graph.Fields{"status": "Active"}); return },
+		func() (err error) {
+			d.Spine, err = node("SpineSwitch", "spine-1", graph.Fields{"status": "Active"})
+			return
+		},
+		func() (err error) {
+			d.VM1, err = node("VMWare", "vm-1", graph.Fields{"status": "Green", "flavor": "m1.large", "ipAddress": "10.0.0.1"})
+			return
+		},
+		func() (err error) {
+			d.VM2, err = node("VMWare", "vm-2", graph.Fields{"status": "Green", "flavor": "m1.large", "ipAddress": "10.0.0.2"})
+			return
+		},
+		func() (err error) {
+			d.VM3, err = node("KVMGuest", "vm-3", graph.Fields{"status": "Green", "flavor": "m1.small", "ipAddress": "10.0.0.3"})
+			return
+		},
+		func() (err error) {
+			d.TenantNet, err = node("TenantNet", "tenant-net", graph.Fields{"cidr": "10.0.0.0/24", "status": "Active"})
+			return
+		},
+		func() (err error) {
+			d.VRouter, err = node(VirtualRouter, "vrouter-1", graph.Fields{"status": "Active"})
+			return
+		},
+		func() (err error) {
+			d.FirewallVNF, err = node("Firewall", "fw-vnf", graph.Fields{"vnfType": "firewall", "status": "Active", "serviceId": 7})
+			return
+		},
+		func() (err error) {
+			d.DNSVNF, err = node("DNS", "dns-vnf", graph.Fields{"vnfType": "dns", "status": "Active", "serviceId": 7})
+			return
+		},
+		func() (err error) { d.FwVFC1, err = node("Proxy", "fw-vfc-1", graph.Fields{"role": "ingress"}); return },
+		func() (err error) {
+			d.FwVFC2, err = node("DataUnit", "fw-vfc-2", graph.Fields{"role": "inspect"})
+			return
+		},
+		func() (err error) {
+			d.DNSVFC, err = node("WebServer", "dns-vfc", graph.Fields{"role": "resolver"})
+			return
+		},
+	}
+	for _, step := range steps {
+		if err := step(); err != nil {
+			return nil, fmt.Errorf("netmodel: demo node: %w", err)
+		}
+	}
+
+	edges := []struct {
+		class    string
+		src, dst graph.UID
+		fields   graph.Fields
+	}{
+		// Vertical: VNF composed_of VFC, VFC on_vm VM, VM on_server Host.
+		{ComposedOf, d.FirewallVNF, d.FwVFC1, nil},
+		{ComposedOf, d.FirewallVNF, d.FwVFC2, nil},
+		{ComposedOf, d.DNSVNF, d.DNSVFC, nil},
+		{OnVM, d.FwVFC1, d.VM1, nil},
+		{OnVM, d.FwVFC2, d.VM2, nil},
+		{OnVM, d.DNSVFC, d.VM3, nil},
+		{OnServer, d.VM1, d.Host1, nil},
+		{OnServer, d.VM2, d.Host1, nil},
+		{OnServer, d.VM3, d.Host2, nil},
+		// Overlay: VMs on the tenant network, routed by the virtual router.
+		{VirtualLink, d.VM1, d.TenantNet, graph.Fields{"ipAddress": "10.0.0.1"}},
+		{VirtualLink, d.VM2, d.TenantNet, graph.Fields{"ipAddress": "10.0.0.2"}},
+		{VirtualLink, d.VM3, d.TenantNet, graph.Fields{"ipAddress": "10.0.0.3"}},
+		{VirtualLink, d.TenantNet, d.VRouter, nil},
+		{VirtualLink, d.VRouter, d.TenantNet, nil},
+		{VirtualLink, d.TenantNet, d.VM1, graph.Fields{"ipAddress": "10.0.0.1"}},
+		{VirtualLink, d.TenantNet, d.VM2, graph.Fields{"ipAddress": "10.0.0.2"}},
+		{VirtualLink, d.TenantNet, d.VM3, graph.Fields{"ipAddress": "10.0.0.3"}},
+		// Underlay: hosts to TORs to spine, both directions.
+		{PhysicalLink, d.Host1, d.TOR1, graph.Fields{"serverInterface": "eth0", "switchInterface": "ge-0/0/1"}},
+		{PhysicalLink, d.TOR1, d.Host1, graph.Fields{"serverInterface": "eth0", "switchInterface": "ge-0/0/1"}},
+		{PhysicalLink, d.Host2, d.TOR2, graph.Fields{"serverInterface": "eth0", "switchInterface": "ge-0/0/2"}},
+		{PhysicalLink, d.TOR2, d.Host2, graph.Fields{"serverInterface": "eth0", "switchInterface": "ge-0/0/2"}},
+		{PhysicalLink, d.TOR1, d.Spine, nil},
+		{PhysicalLink, d.Spine, d.TOR1, nil},
+		{PhysicalLink, d.TOR2, d.Spine, nil},
+		{PhysicalLink, d.Spine, d.TOR2, nil},
+	}
+	for _, e := range edges {
+		if _, err := st.InsertEdge(e.class, e.src, e.dst, withID(e.fields, id())); err != nil {
+			return nil, fmt.Errorf("netmodel: demo edge %s: %w", e.class, err)
+		}
+	}
+	return d, nil
+}
+
+func withID(f graph.Fields, id int64) graph.Fields {
+	out := graph.Fields{"id": id}
+	for k, v := range f {
+		out[k] = v
+	}
+	return out
+}

@@ -1,0 +1,314 @@
+// Package netmodel defines the paper's layered network model (§2.3,
+// Figures 2 and 3) as a ready-made Nepal schema: four layers of node
+// classes — Service (VNFs), Logical (VFCs), Virtualization (VMs, virtual
+// networks, virtual routers), and Physical (hosts, switches, routers) —
+// connected by Vertical (hosted-on / composed-of) and horizontal
+// (connects-to) edge hierarchies.
+//
+// The schema is the one the virtualized-service evaluation of §6 runs on:
+// 54 node classes and 12 edge classes.
+package netmodel
+
+import (
+	"fmt"
+
+	"repro/internal/schema"
+)
+
+// Layer identifies one of the four layers of the model.
+type Layer int
+
+const (
+	ServiceLayer Layer = iota
+	LogicalLayer
+	VirtualizationLayer
+	PhysicalLayer
+)
+
+func (l Layer) String() string {
+	switch l {
+	case ServiceLayer:
+		return "Service"
+	case LogicalLayer:
+		return "Logical"
+	case VirtualizationLayer:
+		return "Virtualization"
+	case PhysicalLayer:
+		return "Physical"
+	}
+	return "Unknown"
+}
+
+// Node class names used throughout the examples and workloads.
+const (
+	// Service layer.
+	VNF = "VNF"
+	// Logical layer.
+	VFC = "VFC"
+	// Virtualization layer.
+	Container     = "Container"
+	VM            = "VM"
+	Docker        = "Docker"
+	VirtualNet    = "VirtualNetwork"
+	VirtualRouter = "VirtualRouter"
+	// Physical layer.
+	Host   = "Host"
+	Switch = "Switch"
+	Router = "Router"
+)
+
+// Edge class names.
+const (
+	Vertical     = "Vertical"
+	ComposedOf   = "ComposedOf"
+	HostedOn     = "HostedOn"
+	OnVM         = "OnVM"
+	OnServer     = "OnServer"
+	ConnectsTo   = "ConnectsTo"
+	VirtualLink  = "VirtualLink"
+	PhysicalLink = "PhysicalLink"
+	LogicalFlow  = "LogicalFlow"
+)
+
+// vnfKinds are the concrete VNF subclasses (§3.2: "there are many kinds of
+// VNFs — DNS, firewall, etc.").
+var vnfKinds = []string{
+	"DNS", "Firewall", "LoadBalancer", "NATGateway", "VPNConcentrator",
+	"EPCControl", "EPCData", "SessionBorderCtl", "IMSCore", "PacketGateway",
+	"ServingGateway", "MobilityMgmt", "PolicyCharging", "DeepPacketInspect",
+	"WANAccelerator", "IDS",
+}
+
+// vfcKinds are concrete VFC subclasses ("proxies, web servers, ...").
+var vfcKinds = []string{
+	"Proxy", "WebServer", "AppServer", "DBServer", "CacheServer",
+	"MsgBroker", "Telemetry", "ConfigAgent", "Signaling", "MediaWorker",
+	"ControlUnit", "DataUnit",
+}
+
+// hostKinds and switchKinds give the physical layer its class diversity.
+var hostKinds = []string{"ComputeHost", "StorageHost", "CtrlHost"}
+var switchKinds = []string{"TORSwitch", "SpineSwitch", "AggSwitch"}
+var routerKinds = []string{"EdgeRouter", "CoreRouter"}
+var vmKinds = []string{"VMWare", "OnMetal", "KVMGuest"}
+var vnetKinds = []string{"TenantNet", "MgmtNet", "ProviderNet"}
+
+// NodeClassOfVNFKind returns the concrete class name for a VNF kind index,
+// cycling through the defined kinds.
+func NodeClassOfVNFKind(i int) string { return vnfKinds[i%len(vnfKinds)] }
+
+// NodeClassOfVFCKind returns the concrete class name for a VFC kind index.
+func NodeClassOfVFCKind(i int) string { return vfcKinds[i%len(vfcKinds)] }
+
+// NodeClassOfVMKind returns the concrete VM subclass for an index.
+func NodeClassOfVMKind(i int) string { return vmKinds[i%len(vmKinds)] }
+
+// NodeClassOfHostKind returns the concrete Host subclass for an index.
+func NodeClassOfHostKind(i int) string { return hostKinds[i%len(hostKinds)] }
+
+// NodeClassOfSwitchKind returns the concrete Switch subclass for an index.
+func NodeClassOfSwitchKind(i int) string { return switchKinds[i%len(switchKinds)] }
+
+// NodeClassOfVNetKind returns the concrete VirtualNetwork subclass.
+func NodeClassOfVNetKind(i int) string { return vnetKinds[i%len(vnetKinds)] }
+
+// Schema builds and finalizes the layered network model schema.
+func Schema() (*schema.Schema, error) {
+	s := schema.New()
+
+	def := func(name, parent string, fields ...schema.Field) error {
+		_, err := s.DefineNode(name, parent, fields...)
+		return err
+	}
+	defEdge := func(name, parent string, fields ...schema.Field) error {
+		_, err := s.DefineEdge(name, parent, fields...)
+		return err
+	}
+
+	// Composite data types: the router's routing table from §3.2.1.
+	rte, err := s.DefineDataType("routingTableEntry",
+		schema.Field{Name: "address", Type: schema.TypeIPAddress, Required: true},
+		schema.Field{Name: "mask", Type: schema.TypeInt, Required: true},
+		schema.Field{Name: "interface", Type: schema.TypeString},
+	)
+	if err != nil {
+		return nil, err
+	}
+	alarm, err := s.DefineDataType("alarm",
+		schema.Field{Name: "code", Type: schema.TypeString, Required: true},
+		schema.Field{Name: "severity", Type: schema.TypeInt},
+		schema.Field{Name: "raisedAt", Type: schema.TypeTimestamp},
+	)
+	if err != nil {
+		return nil, err
+	}
+
+	steps := []func() error{
+		// ---- Service layer ----
+		func() error {
+			return def(VNF, "",
+				schema.Field{Name: "vnfType", Type: schema.TypeString},
+				schema.Field{Name: "serviceId", Type: schema.TypeInt},
+				schema.Field{Name: "status", Type: schema.TypeString},
+			)
+		},
+		// ---- Logical layer ----
+		func() error {
+			return def(VFC, "",
+				schema.Field{Name: "role", Type: schema.TypeString},
+				schema.Field{Name: "status", Type: schema.TypeString},
+			)
+		},
+		// ---- Virtualization layer ----
+		func() error { return def(Container, "", schema.Field{Name: "status", Type: schema.TypeString}) },
+		func() error {
+			return def(VM, Container,
+				schema.Field{Name: "flavor", Type: schema.TypeString},
+				schema.Field{Name: "ipAddress", Type: schema.TypeIPAddress},
+			)
+		},
+		func() error { return def(Docker, Container, schema.Field{Name: "image", Type: schema.TypeString}) },
+		func() error {
+			return def(VirtualNet, "",
+				schema.Field{Name: "cidr", Type: schema.TypeString},
+				schema.Field{Name: "status", Type: schema.TypeString},
+			)
+		},
+		func() error {
+			return def(VirtualRouter, "",
+				schema.Field{Name: "status", Type: schema.TypeString},
+				schema.Field{Name: "routingTable", Type: schema.Container{Kind: schema.ListContainer, Elem: rte}},
+			)
+		},
+		// ---- Physical layer ----
+		func() error {
+			return def(Host, "",
+				schema.Field{Name: "rack", Type: schema.TypeString},
+				schema.Field{Name: "status", Type: schema.TypeString},
+				schema.Field{Name: "alarms", Type: schema.Container{Kind: schema.ListContainer, Elem: alarm}},
+			)
+		},
+		func() error {
+			return def(Switch, "",
+				schema.Field{Name: "status", Type: schema.TypeString},
+				schema.Field{Name: "portCount", Type: schema.TypeInt},
+			)
+		},
+		func() error {
+			return def(Router, "",
+				schema.Field{Name: "status", Type: schema.TypeString},
+				schema.Field{Name: "routingTable", Type: schema.Container{Kind: schema.ListContainer, Elem: rte}},
+			)
+		},
+	}
+	for _, step := range steps {
+		if err := step(); err != nil {
+			return nil, err
+		}
+	}
+
+	// Concrete subclasses per abstract kind.
+	for _, k := range vnfKinds {
+		if err := def(k, VNF); err != nil {
+			return nil, err
+		}
+	}
+	for _, k := range vfcKinds {
+		if err := def(k, VFC); err != nil {
+			return nil, err
+		}
+	}
+	for _, k := range vmKinds {
+		if err := def(k, VM); err != nil {
+			return nil, err
+		}
+	}
+	for _, k := range hostKinds {
+		if err := def(k, Host); err != nil {
+			return nil, err
+		}
+	}
+	for _, k := range switchKinds {
+		if err := def(k, Switch); err != nil {
+			return nil, err
+		}
+	}
+	for _, k := range routerKinds {
+		if err := def(k, Router); err != nil {
+			return nil, err
+		}
+	}
+	for _, k := range vnetKinds {
+		if err := def(k, VirtualNet); err != nil {
+			return nil, err
+		}
+	}
+
+	// ---- Edge hierarchy (Fig. 3) ----
+	edgeSteps := []func() error{
+		func() error { return defEdge(Vertical, "") },
+		func() error { return defEdge(ComposedOf, Vertical) },
+		func() error { return defEdge(HostedOn, Vertical) },
+		func() error { return defEdge(OnVM, HostedOn) },
+		func() error { return defEdge(OnServer, HostedOn) },
+		func() error { return defEdge(ConnectsTo, "") },
+		func() error {
+			return defEdge(VirtualLink, ConnectsTo,
+				schema.Field{Name: "ipAddress", Type: schema.TypeIPAddress})
+		},
+		func() error {
+			return defEdge(PhysicalLink, ConnectsTo,
+				schema.Field{Name: "serverInterface", Type: schema.TypeString},
+				schema.Field{Name: "switchInterface", Type: schema.TypeString})
+		},
+		func() error {
+			// Service-level data/control flows between VFCs (§2.3: end-to-end
+			// flows are described at the Service and Logical layers).
+			return defEdge(LogicalFlow, ConnectsTo,
+				schema.Field{Name: "flowType", Type: schema.TypeString})
+		},
+	}
+	for _, step := range edgeSteps {
+		if err := step(); err != nil {
+			return nil, err
+		}
+	}
+	for _, abstract := range []string{Vertical, HostedOn, ConnectsTo} {
+		if err := s.SetAbstract(abstract); err != nil {
+			return nil, err
+		}
+	}
+
+	// Allowed edges per Fig. 3: VNF--composed_of-->VFC, VFC--on_vm-->Container,
+	// Container--on_server-->Host; horizontal connectivity within layers.
+	// No rule permits linking a VNF directly to a Host.
+	s.AllowEdge(ComposedOf, VNF, VFC)
+	s.AllowEdge(OnVM, VFC, Container)
+	s.AllowEdge(OnServer, Container, Host)
+	s.AllowEdge(VirtualLink, Container, VirtualNet)
+	s.AllowEdge(VirtualLink, VirtualNet, VirtualRouter)
+	s.AllowEdge(VirtualLink, VirtualRouter, VirtualNet)
+	s.AllowEdge(VirtualLink, VirtualNet, Container)
+	s.AllowEdge(PhysicalLink, Host, Switch)
+	s.AllowEdge(PhysicalLink, Switch, Host)
+	s.AllowEdge(PhysicalLink, Switch, Switch)
+	s.AllowEdge(PhysicalLink, Switch, Router)
+	s.AllowEdge(PhysicalLink, Router, Switch)
+	s.AllowEdge(PhysicalLink, Router, Router)
+	s.AllowEdge(LogicalFlow, VFC, VFC)
+	s.AllowEdge(LogicalFlow, VNF, VNF)
+
+	if err := s.Finalize(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// MustSchema is Schema for tests and examples.
+func MustSchema() *schema.Schema {
+	s, err := Schema()
+	if err != nil {
+		panic(fmt.Sprintf("netmodel: %v", err))
+	}
+	return s
+}

@@ -1,0 +1,90 @@
+package netmodel
+
+import "testing"
+
+func TestSchemaBuilds(t *testing.T) {
+	s, err := Schema()
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes := len(s.NodeClasses())
+	edges := len(s.EdgeClasses())
+	// The paper's virtualized-service schema has 54 node and 12 edge
+	// classes (§6). Our model must be in that regime.
+	if nodes < 50 {
+		t.Errorf("node classes = %d, want >= 50", nodes)
+	}
+	if edges < 9 {
+		t.Errorf("edge classes = %d, want >= 9", edges)
+	}
+	t.Logf("schema: %d node classes, %d edge classes", nodes, edges)
+}
+
+func TestVerticalReachesHostButNoDirectEdge(t *testing.T) {
+	s := MustSchema()
+	// composed_of and hosted_on are both Vertical, so a query can traverse
+	// from VNF to Host via Vertical edges...
+	for _, name := range []string{ComposedOf, HostedOn, OnVM, OnServer} {
+		c := s.MustClass(name)
+		if !c.IsSubclassOf(s.MustClass(Vertical)) {
+			t.Errorf("%s must descend from Vertical", name)
+		}
+	}
+	// ...but one cannot directly link a VNF to a Host: no edge class
+	// permits it (Fig. 3).
+	vnf, host := s.MustClass(VNF), s.MustClass(Host)
+	for _, e := range s.EdgeClasses() {
+		if e.Abstract || e.IsRoot() {
+			continue
+		}
+		if s.EdgeAllowed(e, vnf, host) {
+			t.Errorf("edge %s wrongly allows VNF -> Host", e.Name)
+		}
+	}
+}
+
+func TestConcreteKindsResolve(t *testing.T) {
+	s := MustSchema()
+	for i := 0; i < 40; i++ {
+		for _, name := range []string{
+			NodeClassOfVNFKind(i), NodeClassOfVFCKind(i), NodeClassOfVMKind(i),
+			NodeClassOfHostKind(i), NodeClassOfSwitchKind(i), NodeClassOfVNetKind(i),
+		} {
+			if _, ok := s.Class(name); !ok {
+				t.Fatalf("kind class %q missing from schema", name)
+			}
+		}
+	}
+	if !s.MustClass(NodeClassOfVMKind(0)).IsSubclassOf(s.MustClass(VM)) {
+		t.Error("VM kind must descend from VM")
+	}
+}
+
+func TestRouterRecordWithRoutingTable(t *testing.T) {
+	s := MustSchema()
+	rec := map[string]any{
+		"id":     900,
+		"name":   "vr-1",
+		"status": "Active",
+		"routingTable": []any{
+			map[string]any{"address": "10.1.0.0", "mask": 16, "interface": "ge-0/0/1"},
+		},
+	}
+	if err := s.ValidateRecord(VirtualRouter, rec); err != nil {
+		t.Errorf("virtual router record rejected: %v", err)
+	}
+	rec["routingTable"] = []any{map[string]any{"mask": 16}}
+	if err := s.ValidateRecord(VirtualRouter, rec); err == nil {
+		t.Error("routing table entry without address accepted")
+	}
+}
+
+func TestAbstractClassesRejectRecords(t *testing.T) {
+	s := MustSchema()
+	if err := s.ValidateRecord(Vertical, map[string]any{"id": 1}); err == nil {
+		t.Error("abstract Vertical accepted a record")
+	}
+	if err := s.ValidateRecord(ConnectsTo, map[string]any{"id": 2}); err == nil {
+		t.Error("abstract ConnectsTo accepted a record")
+	}
+}

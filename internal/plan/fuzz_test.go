@@ -1,0 +1,206 @@
+package plan_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/gremlin"
+	"repro/internal/netmodel"
+	"repro/internal/plan"
+	"repro/internal/relational"
+	"repro/internal/rpe"
+	"repro/internal/temporal"
+)
+
+// TestDifferentialRandom is the randomized differential test: many small
+// random temporal graphs, many random RPEs, three evaluators — the
+// Gremlin backend, the relational backend, and the exhaustive reference
+// oracle — which must agree exactly on the pathway sets (elements AND
+// validity ranges) under current, past-point, and range views.
+func TestDifferentialRandom(t *testing.T) {
+	const trials = 60
+	for trial := 0; trial < trials; trial++ {
+		trial := trial
+		t.Run(fmt.Sprintf("trial%02d", trial), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(trial) * 7919))
+			st, clock := randomStore(t, rng)
+			engines := map[string]*plan.Engine{
+				"gremlin":    plan.NewEngine(gremlin.New(st)),
+				"relational": plan.NewEngine(relational.New(st)),
+			}
+			views := map[string]graph.View{
+				"current": graph.CurrentView(st),
+				"past":    graph.PointView(st, t0.Add(90*time.Minute)),
+				"range":   graph.RangeView(st, t0.Add(30*time.Minute), clock.Now()),
+			}
+			for q := 0; q < 6; q++ {
+				src := randomRPE(rng)
+				c, err := rpe.CheckString(src, st.Schema())
+				if err != nil {
+					t.Fatalf("random RPE %q failed to check: %v", src, err)
+				}
+				p, err := plan.Build(c, st.Stats())
+				if err != nil {
+					continue // unanchorable under this cost model; skip
+				}
+				for vname, view := range views {
+					ref := plan.ReferenceEval(view, c)
+					for ename, eng := range engines {
+						got, err := eng.Eval(view, p)
+						if err != nil {
+							t.Fatalf("%s/%s %q: %v", ename, vname, src, err)
+						}
+						compareSets(t, fmt.Sprintf("%s/%s %q", ename, vname, src), st, got, ref)
+					}
+				}
+			}
+		})
+	}
+}
+
+// compareSets checks element sequences and validity ranges both ways.
+func compareSets(t *testing.T, label string, st *graph.Store, got, want *plan.PathwaySet) {
+	t.Helper()
+	gotBy := map[string]plan.Pathway{}
+	for _, p := range got.Paths() {
+		gotBy[p.Key()] = p
+	}
+	wantBy := map[string]plan.Pathway{}
+	for _, p := range want.Paths() {
+		wantBy[p.Key()] = p
+	}
+	for k, wp := range wantBy {
+		gp, ok := gotBy[k]
+		if !ok {
+			t.Errorf("%s: missing pathway %s", label, wp.Render(st))
+			continue
+		}
+		if gp.Validity.String() != wp.Validity.String() {
+			t.Errorf("%s: pathway %s validity %v, oracle %v", label, wp.Render(st), gp.Validity, wp.Validity)
+		}
+	}
+	for k, gp := range gotBy {
+		if _, ok := wantBy[k]; !ok {
+			t.Errorf("%s: spurious pathway %s (validity %v)", label, gp.Render(st), gp.Validity)
+		}
+	}
+}
+
+// randomStore builds a small random layered graph with temporal churn:
+// inserts at t0, then updates/deletes/inserts over three hours.
+func randomStore(t *testing.T, rng *rand.Rand) (*graph.Store, *temporal.Clock) {
+	t.Helper()
+	clock := temporal.NewManualClock(t0)
+	st := graph.NewStore(netmodel.MustSchema(), clock)
+
+	var id int64
+	nextID := func() int64 { id++; return id }
+	statuses := []string{"Green", "Red", "Yellow"}
+
+	type pool struct {
+		classes []string
+		uids    []graph.UID
+	}
+	vnfs := &pool{classes: []string{"DNS", "Firewall", "LoadBalancer"}}
+	vfcs := &pool{classes: []string{"Proxy", "WebServer"}}
+	vms := &pool{classes: []string{"VMWare", "OnMetal", "KVMGuest"}}
+	hosts := &pool{classes: []string{"ComputeHost", "StorageHost"}}
+	switches := &pool{classes: []string{"TORSwitch", "SpineSwitch"}}
+
+	mk := func(p *pool, n int) {
+		for i := 0; i < n; i++ {
+			class := p.classes[rng.Intn(len(p.classes))]
+			fields := graph.Fields{"id": nextID(), "name": fmt.Sprintf("%s-%d", class, id), "status": statuses[rng.Intn(3)]}
+			uid, err := st.InsertNode(class, fields)
+			if err != nil {
+				t.Fatal(err)
+			}
+			p.uids = append(p.uids, uid)
+		}
+	}
+	mk(hosts, 2+rng.Intn(3))
+	mk(switches, 1+rng.Intn(3))
+	mk(vms, 2+rng.Intn(4))
+	mk(vfcs, 1+rng.Intn(3))
+	mk(vnfs, 1+rng.Intn(2))
+
+	link := func(class string, a, b graph.UID) {
+		_, err := st.InsertEdge(class, a, b, graph.Fields{"id": nextID()})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, vm := range vms.uids {
+		link(netmodel.OnServer, vm, hosts.uids[rng.Intn(len(hosts.uids))])
+	}
+	for _, vfc := range vfcs.uids {
+		link(netmodel.OnVM, vfc, vms.uids[rng.Intn(len(vms.uids))])
+		link(netmodel.ComposedOf, vnfs.uids[rng.Intn(len(vnfs.uids))], vfc)
+	}
+	for _, h := range hosts.uids {
+		sw := switches.uids[rng.Intn(len(switches.uids))]
+		link(netmodel.PhysicalLink, h, sw)
+		if rng.Intn(2) == 0 {
+			link(netmodel.PhysicalLink, sw, h)
+		}
+	}
+	for i := 0; i+1 < len(switches.uids); i++ {
+		link(netmodel.PhysicalLink, switches.uids[i], switches.uids[i+1])
+	}
+
+	// Temporal churn: status flips and occasional deletes over 3 hours.
+	allNodes := append(append(append([]graph.UID{}, vms.uids...), hosts.uids...), vfcs.uids...)
+	for step := 0; step < 6; step++ {
+		clock.Advance(30 * time.Minute)
+		uid := allNodes[rng.Intn(len(allNodes))]
+		obj := st.Object(uid)
+		if obj.Current() == nil {
+			continue
+		}
+		switch rng.Intn(4) {
+		case 0:
+			if err := st.Delete(uid); err != nil {
+				t.Fatal(err)
+			}
+		default:
+			next := obj.Current().Fields.Clone()
+			next["status"] = statuses[rng.Intn(3)]
+			if err := st.Update(uid, next); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	clock.Advance(30 * time.Minute)
+	return st, clock
+}
+
+// randomRPE draws from templates exercising atoms, chains, repetitions,
+// alternations, predicates, and edge-anchored forms.
+func randomRPE(rng *rand.Rand) string {
+	statuses := []string{"Green", "Red", "Yellow"}
+	s := statuses[rng.Intn(3)]
+	templates := []string{
+		"VM()",
+		"VM(status='" + s + "')",
+		"Host()",
+		"OnServer()",
+		"VM()->OnServer()->Host()",
+		"VM(status='" + s + "')->OnServer()->Host()",
+		"VFC()->VM()->Host()",
+		"VNF()->[Vertical()]{1,4}->Host()",
+		"VNF()->[Vertical()]{1,6}->Host(status='" + s + "')",
+		"Host()->[PhysicalLink()]{1,3}->Switch()",
+		"Host()->[PhysicalLink()]{1,4}->Host()",
+		"(VM(status='" + s + "')|Host(status='" + s + "'))",
+		"[PhysicalLink()]{1,2}",
+		"VFC()->[Vertical()]{0,2}->VM()",
+		"Container()->OnServer()->Host()",
+		"VNF()->VFC()->VM(status='" + s + "')",
+	}
+	return templates[rng.Intn(len(templates))]
+}
+
+// t0 is shared with plan_test.go.

@@ -1,0 +1,142 @@
+package plan
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/graph"
+	"repro/internal/rpe"
+	"repro/internal/schema"
+)
+
+// Direction orients an Extend step relative to the pathway under
+// construction.
+type Direction int
+
+const (
+	Forward  Direction = iota // extend the pathway at its tail
+	Backward                  // extend the pathway at its head
+)
+
+func (d Direction) String() string {
+	if d == Backward {
+		return "backward"
+	}
+	return "forward"
+}
+
+// Accessor is the physical access interface a backend provides. The search
+// engine calls it for anchor retrieval and adjacency expansion; everything
+// else (NFA bookkeeping, temporal intersection, cycle pruning, result
+// assembly) is shared.
+type Accessor interface {
+	// Name identifies the backend ("gremlin", "relational").
+	Name() string
+	// Store returns the underlying temporal store.
+	Store() *graph.Store
+	// AnchorElements returns the UIDs of elements that satisfy the atom
+	// within the view — the physical realization of the Select operator.
+	AnchorElements(view graph.View, c *rpe.Checked, a *rpe.Atom) []graph.UID
+	// IncidentEdges returns edges leaving (Forward) or entering (Backward)
+	// the node within the view. When atom is non-nil the backend may use it
+	// to prune by class partition; it must return a superset of the edges
+	// satisfying the atom and may ignore the hint entirely. The engine
+	// re-checks every candidate, so pruning is purely physical.
+	IncidentEdges(view graph.View, node graph.UID, dir Direction, atom *rpe.Atom, c *rpe.Checked) []graph.UID
+}
+
+// Plan is an executable query plan: the checked RPE, the selected anchor,
+// and the operator DAG description used by EXPLAIN and code generation.
+type Plan struct {
+	Checked *rpe.Checked
+	Anchor  rpe.AnchorSet
+	// Seeded is set when the anchor is imported from a join (§3.4): the
+	// pathway variable had no anchor of its own and is instead seeded with
+	// node UIDs at its source or target.
+	Seeded  bool
+	SeedDir Direction
+	// MaxLen caps pathway length in elements; it defaults to the RPE's own
+	// length bound and may be tightened by the query.
+	MaxLen int
+}
+
+// Build selects the cheapest anchor for the checked RPE using store
+// statistics and returns the plan. It fails on unanchored RPEs, as §3.3
+// requires (a join can still import an anchor via BuildSeeded).
+func Build(c *rpe.Checked, stats *schema.Stats) (*Plan, error) {
+	anchor, err := c.BestAnchor(stats)
+	if err != nil {
+		return nil, err
+	}
+	return &Plan{Checked: c, Anchor: anchor, MaxLen: c.MaxLen()}, nil
+}
+
+// BuildSeeded returns a plan whose anchor is imported from a join: the
+// search will be seeded with externally supplied node UIDs at the source
+// (Forward plan) or target (Backward plan) of the pathway.
+func BuildSeeded(c *rpe.Checked, dir Direction) *Plan {
+	return &Plan{Checked: c, Seeded: true, SeedDir: dir, MaxLen: c.MaxLen()}
+}
+
+// Explain renders the operator DAG as text: the Select operator for the
+// anchor and the Extend/ExtendBlock structure derived from the RPE, in the
+// style of §5.1's conversion.
+func (p *Plan) Explain() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "RPE: %s\n", p.Checked.Expr)
+	if p.Seeded {
+		fmt.Fprintf(&sb, "Select: imported anchor (join seed at %s end)\n", seedEnd(p.SeedDir))
+	} else {
+		fmt.Fprintf(&sb, "Select: %s\n", p.Anchor)
+	}
+	fmt.Fprintf(&sb, "MaxLen: %d elements\n", p.MaxLen)
+	sb.WriteString(explainOps(p.Checked.Expr, p.anchorIDs()))
+	return sb.String()
+}
+
+func seedEnd(d Direction) string {
+	if d == Backward {
+		return "target"
+	}
+	return "source"
+}
+
+func (p *Plan) anchorIDs() map[int]bool {
+	ids := make(map[int]bool, len(p.Anchor.Atoms))
+	for _, a := range p.Anchor.Atoms {
+		ids[a.ID()] = true
+	}
+	return ids
+}
+
+// explainOps walks the expression emitting one operator line per block.
+func explainOps(e rpe.Expr, anchors map[int]bool) string {
+	var sb strings.Builder
+	var walk func(e rpe.Expr, depth int)
+	indent := func(d int) string { return strings.Repeat("  ", d+1) }
+	walk = func(e rpe.Expr, depth int) {
+		switch x := e.(type) {
+		case *rpe.Atom:
+			op := "Extend"
+			if anchors[x.ID()] {
+				op = "Anchor"
+			}
+			fmt.Fprintf(&sb, "%s%s %s\n", indent(depth), op, x)
+		case *rpe.Sequence:
+			fmt.Fprintf(&sb, "%sSequence\n", indent(depth))
+			for _, part := range x.Parts {
+				walk(part, depth+1)
+			}
+		case *rpe.Alternation:
+			fmt.Fprintf(&sb, "%sUnion\n", indent(depth))
+			for _, alt := range x.Alts {
+				walk(alt, depth+1)
+			}
+		case *rpe.Repetition:
+			fmt.Fprintf(&sb, "%sExtendBlock {%d,%d}\n", indent(depth), x.Min, x.Max)
+			walk(x.Body, depth+1)
+		}
+	}
+	walk(e, 0)
+	return sb.String()
+}

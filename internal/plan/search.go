@@ -1,0 +1,445 @@
+package plan
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/rpe"
+)
+
+// Engine executes plans against a backend's Accessor. It implements the
+// anchored bidirectional NFA search of §5.1: Select the anchor records,
+// Extend forwards from the anchor's post-state and backwards from its
+// pre-state, and Union partial results — with cycle prevention via the
+// uid-list disjointness predicate of §5.2.
+type Engine struct {
+	acc Accessor
+	// metrics, when non-nil, accumulates instrumentation for the current
+	// evaluation (set by EvalMetered; Engine methods are not safe for
+	// concurrent metered use on the same Engine value).
+	metrics *Metrics
+}
+
+// NewEngine returns an engine over the backend accessor.
+func NewEngine(acc Accessor) *Engine { return &Engine{acc: acc} }
+
+// Accessor returns the backend accessor the engine drives.
+func (e *Engine) Accessor() Accessor { return e.acc }
+
+// EvalMetered is Eval with instrumentation: it returns the operator
+// pipeline's counters alongside the pathway set.
+func (e *Engine) EvalMetered(view graph.View, p *Plan) (*PathwaySet, Metrics, error) {
+	var m Metrics
+	e.metrics = &m
+	set, err := e.Eval(view, p)
+	e.metrics = nil
+	if set != nil {
+		m.PathsEmitted = set.Len()
+	}
+	return set, m, err
+}
+
+// Eval evaluates the plan within the view and returns all satisfying
+// pathways with their maximal validity ranges.
+func (e *Engine) Eval(view graph.View, p *Plan) (*PathwaySet, error) {
+	if p.Seeded {
+		return nil, fmt.Errorf("plan: seeded plan requires EvalSeeded")
+	}
+	out := NewPathwaySet()
+	c := p.Checked
+	nfa := c.NFA()
+	for _, atom := range p.Anchor.Atoms {
+		elements := e.acc.AnchorElements(view, c, atom)
+		e.metrics.addAnchors(len(elements))
+		transIdxs := nfa.TransWithAtom(atom.ID())
+		for _, uid := range elements {
+			if !e.elementSatisfies(view, c, atom, uid) {
+				continue
+			}
+			for _, ti := range transIdxs {
+				tr := nfa.Trans[ti]
+				fwd := e.forward(view, c, p, search{
+					elems:  []graph.UID{uid},
+					states: nfa.Closure(tr.To).Clone(),
+				})
+				bwd := e.backward(view, c, p, search{
+					elems:  []graph.UID{uid},
+					states: nfa.ClosureRev(tr.From).Clone(),
+				})
+				e.combine(view, c, out, bwd, fwd)
+			}
+		}
+	}
+	return out, nil
+}
+
+// EvalSeeded evaluates a plan whose anchor is imported from a join. Seeds
+// are node UIDs bound to the pathway's source (Forward) or target
+// (Backward) end.
+func (e *Engine) EvalSeeded(view graph.View, p *Plan, seeds []graph.UID) (*PathwaySet, error) {
+	out := NewPathwaySet()
+	c := p.Checked
+	nfa := c.NFA()
+	for _, seed := range seeds {
+		obj := e.acc.Store().Object(seed)
+		if obj == nil || obj.IsEdge() || !view.Visible(obj) {
+			continue
+		}
+		if p.SeedDir == Forward {
+			init := search{elems: []graph.UID{seed}, states: nfa.Closure(nfa.Start).Clone()}
+			// Branch (a): the seed node is consumed by a leading node atom.
+			if consumed, ok := e.consume(view, c, init.states, seed, Forward); ok {
+				sp := search{elems: init.elems, states: consumed, nconsumed: 1}
+				for _, comp := range e.forwardAll(view, c, p, sp) {
+					e.finish(view, c, out, comp.elems, comp.tailEdge, false)
+				}
+			}
+			// Branch (b): the seed is the implicit endpoint of a leading
+			// edge match; nothing consumed yet.
+			for _, comp := range e.forwardAll(view, c, p, init) {
+				e.finish(view, c, out, comp.elems, comp.tailEdge, false)
+			}
+		} else {
+			init := search{elems: []graph.UID{seed}, states: nfa.ClosureRev(nfa.Accept).Clone()}
+			if consumed, ok := e.consume(view, c, init.states, seed, Backward); ok {
+				sp := search{elems: init.elems, states: consumed, nconsumed: 1}
+				for _, comp := range e.backwardAll(view, c, p, sp) {
+					e.finish(view, c, out, reversed(comp.elems), false, comp.tailEdge)
+				}
+			}
+			for _, comp := range e.backwardAll(view, c, p, init) {
+				e.finish(view, c, out, reversed(comp.elems), false, comp.tailEdge)
+			}
+		}
+	}
+	return out, nil
+}
+
+// search is a partial pathway under construction. For forward searches
+// elems runs in pathway order; for backward searches it runs reversed
+// (head of the pathway is the last slice entry).
+type search struct {
+	elems     []graph.UID
+	states    rpe.StateSet
+	nconsumed int
+}
+
+// completion is a finished half-pathway.
+type completion struct {
+	elems    []graph.UID
+	tailEdge bool // the outermost consumed element is an edge (endpoint implicit)
+}
+
+// forward runs a forward half-search and returns all completions,
+// including the trivial one when the anchor state set already accepts.
+func (e *Engine) forward(view graph.View, c *rpe.Checked, p *Plan, init search) []completion {
+	init.nconsumed = 1 // anchor element already consumed
+	return e.forwardAll(view, c, p, init)
+}
+
+func (e *Engine) forwardAll(view graph.View, c *rpe.Checked, p *Plan, init search) []completion {
+	nfa := c.NFA()
+	var out []completion
+	stack := []search{init}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		e.metrics.addPartial()
+		if cur.nconsumed > 0 && cur.states.Has(nfa.Accept) {
+			tail := cur.elems[len(cur.elems)-1]
+			out = append(out, completion{elems: cloneUIDs(cur.elems), tailEdge: e.isEdge(tail)})
+		}
+		if len(cur.elems) >= p.MaxLen+2 {
+			continue
+		}
+		tail := cur.elems[len(cur.elems)-1]
+		if e.isEdge(tail) {
+			// Structural successor: the edge's destination node.
+			next := e.acc.Store().Object(tail).Dst
+			e.step(view, c, &stack, cur, next, Forward)
+		} else if hint, feasible := e.expandHint(c, cur.states, Forward); feasible {
+			edges := e.acc.IncidentEdges(view, tail, Forward, hint, c)
+			e.metrics.addEdges(len(edges))
+			for _, edge := range edges {
+				e.step(view, c, &stack, cur, edge, Forward)
+			}
+		}
+	}
+	return out
+}
+
+// backward mirrors forward using the reversed automaton. elems is stored
+// reversed (pathway head last).
+func (e *Engine) backward(view graph.View, c *rpe.Checked, p *Plan, init search) []completion {
+	init.nconsumed = 1
+	return e.backwardAll(view, c, p, init)
+}
+
+func (e *Engine) backwardAll(view graph.View, c *rpe.Checked, p *Plan, init search) []completion {
+	nfa := c.NFA()
+	var out []completion
+	stack := []search{init}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		e.metrics.addPartial()
+		if cur.nconsumed > 0 && cur.states.Has(nfa.Start) {
+			head := cur.elems[len(cur.elems)-1]
+			out = append(out, completion{elems: cloneUIDs(cur.elems), tailEdge: e.isEdge(head)})
+		}
+		if len(cur.elems) >= p.MaxLen+2 {
+			continue
+		}
+		head := cur.elems[len(cur.elems)-1]
+		if e.isEdge(head) {
+			prev := e.acc.Store().Object(head).Src
+			e.step(view, c, &stack, cur, prev, Backward)
+		} else if hint, feasible := e.expandHint(c, cur.states, Backward); feasible {
+			edges := e.acc.IncidentEdges(view, head, Backward, hint, c)
+			e.metrics.addEdges(len(edges))
+			for _, edge := range edges {
+				e.step(view, c, &stack, cur, edge, Backward)
+			}
+		}
+	}
+	return out
+}
+
+// step consumes one element in the given direction, pushing the extended
+// partial when any transition fires.
+func (e *Engine) step(view graph.View, c *rpe.Checked, stack *[]search, cur search, elem graph.UID, dir Direction) {
+	for _, seen := range cur.elems {
+		if seen == elem {
+			return // cycle prevention: H.id_ != ANY(uid_list)
+		}
+	}
+	next, ok := e.consume(view, c, cur.states, elem, dir)
+	if !ok {
+		e.metrics.addRejected()
+		return
+	}
+	e.metrics.addConsumed()
+	*stack = append(*stack, search{
+		elems:     append(cloneUIDs(cur.elems), elem),
+		states:    next,
+		nconsumed: cur.nconsumed + 1,
+	})
+}
+
+// consume advances the state set over one element: skip transitions fire
+// whenever the element exists in the view; atom transitions additionally
+// require class and predicate satisfaction. The returned set is already
+// epsilon-closed.
+func (e *Engine) consume(view graph.View, c *rpe.Checked, cur rpe.StateSet, elem graph.UID, dir Direction) (rpe.StateSet, bool) {
+	obj := e.acc.Store().Object(elem)
+	if obj == nil || !view.Visible(obj) {
+		return nil, false
+	}
+	nfa := c.NFA()
+	next := rpe.NewStateSet(nfa.NumStates)
+	var satisfied map[*rpe.Atom]bool
+	isEdge := obj.IsEdge()
+	any := false
+	cur.ForEach(func(s int) {
+		var transIdx []int
+		if dir == Forward {
+			transIdx = nfa.OutTrans(s)
+		} else {
+			transIdx = nfa.InTrans(s)
+		}
+		for _, ti := range transIdx {
+			tr := nfa.Trans[ti]
+			if !c.CanConsume(ti, isEdge) {
+				continue // statically dead for this element kind
+			}
+			if tr.Atom != nil {
+				if satisfied == nil {
+					satisfied = make(map[*rpe.Atom]bool, 4)
+				}
+				sat, cached := satisfied[tr.Atom]
+				if !cached {
+					sat = e.atomSatisfiedInView(view, c, tr.Atom, obj)
+					satisfied[tr.Atom] = sat
+				}
+				if !sat {
+					continue
+				}
+			}
+			any = true
+			if dir == Forward {
+				next.Or(nfa.Closure(tr.To))
+			} else {
+				next.Or(nfa.ClosureRev(tr.From))
+			}
+		}
+	})
+	if !any {
+		return nil, false
+	}
+	return next, true
+}
+
+// atomSatisfiedInView reports whether the object satisfies the atom at
+// some instant admitted by the view (exact for point views; a candidate
+// filter for range views, with exact validity computed at assembly).
+func (e *Engine) atomSatisfiedInView(view graph.View, c *rpe.Checked, a *rpe.Atom, obj *graph.Object) bool {
+	if !obj.Class.IsSubclassOf(c.ClassOf(a)) {
+		return false
+	}
+	if view.IsPoint() {
+		ver := obj.VersionAt(view.At())
+		return ver != nil && c.Satisfies(a, obj.Class, ver.Fields)
+	}
+	for i := range obj.Versions {
+		ver := &obj.Versions[i]
+		if ver.Period.Overlaps(view.Window()) && c.Satisfies(a, obj.Class, ver.Fields) {
+			return true
+		}
+	}
+	return false
+}
+
+func (e *Engine) elementSatisfies(view graph.View, c *rpe.Checked, a *rpe.Atom, uid graph.UID) bool {
+	obj := e.acc.Store().Object(uid)
+	return obj != nil && e.atomSatisfiedInView(view, c, a, obj)
+}
+
+// expandHint inspects the transitions leaving (or entering) the current
+// state set. feasible is false when no live transition can consume an
+// edge at all — the partial pathway cannot be extended and the adjacency
+// scan is skipped entirely. Otherwise, when every way to consume the next
+// edge goes through a single edge atom and no skip transition, that atom
+// is returned as a safe pruning hint for the backend's partitioned
+// indexes; a nil hint with feasible true means an unpruned scan.
+func (e *Engine) expandHint(c *rpe.Checked, cur rpe.StateSet, dir Direction) (hint *rpe.Atom, feasible bool) {
+	nfa := c.NFA()
+	var atom *rpe.Atom
+	dead := false
+	any := false
+	cur.ForEach(func(s int) {
+		var transIdx []int
+		if dir == Forward {
+			transIdx = nfa.OutTrans(s)
+		} else {
+			transIdx = nfa.InTrans(s)
+		}
+		for _, ti := range transIdx {
+			tr := nfa.Trans[ti]
+			if !c.CanConsume(ti, true) {
+				continue // can never consume an edge: irrelevant here
+			}
+			if tr.Atom == nil {
+				dead = true // a live skip can consume any edge: no pruning
+				any = true
+				return
+			}
+			if c.ClassOf(tr.Atom).IsNode() {
+				continue // node atoms cannot consume the edge; irrelevant
+			}
+			any = true
+			if atom != nil && atom != tr.Atom {
+				dead = true // multiple possible edge atoms: no single hint
+				return
+			}
+			atom = tr.Atom
+		}
+	})
+	if !any {
+		return nil, false
+	}
+	if dead {
+		return nil, true
+	}
+	return atom, true
+}
+
+// combine joins backward and forward completions around the shared anchor
+// element and finalizes each pathway.
+func (e *Engine) combine(view graph.View, c *rpe.Checked, out *PathwaySet, bwd, fwd []completion) {
+	for _, b := range bwd {
+		for _, f := range fwd {
+			// b.elems is reversed and both include the anchor; drop the
+			// anchor from the backward half.
+			head := reversed(b.elems[1:])
+			full := append(head, f.elems...)
+			if hasDuplicates(full) {
+				continue
+			}
+			e.finish(view, c, out, full, f.tailEdge, b.tailEdge)
+		}
+	}
+}
+
+// finish adds implicit endpoint nodes where the match region starts or
+// ends at an edge, computes exact validity, and admits the pathway when
+// its validity overlaps the view window. Duplicate pathways (found again
+// through another anchor instance or run) are skipped before the validity
+// computation — ComputeValidity is deterministic per element sequence, so
+// recomputation would be pure waste.
+func (e *Engine) finish(view graph.View, c *rpe.Checked, out *PathwaySet, elems []graph.UID, tailEdge, headEdge bool) {
+	full := elems
+	st := e.acc.Store()
+	if headEdge || e.isEdge(full[0]) {
+		src := st.Object(full[0]).Src
+		full = append([]graph.UID{src}, full...)
+	}
+	if tailEdge || e.isEdge(full[len(full)-1]) {
+		dst := st.Object(full[len(full)-1]).Dst
+		full = append(cloneUIDs(full), dst)
+	}
+	if hasDuplicates(full) {
+		return
+	}
+	if out.Has(Pathway{Elems: full}.Key()) {
+		return
+	}
+	validity := ComputeValidity(st, c, full)
+	if validity.IsEmpty() {
+		return
+	}
+	overlaps := false
+	for _, iv := range validity {
+		if iv.Overlaps(view.Window()) {
+			overlaps = true
+			break
+		}
+	}
+	if !overlaps {
+		return
+	}
+	out.Add(Pathway{Elems: full, Validity: validity})
+}
+
+func (e *Engine) isEdge(uid graph.UID) bool {
+	obj := e.acc.Store().Object(uid)
+	return obj != nil && obj.IsEdge()
+}
+
+func cloneUIDs(in []graph.UID) []graph.UID {
+	out := make([]graph.UID, len(in))
+	copy(out, in)
+	return out
+}
+
+func reversed(in []graph.UID) []graph.UID {
+	out := make([]graph.UID, len(in))
+	for i, v := range in {
+		out[len(in)-1-i] = v
+	}
+	return out
+}
+
+func hasDuplicates(uids []graph.UID) bool {
+	if len(uids) < 2 {
+		return false
+	}
+	sorted := cloneUIDs(uids)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	for i := 1; i < len(sorted); i++ {
+		if sorted[i] == sorted[i-1] {
+			return true
+		}
+	}
+	return false
+}

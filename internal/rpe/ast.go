@@ -1,0 +1,277 @@
+// Package rpe implements Nepal's Regular Pathway Expressions: the parser,
+// the normalized block form (Atom / Sequence / Alternation / Repetition),
+// pathway-match semantics with the paper's four-way concatenation rule,
+// anchor enumeration and costing, and NFA compilation for the execution
+// backends.
+//
+// A pathway is an alternating sequence of nodes and edges, n1,e1,...,nk.
+// RPEs constrain pathways symmetrically over nodes AND edges: an atom names
+// a class (matching that class and all transitive subclasses) plus
+// predicates on its fields. Concatenation r1->r2 joins sub-matches that are
+// adjacent in the pathway or separated by exactly one element of the
+// opposite kind — which is what lets VNF()->VFC() match the pathway
+// VNF,edge,VFC without naming the edge, and Vertical()->Vertical() chain
+// edge matches across the implicit node between them (§3.3).
+package rpe
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Expr is a node in the RPE syntax tree. The four implementations are
+// Atom, Sequence, Alternation, and Repetition — the paper's normalized
+// block forms.
+type Expr interface {
+	fmt.Stringer
+	// MinLen and MaxLen bound the number of pathway elements (nodes+edges)
+	// a match of this expression consumes. All legal RPEs are
+	// length-limited, so MaxLen is always finite.
+	MinLen() int
+	MaxLen() int
+	// clone returns a deep copy.
+	clone() Expr
+}
+
+// Op is a predicate comparison operator.
+type Op int
+
+const (
+	OpEq Op = iota
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+	OpMatch // =~ : glob match with * wildcards (prefix/suffix/contains)
+	OpIn    // IN (v1, v2, ...)
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpEq:
+		return "="
+	case OpNe:
+		return "!="
+	case OpLt:
+		return "<"
+	case OpLe:
+		return "<="
+	case OpGt:
+		return ">"
+	case OpGe:
+		return ">="
+	case OpMatch:
+		return "=~"
+	case OpIn:
+		return "IN"
+	}
+	return "?"
+}
+
+// FieldPred is one comparison inside an atom: field op value.
+type FieldPred struct {
+	Field string
+	Op    Op
+	Value any   // for all ops except OpIn
+	List  []any // for OpIn
+}
+
+func (p FieldPred) String() string {
+	if p.Op == OpIn {
+		parts := make([]string, len(p.List))
+		for i, v := range p.List {
+			parts[i] = literal(v)
+		}
+		return fmt.Sprintf("%s IN (%s)", p.Field, strings.Join(parts, ", "))
+	}
+	return fmt.Sprintf("%s%s%s", p.Field, p.Op, literal(p.Value))
+}
+
+func literal(v any) string {
+	switch x := v.(type) {
+	case string:
+		return "'" + strings.ReplaceAll(x, "'", "''") + "'"
+	case nil:
+		return "null"
+	default:
+		return fmt.Sprintf("%v", x)
+	}
+}
+
+// Atom matches a single pathway element (one node or one edge) whose class
+// is the named class or a transitive subclass, and whose fields satisfy
+// all predicates. Whether the atom is a node or an edge atom is determined
+// by the schema during validation.
+type Atom struct {
+	Class string
+	Preds []FieldPred
+
+	// id is assigned during normalization; it identifies the atom
+	// occurrence for anchor selection and NFA labeling.
+	id int
+}
+
+// ID returns the atom occurrence id assigned by Normalize (-1 before).
+func (a *Atom) ID() int { return a.id }
+
+func (a *Atom) String() string {
+	parts := make([]string, len(a.Preds))
+	for i, p := range a.Preds {
+		parts[i] = p.String()
+	}
+	return fmt.Sprintf("%s(%s)", a.Class, strings.Join(parts, ", "))
+}
+
+func (a *Atom) MinLen() int { return 1 }
+func (a *Atom) MaxLen() int { return 1 }
+func (a *Atom) clone() Expr {
+	preds := make([]FieldPred, len(a.Preds))
+	copy(preds, a.Preds)
+	return &Atom{Class: a.Class, Preds: preds, id: a.id}
+}
+
+// Sequence is the concatenation r1 -> r2 -> ... -> rn.
+type Sequence struct {
+	Parts []Expr
+}
+
+func (s *Sequence) String() string {
+	parts := make([]string, len(s.Parts))
+	for i, p := range s.Parts {
+		if _, alt := p.(*Alternation); alt {
+			parts[i] = "(" + p.String() + ")"
+		} else {
+			parts[i] = p.String()
+		}
+	}
+	return strings.Join(parts, "->")
+}
+
+func (s *Sequence) MinLen() int {
+	n := 0
+	for _, p := range s.Parts {
+		n += p.MinLen()
+	}
+	return n
+}
+
+// MaxLen accounts for the one-element skip concatenation may absorb at
+// each join point.
+func (s *Sequence) MaxLen() int {
+	n := 0
+	for _, p := range s.Parts {
+		n += p.MaxLen()
+	}
+	if len(s.Parts) > 1 {
+		n += len(s.Parts) - 1
+	}
+	return n
+}
+
+func (s *Sequence) clone() Expr {
+	parts := make([]Expr, len(s.Parts))
+	for i, p := range s.Parts {
+		parts[i] = p.clone()
+	}
+	return &Sequence{Parts: parts}
+}
+
+// Alternation is the disjunction (r1 | r2 | ... | rn).
+type Alternation struct {
+	Alts []Expr
+}
+
+func (a *Alternation) String() string {
+	parts := make([]string, len(a.Alts))
+	for i, p := range a.Alts {
+		parts[i] = p.String()
+	}
+	return strings.Join(parts, "|")
+}
+
+func (a *Alternation) MinLen() int {
+	m := a.Alts[0].MinLen()
+	for _, p := range a.Alts[1:] {
+		if n := p.MinLen(); n < m {
+			m = n
+		}
+	}
+	return m
+}
+
+func (a *Alternation) MaxLen() int {
+	m := 0
+	for _, p := range a.Alts {
+		if n := p.MaxLen(); n > m {
+			m = n
+		}
+	}
+	return m
+}
+
+func (a *Alternation) clone() Expr {
+	alts := make([]Expr, len(a.Alts))
+	for i, p := range a.Alts {
+		alts[i] = p.clone()
+	}
+	return &Alternation{Alts: alts}
+}
+
+// Repetition is [r]{Min,Max}: between Min and Max concatenated copies of
+// r, inclusive. Min may be 0 (the block is then optional and provides no
+// anchors); Max must be finite — RPEs are length-limited by construction.
+type Repetition struct {
+	Body     Expr
+	Min, Max int
+}
+
+func (r *Repetition) String() string {
+	return fmt.Sprintf("[%s]{%d,%d}", r.Body, r.Min, r.Max)
+}
+
+func (r *Repetition) MinLen() int {
+	if r.Min == 0 {
+		return 0
+	}
+	return r.Body.MinLen()*r.Min + (r.Min - 1)
+}
+
+func (r *Repetition) MaxLen() int {
+	if r.Max == 0 {
+		return 0
+	}
+	return r.Body.MaxLen()*r.Max + (r.Max - 1)
+}
+
+func (r *Repetition) clone() Expr {
+	return &Repetition{Body: r.Body.clone(), Min: r.Min, Max: r.Max}
+}
+
+// Walk visits every expression node in depth-first order.
+func Walk(e Expr, fn func(Expr)) {
+	fn(e)
+	switch x := e.(type) {
+	case *Sequence:
+		for _, p := range x.Parts {
+			Walk(p, fn)
+		}
+	case *Alternation:
+		for _, p := range x.Alts {
+			Walk(p, fn)
+		}
+	case *Repetition:
+		Walk(x.Body, fn)
+	}
+}
+
+// Atoms collects all atom occurrences in the expression in syntax order.
+func Atoms(e Expr) []*Atom {
+	var out []*Atom
+	Walk(e, func(x Expr) {
+		if a, ok := x.(*Atom); ok {
+			out = append(out, a)
+		}
+	})
+	return out
+}

@@ -1,0 +1,134 @@
+package rpe
+
+// Kind feasibility analysis.
+//
+// Pathways strictly alternate nodes and edges, so each consuming
+// transition can only ever fire on elements of kinds consistent with some
+// alternation-respecting accepting run. Atom transitions are fixed by
+// their class kind, but skip transitions (the one-element absorption at
+// concatenation bridges) are nominally kind-free — yet most of them are
+// statically dead for one kind. For example, in
+//
+//	[Vertical()]{1,3}->Host(id=5)
+//
+// the bridge skip before Host can only ever consume a node (a skip of an
+// edge would leave the Host atom facing another edge). Knowing that lets
+// the execution engine keep class-pruning hints alive across bridges:
+// when extending a pathway by an edge, a skip transition that can never
+// consume an edge does not block the per-class index probe — the physical
+// property the paper's edge-subclassing ablation measures.
+//
+// The analysis is a product construction over (NFA state, kind of the
+// last consumed element); a (transition, kind) pair is feasible when some
+// path from the start (nothing consumed yet) to the accept state uses it.
+
+// kindMask is a bit set over element kinds.
+type kindMask uint8
+
+const (
+	kindNode kindMask = 1 << iota
+	kindEdge
+)
+
+// transFeasibility computes, for every consuming transition, the kinds of
+// elements it can consume in some alternation-consistent accepting run.
+// isEdgeAtom reports an atom's kind (true = edge class).
+func (n *NFA) transFeasibility(isEdgeAtom func(*Atom) bool) []kindMask {
+	// Product node id: state*3 + last, where last is 0 (nothing consumed
+	// yet), 1 (node), 2 (edge).
+	const lasts = 3
+	pid := func(state, last int) int { return state*lasts + last }
+	total := n.NumStates * lasts
+
+	// Product edges: epsilon edges preserve `last`; a consuming transition
+	// t firing on kind k requires last != k (alternation) and moves last
+	// to k.
+	type pedge struct {
+		from, to int
+		trans    int // index into n.Trans, -1 for epsilon
+		kind     kindMask
+	}
+	var edges []pedge
+	for s := 0; s < n.NumStates; s++ {
+		for last := 0; last < lasts; last++ {
+			from := pid(s, last)
+			for _, to := range n.eps[s] {
+				edges = append(edges, pedge{from: from, to: pid(to, last), trans: -1})
+			}
+			for _, ti := range n.fromIdx[s] {
+				tr := n.Trans[ti]
+				kinds := kindNode | kindEdge
+				if tr.Atom != nil {
+					if isEdgeAtom(tr.Atom) {
+						kinds = kindEdge
+					} else {
+						kinds = kindNode
+					}
+				}
+				for _, k := range []struct {
+					mask kindMask
+					last int
+				}{{kindNode, 1}, {kindEdge, 2}} {
+					if kinds&k.mask == 0 {
+						continue
+					}
+					if last == k.last {
+						continue // two consecutive elements of one kind: impossible
+					}
+					edges = append(edges, pedge{from: from, to: pid(tr.To, k.last), trans: ti, kind: k.mask})
+				}
+			}
+		}
+	}
+
+	fwdAdj := make([][]int, total)
+	revAdj := make([][]int, total)
+	for i, e := range edges {
+		fwdAdj[e.from] = append(fwdAdj[e.from], i)
+		revAdj[e.to] = append(revAdj[e.to], i)
+	}
+
+	bfs := func(starts []int, adj [][]int, pick func(pedge) int) []bool {
+		seen := make([]bool, total)
+		stack := append([]int{}, starts...)
+		for _, s := range starts {
+			seen[s] = true
+		}
+		for len(stack) > 0 {
+			cur := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, ei := range adj[cur] {
+				nxt := pick(edges[ei])
+				if !seen[nxt] {
+					seen[nxt] = true
+					stack = append(stack, nxt)
+				}
+			}
+		}
+		return seen
+	}
+
+	reach := bfs([]int{pid(n.Start, 0)}, fwdAdj, func(e pedge) int { return e.to })
+	co := bfs([]int{pid(n.Accept, 0), pid(n.Accept, 1), pid(n.Accept, 2)}, revAdj,
+		func(e pedge) int { return e.from })
+
+	out := make([]kindMask, len(n.Trans))
+	for _, e := range edges {
+		if e.trans >= 0 && reach[e.from] && co[e.to] {
+			out[e.trans] |= e.kind
+		}
+	}
+	return out
+}
+
+// CanConsume reports whether the consuming transition (by index into
+// NFA().Trans) can fire on an element of the given kind in some
+// alternation-consistent accepting run. Execution engines use it both to
+// prune dead skip branches and to keep class-pruning hints precise.
+func (c *Checked) CanConsume(transIdx int, elementIsEdge bool) bool {
+	mask := kindNode
+	if elementIsEdge {
+		mask = kindEdge
+	}
+	return c.feas[transIdx]&mask != 0
+}

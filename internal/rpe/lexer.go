@@ -1,0 +1,249 @@
+package rpe
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type Kind int
+
+const (
+	KindEOF Kind = iota
+	KindIdent
+	KindInt
+	KindFloat
+	KindString
+	KindArrow  // ->
+	KindPipe   // |
+	KindLParen // (
+	KindRParen // )
+	KindLBrack // [
+	KindRBrack // ]
+	KindLBrace // {
+	KindRBrace // }
+	KindComma  // ,
+	KindMinus  // - (brace range separator or numeric sign)
+	KindEq     // =
+	KindNe     // !=
+	KindLt     // <
+	KindLe     // <=
+	KindGt     // >
+	KindGe     // >=
+	KindMatch  // =~
+	KindDot    // .
+	KindAt     // @
+	KindColon  // : (standalone, e.g. the AT t1 : t2 range separator)
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindEOF:
+		return "end of input"
+	case KindIdent:
+		return "identifier"
+	case KindInt:
+		return "integer"
+	case KindFloat:
+		return "float"
+	case KindString:
+		return "string"
+	case KindArrow:
+		return "'->'"
+	case KindPipe:
+		return "'|'"
+	case KindLParen:
+		return "'('"
+	case KindRParen:
+		return "')'"
+	case KindLBrack:
+		return "'['"
+	case KindRBrack:
+		return "']'"
+	case KindLBrace:
+		return "'{'"
+	case KindRBrace:
+		return "'}'"
+	case KindComma:
+		return "','"
+	case KindMinus:
+		return "'-'"
+	case KindEq:
+		return "'='"
+	case KindNe:
+		return "'!='"
+	case KindLt:
+		return "'<'"
+	case KindLe:
+		return "'<='"
+	case KindGt:
+		return "'>'"
+	case KindGe:
+		return "'>='"
+	case KindMatch:
+		return "'=~'"
+	case KindDot:
+		return "'.'"
+	case KindAt:
+		return "'@'"
+	case KindColon:
+		return "':'"
+	}
+	return "?"
+}
+
+type Token struct {
+	Kind Kind
+	Text string
+	Pos  int
+}
+
+// lexer tokenizes RPE (and Nepal query) source text. The Nepal language
+// front end in internal/query reuses it via Lex.
+type lexer struct {
+	src  string
+	pos  int
+	toks []Token
+}
+
+// Lex tokenizes src, returning the token stream or a positioned error.
+func Lex(src string) ([]Token, error) {
+	l := &lexer{src: src}
+	if err := l.run(); err != nil {
+		return nil, err
+	}
+	return l.toks, nil
+}
+
+func (l *lexer) run() error {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			l.pos++
+		case c == '-' && l.peek(1) == '>':
+			l.emit(KindArrow, "->", 2)
+		case c == '-':
+			l.emit(KindMinus, "-", 1)
+		case c == '|':
+			l.emit(KindPipe, "|", 1)
+		case c == '(':
+			l.emit(KindLParen, "(", 1)
+		case c == ')':
+			l.emit(KindRParen, ")", 1)
+		case c == '[':
+			l.emit(KindLBrack, "[", 1)
+		case c == ']':
+			l.emit(KindRBrack, "]", 1)
+		case c == '{':
+			l.emit(KindLBrace, "{", 1)
+		case c == '}':
+			l.emit(KindRBrace, "}", 1)
+		case c == ',':
+			l.emit(KindComma, ",", 1)
+		case c == '.':
+			l.emit(KindDot, ".", 1)
+		case c == '@':
+			l.emit(KindAt, "@", 1)
+		case c == ':':
+			l.emit(KindColon, ":", 1)
+		case c == '=' && l.peek(1) == '~':
+			l.emit(KindMatch, "=~", 2)
+		case c == '=':
+			l.emit(KindEq, "=", 1)
+		case c == '!' && l.peek(1) == '=':
+			l.emit(KindNe, "!=", 2)
+		case c == '<' && l.peek(1) == '>':
+			l.emit(KindNe, "<>", 2)
+		case c == '<' && l.peek(1) == '=':
+			l.emit(KindLe, "<=", 2)
+		case c == '<':
+			l.emit(KindLt, "<", 1)
+		case c == '>' && l.peek(1) == '=':
+			l.emit(KindGe, ">=", 2)
+		case c == '>':
+			l.emit(KindGt, ">", 1)
+		case c == '\'':
+			if err := l.lexString(); err != nil {
+				return err
+			}
+		case c >= '0' && c <= '9':
+			l.lexNumber()
+		case isIdentStart(rune(c)):
+			l.lexIdent()
+		default:
+			return fmt.Errorf("rpe: unexpected character %q at position %d", c, l.pos)
+		}
+	}
+	l.toks = append(l.toks, Token{Kind: KindEOF, Pos: l.pos})
+	return nil
+}
+
+func (l *lexer) peek(ahead int) byte {
+	if l.pos+ahead < len(l.src) {
+		return l.src[l.pos+ahead]
+	}
+	return 0
+}
+
+func (l *lexer) emit(kind Kind, text string, width int) {
+	l.toks = append(l.toks, Token{Kind: kind, Text: text, Pos: l.pos})
+	l.pos += width
+}
+
+// lexString scans a single-quoted SQL-style string; ” escapes a quote.
+func (l *lexer) lexString() error {
+	start := l.pos
+	l.pos++ // opening quote
+	var sb strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '\'' {
+			if l.peek(1) == '\'' {
+				sb.WriteByte('\'')
+				l.pos += 2
+				continue
+			}
+			l.pos++
+			l.toks = append(l.toks, Token{Kind: KindString, Text: sb.String(), Pos: start})
+			return nil
+		}
+		sb.WriteByte(c)
+		l.pos++
+	}
+	return fmt.Errorf("rpe: unterminated string starting at position %d", start)
+}
+
+func (l *lexer) lexNumber() {
+	start := l.pos
+	kind := KindInt
+	for l.pos < len(l.src) && l.src[l.pos] >= '0' && l.src[l.pos] <= '9' {
+		l.pos++
+	}
+	if l.pos < len(l.src) && l.src[l.pos] == '.' && l.pos+1 < len(l.src) &&
+		l.src[l.pos+1] >= '0' && l.src[l.pos+1] <= '9' {
+		kind = KindFloat
+		l.pos++
+		for l.pos < len(l.src) && l.src[l.pos] >= '0' && l.src[l.pos] <= '9' {
+			l.pos++
+		}
+	}
+	l.toks = append(l.toks, Token{Kind: kind, Text: l.src[start:l.pos], Pos: start})
+}
+
+func (l *lexer) lexIdent() {
+	start := l.pos
+	for l.pos < len(l.src) && isIdentPart(rune(l.src[l.pos])) {
+		l.pos++
+	}
+	l.toks = append(l.toks, Token{Kind: KindIdent, Text: l.src[start:l.pos], Pos: start})
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	// ':' admits inheritance-path class names such as VNF:Firewall.
+	return r == '_' || r == ':' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}

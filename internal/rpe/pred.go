@@ -1,0 +1,251 @@
+package rpe
+
+import (
+	"fmt"
+	"strings"
+)
+
+// CompiledPred tests one element's field map.
+type CompiledPred func(fields map[string]any) bool
+
+// pathValues resolves a dotted field path against a field map, returning
+// every reachable leaf value: list and set containers fan out over their
+// elements, maps index by the path segment, and composite data types
+// resolve the segment as a field. A predicate over a path holds when any
+// reachable leaf satisfies it (the natural semantics for "a route to
+// 10.0.0.0 exists in the routing table").
+func pathValues(fields map[string]any, segs []string) []any {
+	v, ok := fields[segs[0]]
+	if !ok {
+		return nil
+	}
+	cur := []any{v}
+	for _, seg := range segs[1:] {
+		var next []any
+		var walk func(v any)
+		walk = func(v any) {
+			switch x := v.(type) {
+			case []any:
+				for _, item := range x {
+					walk(item)
+				}
+			case map[string]any:
+				if sub, ok := x[seg]; ok {
+					next = append(next, sub)
+				}
+			}
+		}
+		for _, v := range cur {
+			walk(v)
+		}
+		cur = next
+		if len(cur) == 0 {
+			return nil
+		}
+	}
+	// Final fan-out: a leaf that is itself a list/set compares element-wise.
+	var out []any
+	for _, v := range cur {
+		if items, ok := v.([]any); ok {
+			out = append(out, items...)
+			continue
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+func splitFieldPath(path string) []string {
+	var segs []string
+	start := 0
+	for i := 0; i <= len(path); i++ {
+		if i == len(path) || path[i] == '.' {
+			segs = append(segs, path[start:i])
+			start = i + 1
+		}
+	}
+	return segs
+}
+
+// Compile turns the predicate into an executable test. Comparison follows
+// SQL-like semantics: absent fields satisfy nothing, numerics compare
+// across int/float representations, strings compare lexicographically.
+// Dotted field paths test structured data with existential semantics:
+// the predicate holds when any reachable leaf value satisfies it.
+func (p FieldPred) Compile() (CompiledPred, error) {
+	leaf, err := p.leafTest()
+	if err != nil {
+		return nil, err
+	}
+	if strings.ContainsRune(p.Field, '.') {
+		segs := splitFieldPath(p.Field)
+		return func(f map[string]any) bool {
+			for _, v := range pathValues(f, segs) {
+				if leaf(v) {
+					return true
+				}
+			}
+			return false
+		}, nil
+	}
+	field := p.Field
+	return func(f map[string]any) bool {
+		v, ok := f[field]
+		return ok && leaf(v)
+	}, nil
+}
+
+// leafTest builds the single-value comparison for the predicate's op.
+func (p FieldPred) leafTest() (func(any) bool, error) {
+	switch p.Op {
+	case OpIn:
+		list := p.List
+		return func(v any) bool {
+			for _, item := range list {
+				if cmp, comparable := compareValues(v, item); comparable && cmp == 0 {
+					return true
+				}
+			}
+			return false
+		}, nil
+	case OpMatch:
+		pat, ok := p.Value.(string)
+		if !ok {
+			return nil, fmt.Errorf("rpe: =~ requires a string pattern, got %v", p.Value)
+		}
+		return func(v any) bool {
+			s, ok := v.(string)
+			return ok && globMatch(pat, s)
+		}, nil
+	case OpEq, OpNe, OpLt, OpLe, OpGt, OpGe:
+		op, val := p.Op, p.Value
+		return func(v any) bool {
+			cmp, comparable := compareValues(v, val)
+			if !comparable {
+				return false
+			}
+			switch op {
+			case OpEq:
+				return cmp == 0
+			case OpNe:
+				return cmp != 0
+			case OpLt:
+				return cmp < 0
+			case OpLe:
+				return cmp <= 0
+			case OpGt:
+				return cmp > 0
+			case OpGe:
+				return cmp >= 0
+			}
+			return false
+		}, nil
+	}
+	return nil, fmt.Errorf("rpe: unknown operator %v", p.Op)
+}
+
+// CompileAll conjoins the compiled forms of all predicates; nil predicates
+// compile to an always-true test.
+func CompileAll(preds []FieldPred) (CompiledPred, error) {
+	if len(preds) == 0 {
+		return nil, nil
+	}
+	compiled := make([]CompiledPred, len(preds))
+	for i, p := range preds {
+		c, err := p.Compile()
+		if err != nil {
+			return nil, err
+		}
+		compiled[i] = c
+	}
+	if len(compiled) == 1 {
+		return compiled[0], nil
+	}
+	return func(f map[string]any) bool {
+		for _, c := range compiled {
+			if !c(f) {
+				return false
+			}
+		}
+		return true
+	}, nil
+}
+
+// compareValues compares two field values of possibly different dynamic
+// types. It returns (-1|0|1, true) when comparable, (0, false) otherwise.
+func compareValues(a, b any) (int, bool) {
+	if af, ok := asFloat(a); ok {
+		if bf, ok := asFloat(b); ok {
+			switch {
+			case af < bf:
+				return -1, true
+			case af > bf:
+				return 1, true
+			}
+			return 0, true
+		}
+		return 0, false
+	}
+	switch av := a.(type) {
+	case string:
+		bv, ok := b.(string)
+		if !ok {
+			return 0, false
+		}
+		return strings.Compare(av, bv), true
+	case bool:
+		bv, ok := b.(bool)
+		if !ok {
+			return 0, false
+		}
+		switch {
+		case av == bv:
+			return 0, true
+		case !av:
+			return -1, true
+		}
+		return 1, true
+	}
+	return 0, false
+}
+
+func asFloat(v any) (float64, bool) {
+	switch n := v.(type) {
+	case int:
+		return float64(n), true
+	case int32:
+		return float64(n), true
+	case int64:
+		return float64(n), true
+	case float32:
+		return float64(n), true
+	case float64:
+		return n, true
+	}
+	return 0, false
+}
+
+// globMatch matches s against a pattern where '*' matches any (possibly
+// empty) substring. It is the semantics of the =~ operator.
+func globMatch(pattern, s string) bool {
+	parts := strings.Split(pattern, "*")
+	if len(parts) == 1 {
+		return pattern == s
+	}
+	if !strings.HasPrefix(s, parts[0]) {
+		return false
+	}
+	s = s[len(parts[0]):]
+	last := parts[len(parts)-1]
+	for _, mid := range parts[1 : len(parts)-1] {
+		if mid == "" {
+			continue
+		}
+		idx := strings.Index(s, mid)
+		if idx < 0 {
+			return false
+		}
+		s = s[idx+len(mid):]
+	}
+	return strings.HasSuffix(s, last)
+}

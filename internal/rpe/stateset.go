@@ -1,0 +1,70 @@
+package rpe
+
+import "math/bits"
+
+// StateSet is a fixed-capacity bit set over NFA states. The execution
+// engines simulate the automaton with StateSets instead of maps: epsilon
+// closures are precomputed per state at NFA build time, so advancing over
+// one pathway element is a handful of word ORs with no allocation beyond
+// the set itself.
+type StateSet []uint64
+
+// NewStateSet returns an empty set with capacity for n states.
+func NewStateSet(n int) StateSet { return make(StateSet, (n+63)/64) }
+
+// Add inserts state i.
+func (s StateSet) Add(i int) { s[i>>6] |= 1 << (uint(i) & 63) }
+
+// Has reports membership of state i.
+func (s StateSet) Has(i int) bool { return s[i>>6]&(1<<(uint(i)&63)) != 0 }
+
+// Or unions t into s (capacities must match).
+func (s StateSet) Or(t StateSet) {
+	for i, w := range t {
+		s[i] |= w
+	}
+}
+
+// IsEmpty reports whether no state is set.
+func (s StateSet) IsEmpty() bool {
+	for _, w := range s {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone copies the set.
+func (s StateSet) Clone() StateSet {
+	out := make(StateSet, len(s))
+	copy(out, s)
+	return out
+}
+
+// Reset clears the set in place.
+func (s StateSet) Reset() {
+	for i := range s {
+		s[i] = 0
+	}
+}
+
+// ForEach calls fn for every member state in ascending order.
+func (s StateSet) ForEach(fn func(state int)) {
+	for wi, w := range s {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			fn(wi*64 + b)
+			w &= w - 1
+		}
+	}
+}
+
+// Count returns the number of member states.
+func (s StateSet) Count() int {
+	n := 0
+	for _, w := range s {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}

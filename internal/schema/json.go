@@ -1,0 +1,210 @@
+package schema
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Document is the JSON carrier for a Nepal schema. It mirrors the TOSCA
+// sections the paper derives the Nepal schema language from: data_types,
+// node_types, and edge_types (TOSCA capability types), plus the
+// allowed-edge rules that TOSCA expresses as node capabilities.
+//
+// The paper's sources describe topologies in TOSCA YAML; stdlib-only Go has
+// no YAML decoder, so the same structure is carried as JSON — a pure syntax
+// substitution documented in DESIGN.md.
+type Document struct {
+	DataTypes map[string]DataTypeDoc `json:"data_types,omitempty"`
+	NodeTypes map[string]ClassDoc    `json:"node_types,omitempty"`
+	EdgeTypes map[string]ClassDoc    `json:"edge_types,omitempty"`
+	Edges     []EdgeRule             `json:"edges_allowed,omitempty"`
+}
+
+// DataTypeDoc describes one composite data type.
+type DataTypeDoc struct {
+	Fields map[string]FieldDoc `json:"fields"`
+}
+
+// ClassDoc describes one node or edge class.
+type ClassDoc struct {
+	Parent          string              `json:"parent,omitempty"`
+	Abstract        bool                `json:"abstract,omitempty"`
+	CardinalityHint int                 `json:"cardinality_hint,omitempty"`
+	Fields          map[string]FieldDoc `json:"fields,omitempty"`
+}
+
+// FieldDoc describes one field. Type uses TOSCA-style names, e.g.
+// "string", "int", "list[routingTableEntry]".
+type FieldDoc struct {
+	Type     string `json:"type"`
+	Required bool   `json:"required,omitempty"`
+	Unique   bool   `json:"unique,omitempty"`
+}
+
+// Load reads a schema Document from r and assembles a finalized Schema.
+func Load(r io.Reader) (*Schema, error) {
+	var doc Document
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&doc); err != nil {
+		return nil, fmt.Errorf("schema: decoding document: %w", err)
+	}
+	return FromDocument(&doc)
+}
+
+// FromDocument assembles and finalizes a Schema from a parsed Document.
+func FromDocument(doc *Document) (*Schema, error) {
+	s := New()
+
+	// Data types may reference each other, so register shells first, then
+	// resolve field types.
+	names := sortedKeys(doc.DataTypes)
+	for _, name := range names {
+		if _, err := s.DefineDataType(name); err != nil {
+			return nil, err
+		}
+	}
+	for _, name := range names {
+		dt := s.dataTypes[name]
+		fields, err := fieldsFromDoc(name, doc.DataTypes[name].Fields, s.dataTypes)
+		if err != nil {
+			return nil, err
+		}
+		dt.Fields = fields
+	}
+
+	if err := s.defineClassesFromDoc(NodeKind, doc.NodeTypes); err != nil {
+		return nil, err
+	}
+	if err := s.defineClassesFromDoc(EdgeKind, doc.EdgeTypes); err != nil {
+		return nil, err
+	}
+	for _, rule := range doc.Edges {
+		s.AllowEdge(rule.Edge, rule.From, rule.To)
+	}
+	if err := s.Finalize(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// defineClassesFromDoc registers classes in an order that satisfies parent
+// dependencies regardless of map iteration order.
+func (s *Schema) defineClassesFromDoc(kind Kind, docs map[string]ClassDoc) error {
+	pending := make(map[string]ClassDoc, len(docs))
+	for k, v := range docs {
+		pending[k] = v
+	}
+	for len(pending) > 0 {
+		progressed := false
+		for _, name := range sortedKeys(pending) {
+			cd := pending[name]
+			parent := cd.Parent
+			if parent == "" {
+				if kind == NodeKind {
+					parent = NodeRoot
+				} else {
+					parent = EdgeRoot
+				}
+			}
+			if _, ok := s.classes[parent]; !ok {
+				if _, later := pending[parent]; later {
+					continue // parent defined in a later pass
+				}
+				return fmt.Errorf("schema: class %q has unknown parent %q", name, cd.Parent)
+			}
+			fields, err := fieldsFromDoc(name, cd.Fields, s.dataTypes)
+			if err != nil {
+				return err
+			}
+			c, err := s.define(kind, name, parent, fields)
+			if err != nil {
+				return err
+			}
+			c.Abstract = cd.Abstract
+			c.CardinalityHint = cd.CardinalityHint
+			delete(pending, name)
+			progressed = true
+		}
+		if !progressed {
+			return fmt.Errorf("schema: class parent cycle among %v", sortedKeys(pending))
+		}
+	}
+	return nil
+}
+
+func fieldsFromDoc(owner string, docs map[string]FieldDoc, reg map[string]*DataType) ([]Field, error) {
+	fields := make([]Field, 0, len(docs))
+	for _, fname := range sortedKeys(docs) {
+		fd := docs[fname]
+		t, err := ParseType(fd.Type, reg)
+		if err != nil {
+			return nil, fmt.Errorf("schema: %s.%s: %w", owner, fname, err)
+		}
+		fields = append(fields, Field{Name: fname, Type: t, Required: fd.Required, Unique: fd.Unique})
+	}
+	return fields, nil
+}
+
+// ToDocument renders the schema back into its JSON carrier, normalizing
+// field order. Load(ToDocument(s)) reproduces an equivalent schema.
+func (s *Schema) ToDocument() *Document {
+	doc := &Document{
+		DataTypes: make(map[string]DataTypeDoc),
+		NodeTypes: make(map[string]ClassDoc),
+		EdgeTypes: make(map[string]ClassDoc),
+	}
+	for name, dt := range s.dataTypes {
+		doc.DataTypes[name] = DataTypeDoc{Fields: fieldsToDoc(dt.Fields)}
+	}
+	for name, c := range s.classes {
+		if c.IsRoot() {
+			continue
+		}
+		cd := ClassDoc{
+			Abstract:        c.Abstract,
+			CardinalityHint: c.CardinalityHint,
+			Fields:          fieldsToDoc(c.OwnFields),
+		}
+		if !c.Parent.IsRoot() {
+			cd.Parent = c.Parent.Name
+		}
+		if c.IsNode() {
+			doc.NodeTypes[name] = cd
+		} else {
+			doc.EdgeTypes[name] = cd
+		}
+	}
+	doc.Edges = append(doc.Edges, s.rules...)
+	sort.Slice(doc.Edges, func(i, j int) bool {
+		a, b := doc.Edges[i], doc.Edges[j]
+		if a.Edge != b.Edge {
+			return a.Edge < b.Edge
+		}
+		if a.From != b.From {
+			return a.From < b.From
+		}
+		return a.To < b.To
+	})
+	return doc
+}
+
+func fieldsToDoc(fields []Field) map[string]FieldDoc {
+	if len(fields) == 0 {
+		return nil
+	}
+	out := make(map[string]FieldDoc, len(fields))
+	for _, f := range fields {
+		out[f.Name] = FieldDoc{Type: f.Type.String(), Required: f.Required, Unique: f.Unique}
+	}
+	return out
+}
+
+// Save writes the schema's JSON document to w, indented.
+func (s *Schema) Save(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s.ToDocument())
+}

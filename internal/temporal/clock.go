@@ -1,0 +1,95 @@
+package temporal
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock issues strictly monotonically increasing transaction timestamps.
+// Stores use it to stamp sys_period bounds: two updates that arrive within
+// the same wall-clock instant must still receive distinct, ordered
+// transaction times so that history intervals never collapse to empty.
+//
+// The zero Clock is ready to use and follows the system wall clock. Tests
+// and deterministic workload replays install a fixed base time and step
+// with SetNow/Advance.
+type Clock struct {
+	mu     sync.Mutex
+	last   time.Time
+	manual bool
+	now    time.Time
+}
+
+// NewManualClock returns a Clock pinned at start that only moves when
+// Advance or SetNow is called (plus the minimal tick Next applies to stay
+// strictly monotonic).
+func NewManualClock(start time.Time) *Clock {
+	return &Clock{manual: true, now: start}
+}
+
+// Next returns the next transaction timestamp. Successive calls always
+// return strictly increasing times.
+func (c *Clock) Next() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var t time.Time
+	if c.manual {
+		t = c.now
+	} else {
+		t = time.Now().UTC()
+	}
+	if !t.After(c.last) {
+		t = c.last.Add(time.Microsecond)
+	}
+	c.last = t
+	return t
+}
+
+// Now reports the clock's current reading without consuming a timestamp.
+func (c *Clock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.manual {
+		if c.last.After(c.now) {
+			return c.last
+		}
+		return c.now
+	}
+	t := time.Now().UTC()
+	if !t.After(c.last) {
+		return c.last
+	}
+	return t
+}
+
+// EnsureAfter guarantees that subsequently issued timestamps lie strictly
+// after t — used when restoring persisted history so new writes never
+// collide with stored transaction times. Works on both wall and manual
+// clocks.
+func (c *Clock) EnsureAfter(t time.Time) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.last.After(t) {
+		c.last = t
+	}
+}
+
+// Advance moves a manual clock forward by d. It panics on a wall clock.
+func (c *Clock) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.manual {
+		panic("temporal: Advance on wall clock")
+	}
+	c.now = c.now.Add(d)
+}
+
+// SetNow pins a manual clock at t. It panics on a wall clock.
+func (c *Clock) SetNow(t time.Time) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.manual {
+		panic("temporal: SetNow on wall clock")
+	}
+	c.now = t
+}

@@ -1,0 +1,125 @@
+// Package temporal implements the transaction-time machinery that underlies
+// Nepal's time-travel queries: half-open validity intervals with an
+// open-ended "still current" upper bound, interval intersection, and
+// maximal-range coalescing of interval sets.
+//
+// Every node and edge version in a Nepal graph carries an Interval (its
+// sys_period, in the vocabulary of the temporal_tables Postgres extension
+// the paper builds on). A pathway's validity range is the intersection of
+// the ranges of its constituent node and edge versions, and a time-range
+// query reports the maximal such ranges.
+package temporal
+
+import (
+	"fmt"
+	"time"
+)
+
+// Forever is the sentinel upper bound for intervals that are still current.
+// It is far enough in the future that no transaction time reaches it.
+var Forever = time.Date(9999, 12, 31, 23, 59, 59, 0, time.UTC)
+
+// Interval is a half-open transaction-time range [Start, End). An interval
+// with End equal to Forever is current: the fact it stamps has been
+// inserted (or last updated) at Start and not yet deleted or superseded.
+type Interval struct {
+	Start time.Time
+	End   time.Time
+}
+
+// Current returns an open-ended interval starting at start.
+func Current(start time.Time) Interval {
+	return Interval{Start: start, End: Forever}
+}
+
+// Between returns the interval [start, end).
+func Between(start, end time.Time) Interval {
+	return Interval{Start: start, End: end}
+}
+
+// IsCurrent reports whether the interval is still open (End == Forever).
+func (iv Interval) IsCurrent() bool {
+	return iv.End.Equal(Forever)
+}
+
+// IsEmpty reports whether the interval contains no time points.
+func (iv Interval) IsEmpty() bool {
+	return !iv.Start.Before(iv.End)
+}
+
+// Contains reports whether t lies within [Start, End).
+func (iv Interval) Contains(t time.Time) bool {
+	return !t.Before(iv.Start) && t.Before(iv.End)
+}
+
+// Overlaps reports whether the two intervals share at least one point.
+func (iv Interval) Overlaps(other Interval) bool {
+	return iv.Start.Before(other.End) && other.Start.Before(iv.End)
+}
+
+// Meets reports whether iv ends exactly where other starts.
+func (iv Interval) Meets(other Interval) bool {
+	return iv.End.Equal(other.Start)
+}
+
+// Intersect returns the overlap of the two intervals. The second return
+// value is false when the intervals are disjoint.
+func (iv Interval) Intersect(other Interval) (Interval, bool) {
+	start := iv.Start
+	if other.Start.After(start) {
+		start = other.Start
+	}
+	end := iv.End
+	if other.End.Before(end) {
+		end = other.End
+	}
+	if !start.Before(end) {
+		return Interval{}, false
+	}
+	return Interval{Start: start, End: end}, true
+}
+
+// Union returns the smallest interval covering both intervals when they
+// overlap or meet; ok is false when they are separated by a gap.
+func (iv Interval) Union(other Interval) (Interval, bool) {
+	if !iv.Overlaps(other) && !iv.Meets(other) && !other.Meets(iv) {
+		return Interval{}, false
+	}
+	start := iv.Start
+	if other.Start.Before(start) {
+		start = other.Start
+	}
+	end := iv.End
+	if other.End.After(end) {
+		end = other.End
+	}
+	return Interval{Start: start, End: end}, true
+}
+
+// Equal reports whether the two intervals have identical bounds.
+func (iv Interval) Equal(other Interval) bool {
+	return iv.Start.Equal(other.Start) && iv.End.Equal(other.End)
+}
+
+// Duration returns the length of the interval; open intervals report the
+// duration up to the supplied now.
+func (iv Interval) Duration(now time.Time) time.Duration {
+	end := iv.End
+	if iv.IsCurrent() && now.Before(iv.End) {
+		end = now
+	}
+	if end.Before(iv.Start) {
+		return 0
+	}
+	return end.Sub(iv.Start)
+}
+
+// String renders the interval using the paper's result notation:
+// [start, end] for closed history rows and [start, ] for current rows.
+func (iv Interval) String() string {
+	const layout = "2006-01-02 15:04:05"
+	if iv.IsCurrent() {
+		return fmt.Sprintf("[%s, ]", iv.Start.UTC().Format(layout))
+	}
+	return fmt.Sprintf("[%s, %s]", iv.Start.UTC().Format(layout), iv.End.UTC().Format(layout))
+}

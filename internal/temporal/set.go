@@ -1,0 +1,133 @@
+package temporal
+
+import (
+	"sort"
+	"strings"
+	"time"
+)
+
+// Set is a collection of intervals. It is the result type of When-Exists
+// style temporal aggregates: the time periods during which some pathway
+// satisfying a query existed. A normalized Set is sorted by start time and
+// contains pairwise disjoint, non-meeting intervals — the maximal ranges
+// the paper's time-range semantics require.
+type Set []Interval
+
+// Normalize sorts the set and coalesces overlapping or meeting intervals
+// into maximal ranges, dropping empty intervals. The receiver is not
+// modified; a new set is returned.
+func (s Set) Normalize() Set {
+	work := make(Set, 0, len(s))
+	for _, iv := range s {
+		if !iv.IsEmpty() {
+			work = append(work, iv)
+		}
+	}
+	if len(work) <= 1 {
+		return work
+	}
+	sort.Slice(work, func(i, j int) bool {
+		if !work[i].Start.Equal(work[j].Start) {
+			return work[i].Start.Before(work[j].Start)
+		}
+		return work[i].End.Before(work[j].End)
+	})
+	out := Set{work[0]}
+	for _, iv := range work[1:] {
+		last := &out[len(out)-1]
+		if merged, ok := last.Union(iv); ok {
+			*last = merged
+			continue
+		}
+		out = append(out, iv)
+	}
+	return out
+}
+
+// Contains reports whether any interval in the set contains t.
+func (s Set) Contains(t time.Time) bool {
+	for _, iv := range s {
+		if iv.Contains(t) {
+			return true
+		}
+	}
+	return false
+}
+
+// IsEmpty reports whether the set covers no time points.
+func (s Set) IsEmpty() bool {
+	for _, iv := range s {
+		if !iv.IsEmpty() {
+			return false
+		}
+	}
+	return true
+}
+
+// Intersect returns the normalized intersection of two interval sets.
+func (s Set) Intersect(other Set) Set {
+	a, b := s.Normalize(), other.Normalize()
+	var out Set
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if iv, ok := a[i].Intersect(b[j]); ok {
+			out = append(out, iv)
+		}
+		if a[i].End.Before(b[j].End) {
+			i++
+		} else {
+			j++
+		}
+	}
+	return out
+}
+
+// Union returns the normalized union of two interval sets.
+func (s Set) Union(other Set) Set {
+	return append(append(Set{}, s...), other...).Normalize()
+}
+
+// ClipTo restricts the set to the window w, returning maximal subranges.
+func (s Set) ClipTo(w Interval) Set {
+	return s.Intersect(Set{w})
+}
+
+// First returns the earliest time point covered by the set; ok is false
+// when the set is empty. It answers First-Time-When-Exists aggregates.
+func (s Set) First() (time.Time, bool) {
+	n := s.Normalize()
+	if len(n) == 0 {
+		return time.Time{}, false
+	}
+	return n[0].Start, true
+}
+
+// Last returns the supremum of the set: the end of its latest interval
+// (Forever when the set is still current). ok is false when the set is
+// empty. It answers Last-Time-When-Exists aggregates.
+func (s Set) Last() (time.Time, bool) {
+	n := s.Normalize()
+	if len(n) == 0 {
+		return time.Time{}, false
+	}
+	return n[len(n)-1].End, true
+}
+
+// TotalDuration sums the durations of the normalized set.
+func (s Set) TotalDuration(now time.Time) time.Duration {
+	var d time.Duration
+	for _, iv := range s.Normalize() {
+		d += iv.Duration(now)
+	}
+	return d
+}
+
+// String renders the normalized set as a comma-separated interval list.
+func (s Set) String() string {
+	n := s.Normalize()
+	parts := make([]string, len(n))
+	for i, iv := range n {
+		parts[i] = iv.String()
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}

@@ -1,0 +1,252 @@
+// Package workload generates the synthetic evaluation datasets standing
+// in for the paper's production inventories (§6): the virtualized network
+// service graph (~2,000 nodes / ~11,000 edges over the netmodel schema),
+// the legacy flat topology (parameterized size, loadable with a single
+// edge class or with 66 type-indicator subclasses for the ablation), a
+// churn engine that replays days of inventory updates to build history,
+// and the query-instance samplers the benchmark harness draws from.
+//
+// All generators are deterministic given their seed.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/graph"
+	"repro/internal/netmodel"
+)
+
+// ServiceConfig sizes the virtualized service graph. Defaults reproduce
+// the paper's dataset scale: ~2k nodes, ~11k edges, 33 distinct VNFs.
+type ServiceConfig struct {
+	Seed       int64
+	VNFs       int // distinct VNF instances (paper: 33)
+	VFCsPerVNF int // mean virtual function components per VNF
+	IdleVMs    int // VMs hosting no VFC (targets of the NOT EXISTS example)
+	Hosts      int
+	TORs       int
+	Spines     int
+	VNets      int
+	VRouters   int
+	VMsPerNet  int // mean VMs attached per virtual network
+}
+
+// DefaultServiceConfig returns the paper-scale configuration.
+func DefaultServiceConfig() ServiceConfig {
+	return ServiceConfig{
+		Seed:       1,
+		VNFs:       33,
+		VFCsPerVNF: 20,
+		IdleVMs:    60,
+		Hosts:      320,
+		TORs:       32,
+		Spines:     6,
+		VNets:      40,
+		VRouters:   12,
+		VMsPerNet:  24,
+	}
+}
+
+// Service holds the generated graph's handles for query sampling.
+type Service struct {
+	Config   ServiceConfig
+	VNFs     []graph.UID
+	VFCs     []graph.UID
+	VMs      []graph.UID
+	Hosts    []graph.UID
+	Switches []graph.UID
+	VNets    []graph.UID
+	VRouters []graph.UID
+	// HostOf maps VM -> host; NetsOf maps VM -> attached virtual networks.
+	HostOf map[graph.UID]graph.UID
+	VNFOf  map[graph.UID]graph.UID // VFC -> VNF
+}
+
+// BuildService populates st with the virtualized service topology.
+func BuildService(st *graph.Store, cfg ServiceConfig) (*Service, error) {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	s := &Service{Config: cfg, HostOf: map[graph.UID]graph.UID{}, VNFOf: map[graph.UID]graph.UID{}}
+	nextID := int64(0)
+	id := func() int64 { nextID++; return nextID }
+
+	node := func(class, name string, extra graph.Fields) (graph.UID, error) {
+		f := graph.Fields{"id": id(), "name": name}
+		for k, v := range extra {
+			f[k] = v
+		}
+		return st.InsertNode(class, f)
+	}
+	edge := func(class string, src, dst graph.UID, extra graph.Fields) error {
+		f := graph.Fields{"id": id()}
+		for k, v := range extra {
+			f[k] = v
+		}
+		_, err := st.InsertEdge(class, src, dst, f)
+		return err
+	}
+	biLink := func(a, b graph.UID) error {
+		if err := edge(netmodel.PhysicalLink, a, b, nil); err != nil {
+			return err
+		}
+		return edge(netmodel.PhysicalLink, b, a, nil)
+	}
+
+	// ---- Physical fabric: hosts, leaf/spine switches. ----
+	for i := 0; i < cfg.Hosts; i++ {
+		uid, err := node(netmodel.NodeClassOfHostKind(i), fmt.Sprintf("host-%d", i),
+			graph.Fields{"rack": fmt.Sprintf("r%d", i/16), "status": "Active"})
+		if err != nil {
+			return nil, err
+		}
+		s.Hosts = append(s.Hosts, uid)
+	}
+	var tors, spines []graph.UID
+	for i := 0; i < cfg.TORs; i++ {
+		uid, err := node("TORSwitch", fmt.Sprintf("tor-%d", i), graph.Fields{"status": "Active", "portCount": 48})
+		if err != nil {
+			return nil, err
+		}
+		tors = append(tors, uid)
+		s.Switches = append(s.Switches, uid)
+	}
+	for i := 0; i < cfg.Spines; i++ {
+		uid, err := node("SpineSwitch", fmt.Sprintf("spine-%d", i), graph.Fields{"status": "Active", "portCount": 128})
+		if err != nil {
+			return nil, err
+		}
+		spines = append(spines, uid)
+		s.Switches = append(s.Switches, uid)
+	}
+	// Each host dual-homes on two TORs; each TOR uplinks to two spines.
+	for i, host := range s.Hosts {
+		if err := biLink(host, tors[i%len(tors)]); err != nil {
+			return nil, err
+		}
+		if err := biLink(host, tors[(i+1)%len(tors)]); err != nil {
+			return nil, err
+		}
+	}
+	for i, tor := range tors {
+		if err := biLink(tor, spines[i%len(spines)]); err != nil {
+			return nil, err
+		}
+		if err := biLink(tor, spines[(i+1)%len(spines)]); err != nil {
+			return nil, err
+		}
+	}
+
+	// ---- Overlay: virtual networks and routers. ----
+	for i := 0; i < cfg.VNets; i++ {
+		uid, err := node(netmodel.NodeClassOfVNetKind(i), fmt.Sprintf("vnet-%d", i),
+			graph.Fields{"cidr": fmt.Sprintf("10.%d.0.0/24", i), "status": "Active"})
+		if err != nil {
+			return nil, err
+		}
+		s.VNets = append(s.VNets, uid)
+	}
+	for i := 0; i < cfg.VRouters; i++ {
+		uid, err := node(netmodel.VirtualRouter, fmt.Sprintf("vrouter-%d", i), graph.Fields{"status": "Active"})
+		if err != nil {
+			return nil, err
+		}
+		s.VRouters = append(s.VRouters, uid)
+	}
+	// Each virtual network attaches to its router both ways (routers join
+	// several networks, giving VM-VM paths of length 4 via net-router-net).
+	for i, net := range s.VNets {
+		vr := s.VRouters[i%len(s.VRouters)]
+		if err := edge(netmodel.VirtualLink, net, vr, nil); err != nil {
+			return nil, err
+		}
+		if err := edge(netmodel.VirtualLink, vr, net, nil); err != nil {
+			return nil, err
+		}
+	}
+
+	// ---- Service and logical layers. ----
+	newVM := func(name string) (graph.UID, error) {
+		i := len(s.VMs)
+		uid, err := node(netmodel.NodeClassOfVMKind(i), name, graph.Fields{
+			"status":    "Green",
+			"flavor":    []string{"m1.small", "m1.large", "m2.xlarge"}[i%3],
+			"ipAddress": fmt.Sprintf("10.%d.%d.%d", i%200, (i/200)%250, i%250+1),
+		})
+		if err != nil {
+			return 0, err
+		}
+		host := s.Hosts[rng.Intn(len(s.Hosts))]
+		if err := edge(netmodel.OnServer, uid, host, nil); err != nil {
+			return 0, err
+		}
+		s.HostOf[uid] = host
+		// Attach to two or three virtual networks (tenant + management).
+		nets := 2 + rng.Intn(2)
+		first := rng.Intn(len(s.VNets))
+		for n := 0; n < nets; n++ {
+			net := s.VNets[(first+n)%len(s.VNets)]
+			if err := edge(netmodel.VirtualLink, uid, net, nil); err != nil {
+				return 0, err
+			}
+			if err := edge(netmodel.VirtualLink, net, uid, nil); err != nil {
+				return 0, err
+			}
+		}
+		s.VMs = append(s.VMs, uid)
+		return uid, nil
+	}
+
+	for v := 0; v < cfg.VNFs; v++ {
+		vnf, err := node(netmodel.NodeClassOfVNFKind(v), fmt.Sprintf("vnf-%d", v), graph.Fields{
+			"vnfType":   netmodel.NodeClassOfVNFKind(v),
+			"serviceId": int64(v/4 + 1),
+			"status":    "Active",
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.VNFs = append(s.VNFs, vnf)
+		// VFC count varies around the mean so top-down path counts spread.
+		nVFC := cfg.VFCsPerVNF/2 + rng.Intn(cfg.VFCsPerVNF+1)
+		if nVFC < 1 {
+			nVFC = 1
+		}
+		var chain []graph.UID
+		for c := 0; c < nVFC; c++ {
+			vfc, err := node(netmodel.NodeClassOfVFCKind(c), fmt.Sprintf("vfc-%d-%d", v, c),
+				graph.Fields{"role": netmodel.NodeClassOfVFCKind(c), "status": "Active"})
+			if err != nil {
+				return nil, err
+			}
+			s.VFCs = append(s.VFCs, vfc)
+			s.VNFOf[vfc] = vnf
+			chain = append(chain, vfc)
+			if err := edge(netmodel.ComposedOf, vnf, vfc, nil); err != nil {
+				return nil, err
+			}
+			vm, err := newVM(fmt.Sprintf("vm-%d-%d", v, c))
+			if err != nil {
+				return nil, err
+			}
+			if err := edge(netmodel.OnVM, vfc, vm, nil); err != nil {
+				return nil, err
+			}
+		}
+		// Intra-VNF data flow chain between consecutive VFCs (both
+		// directions): the service-layer flows of §2.3.
+		for c := 1; c < len(chain); c++ {
+			if err := edge(netmodel.LogicalFlow, chain[c-1], chain[c], graph.Fields{"flowType": "data"}); err != nil {
+				return nil, err
+			}
+			if err := edge(netmodel.LogicalFlow, chain[c], chain[c-1], graph.Fields{"flowType": "control"}); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for i := 0; i < cfg.IdleVMs; i++ {
+		if _, err := newVM(fmt.Sprintf("vm-idle-%d", i)); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
