@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: all build vet test test-race bench
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The obs registry, trace spans, and instrumented engine paths are
+# exercised under the race detector; the bench fixtures are too slow for
+# -race, so the harness packages run in -short mode.
+test-race:
+	$(GO) test -race ./internal/obs/ ./internal/plan/ ./internal/graph/ ./internal/core/ ./internal/exec/
+	$(GO) test -race -short ./internal/bench/ ./cmd/...
+
+bench:
+	$(GO) test -bench=. -benchmem .

@@ -18,7 +18,9 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/plan"
+	"repro/internal/rpe"
 	"repro/internal/workload"
 )
 
@@ -217,6 +219,70 @@ func BenchmarkAblationEdgeSubclassing_ReversePath_SingleClass(b *testing.B) {
 }
 func BenchmarkAblationEdgeSubclassing_ReversePath_Subclassed(b *testing.B) {
 	benchAblation(b, true, "reverse")
+}
+
+// ---- Observability overhead: uninstrumented vs metered vs traced ----
+
+// BenchmarkObsOverhead compares the evaluation cost of the three
+// instrumentation levels on the Table 1 top-down mix, with parsing and
+// planning hoisted out of the loop so only the search pipeline is timed:
+//
+//	Baseline — plain Eval, no registry attached (the default DB.Query path
+//	           when Instrument was never called)
+//	Metered  — a registry attached, so Eval routes through EvalMetered and
+//	           every evaluation updates the engine counters/histogram
+//	Traced   — EvalTraced, building the full operator-DAG span tree
+//
+// The acceptance bar is Metered ≤ 1.05× Baseline (instrumentation off the
+// per-edge hot path: one branch per probe plus per-eval counter updates);
+// Traced is expected to cost more and is reported for scale.
+func BenchmarkObsOverhead(b *testing.B) {
+	f := serviceFx(b)
+	s := workload.NewServiceSampler(f.Store, f.Service, 4004)
+	view := graph.CurrentView(f.Store)
+	plans := make([]*plan.Plan, 16)
+	for i := range plans {
+		c, err := rpe.CheckString(s.TopDown(i), f.Store.Schema())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if plans[i], err = plan.Build(c, f.Store.Stats()); err != nil {
+			b.Fatal(err)
+		}
+	}
+	run := func(b *testing.B, eng *plan.Engine, eval func(*plan.Plan) error) {
+		if err := eval(plans[0]); err != nil { // warm backend indexes
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := eval(plans[i%len(plans)]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("Baseline", func(b *testing.B) {
+		eng := f.Engine("relational")
+		run(b, eng, func(p *plan.Plan) error {
+			_, err := eng.Eval(view, p)
+			return err
+		})
+	})
+	b.Run("Metered", func(b *testing.B) {
+		eng := f.Engine("relational")
+		eng.SetRegistry(obs.NewRegistry())
+		run(b, eng, func(p *plan.Plan) error {
+			_, err := eng.Eval(view, p)
+			return err
+		})
+	})
+	b.Run("Traced", func(b *testing.B) {
+		eng := f.Engine("relational")
+		run(b, eng, func(p *plan.Plan) error {
+			_, _, _, err := eng.EvalTraced(view, p, nil)
+			return err
+		})
+	})
 }
 
 // ---- §6 storage: history overhead vs naive snapshot copies ----

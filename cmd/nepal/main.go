@@ -1,7 +1,8 @@
 // Command nepal is the interactive face of the Nepal graph database: it
 // loads a schema and inventory data, executes Nepal queries (including
-// time-travel forms), and can print query plans and the generated
-// Gremlin/SQL for the retargetable backends.
+// time-travel forms), and can print query plans, EXPLAIN ANALYZE traces,
+// engine metrics, and the generated Gremlin/SQL for the retargetable
+// backends.
 //
 // Usage examples:
 //
@@ -14,61 +15,129 @@
 //
 //	# show the operator plan and the generated SQL for a query
 //	nepal -demo -explain -codegen sql -q "..."
+//
+//	# execute with operator-DAG tracing and print the annotated plan
+//	nepal -demo -explain-analyze -q "..."
+//
+//	# dump engine metrics after the queries, log queries slower than 50ms
+//	nepal -demo -metrics -slow-query 50ms -q "..."
+//
+//	# expose net/http/pprof and /debug/vars while serving stdin queries
+//	nepal -demo -pprof localhost:6060
 package main
 
 import (
 	"bufio"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"strings"
+	"sync"
+	"time"
 
 	"repro/internal/codegen"
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/netmodel"
+	"repro/internal/obs"
 	"repro/internal/plan"
 	"repro/internal/query"
 	"repro/internal/schema"
 	"repro/internal/workload"
 )
 
+// options collects one invocation's configuration; tests construct it
+// directly with a capture writer.
+type options struct {
+	model      string
+	schemaPath string
+	dataPath   string
+	demo       bool
+	backend    string
+	q          string
+	explain    bool
+	// explainAnalyze executes the query with operator-DAG tracing and
+	// prints the plan annotated with measured per-operator statistics.
+	explainAnalyze bool
+	gen            string
+	// metrics dumps the engine metrics registry after the queries run.
+	metrics bool
+	// slowQuery, when positive, logs queries at least this slow with
+	// their plan and metrics.
+	slowQuery time.Duration
+	// pprofAddr, when set, serves net/http/pprof (and expvar under
+	// /debug/vars) on the address for the life of the process.
+	pprofAddr string
+	// out receives all query output; nil means os.Stdout.
+	out io.Writer
+	// in supplies queries when q is empty; nil means os.Stdin.
+	in io.Reader
+}
+
 func main() {
-	var (
-		model      = flag.String("model", "netmodel", "built-in schema: netmodel, legacy, or legacy66")
-		schemaPath = flag.String("schema", "", "load schema from a JSON document instead of a built-in model")
-		dataPath   = flag.String("data", "", "load a snapshot JSON file (see nepalgen)")
-		demo       = flag.Bool("demo", false, "load the built-in Figure-1 demo topology")
-		backend    = flag.String("backend", "gremlin", "query backend: gremlin or relational")
-		q          = flag.String("q", "", "query to execute (default: read queries from stdin, one per line)")
-		explain    = flag.Bool("explain", false, "print the operator plan instead of executing")
-		gen        = flag.String("codegen", "", "also print generated target code: sql, gremlin, script, or ddl")
-	)
+	var opt options
+	flag.StringVar(&opt.model, "model", "netmodel", "built-in schema: netmodel, legacy, or legacy66")
+	flag.StringVar(&opt.schemaPath, "schema", "", "load schema from a JSON document instead of a built-in model")
+	flag.StringVar(&opt.dataPath, "data", "", "load a snapshot JSON file (see nepalgen)")
+	flag.BoolVar(&opt.demo, "demo", false, "load the built-in Figure-1 demo topology")
+	flag.StringVar(&opt.backend, "backend", "gremlin", "query backend: gremlin or relational")
+	flag.StringVar(&opt.q, "q", "", "query to execute (default: read queries from stdin, one per line)")
+	flag.BoolVar(&opt.explain, "explain", false, "print the operator plan instead of executing")
+	flag.BoolVar(&opt.explainAnalyze, "explain-analyze", false, "execute with tracing and print the measured operator plan")
+	flag.StringVar(&opt.gen, "codegen", "", "also print generated target code: sql, gremlin, script, or ddl")
+	flag.BoolVar(&opt.metrics, "metrics", false, "dump the engine metrics registry after the queries")
+	flag.DurationVar(&opt.slowQuery, "slow-query", 0, "log queries at least this slow with plan and metrics (0 disables)")
+	flag.StringVar(&opt.pprofAddr, "pprof", "", "serve net/http/pprof and /debug/vars on this address (e.g. localhost:6060)")
 	flag.Parse()
 
-	if err := run(*model, *schemaPath, *dataPath, *demo, *backend, *q, *explain, *gen); err != nil {
+	if err := run(opt); err != nil {
 		fmt.Fprintln(os.Stderr, "nepal:", err)
 		os.Exit(1)
 	}
 }
 
-func run(model, schemaPath, dataPath string, demo bool, backend, q string, explain bool, gen string) error {
-	sch, err := loadSchema(model, schemaPath)
+// publishOnce guards the process-wide expvar registration (expvar panics
+// on duplicate names, and tests call run repeatedly).
+var publishOnce sync.Once
+
+func run(opt options) error {
+	out := opt.out
+	if out == nil {
+		out = os.Stdout
+	}
+	sch, err := loadSchema(opt.model, opt.schemaPath)
 	if err != nil {
 		return err
 	}
-	db, err := core.Open(sch, core.WithBackend(backend))
+	db, err := core.Open(sch, core.WithBackend(opt.backend))
 	if err != nil {
 		return err
+	}
+	reg := obs.NewRegistry()
+	db.Instrument(reg)
+	if opt.slowQuery > 0 {
+		db.SetSlowLog(obs.NewSlowLog(opt.slowQuery, out))
+	}
+	if opt.pprofAddr != "" {
+		publishOnce.Do(func() { reg.Publish("nepal") })
+		go func() {
+			if err := http.ListenAndServe(opt.pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "nepal: pprof:", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "pprof listening on http://%s/debug/pprof/ (metrics at /debug/vars)\n", opt.pprofAddr)
 	}
 
-	if demo {
+	if opt.demo {
 		if _, err := netmodel.BuildDemo(db.Store(), 1000); err != nil {
 			return err
 		}
 	}
-	if dataPath != "" {
-		f, err := os.Open(dataPath)
+	if opt.dataPath != "" {
+		f, err := os.Open(opt.dataPath)
 		if err != nil {
 			return err
 		}
@@ -82,29 +151,48 @@ func run(model, schemaPath, dataPath string, demo bool, backend, q string, expla
 			return err
 		}
 		fmt.Fprintf(os.Stderr, "loaded %s: +%d nodes, +%d edges\n",
-			dataPath, stats.NodesInserted, stats.EdgesInserted)
+			opt.dataPath, stats.NodesInserted, stats.EdgesInserted)
 	}
 
-	if gen == "ddl" {
-		fmt.Println(codegen.DDL(sch))
+	if opt.gen == "ddl" {
+		fmt.Fprintln(out, codegen.DDL(sch))
 		return nil
 	}
 
-	if q != "" {
-		return execute(db, q, explain, gen)
+	if opt.q != "" {
+		if err := execute(db, out, opt.q, opt); err != nil {
+			return err
+		}
+		return dumpMetrics(reg, out, opt)
 	}
-	scanner := bufio.NewScanner(os.Stdin)
+	in := opt.in
+	if in == nil {
+		in = os.Stdin
+	}
+	scanner := bufio.NewScanner(in)
 	scanner.Buffer(make([]byte, 1<<20), 1<<20)
 	for scanner.Scan() {
 		line := strings.TrimSpace(scanner.Text())
 		if line == "" || strings.HasPrefix(line, "--") {
 			continue
 		}
-		if err := execute(db, line, explain, gen); err != nil {
+		if err := execute(db, out, line, opt); err != nil {
 			fmt.Fprintln(os.Stderr, "nepal:", err)
 		}
 	}
-	return scanner.Err()
+	if err := scanner.Err(); err != nil {
+		return err
+	}
+	return dumpMetrics(reg, out, opt)
+}
+
+func dumpMetrics(reg *obs.Registry, out io.Writer, opt options) error {
+	if !opt.metrics {
+		return nil
+	}
+	fmt.Fprintln(out, "-- metrics --")
+	reg.Dump(out)
+	return nil
 }
 
 func loadSchema(model, schemaPath string) (*schema.Schema, error) {
@@ -127,34 +215,43 @@ func loadSchema(model, schemaPath string) (*schema.Schema, error) {
 	return nil, fmt.Errorf("unknown model %q (use netmodel, legacy, or legacy66)", model)
 }
 
-func execute(db *core.DB, src string, explain bool, gen string) error {
-	if explain {
-		out, err := db.Explain(src)
+func execute(db *core.DB, out io.Writer, src string, opt options) error {
+	if opt.explain {
+		text, err := db.Explain(src)
 		if err != nil {
 			return err
 		}
-		fmt.Print(out)
+		fmt.Fprint(out, text)
 	}
-	if gen != "" {
-		if err := printGenerated(db, src, gen); err != nil {
+	if opt.gen != "" {
+		if err := printGenerated(db, out, src, opt.gen); err != nil {
 			return err
 		}
 	}
-	if explain || gen != "" {
+	if opt.explain || opt.gen != "" {
+		return nil
+	}
+	if opt.explainAnalyze {
+		text, res, err := db.ExplainAnalyze(src)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(out, text)
+		fmt.Fprintf(out, "(%d rows)\n", len(res.Rows))
 		return nil
 	}
 	res, err := db.Query(src)
 	if err != nil {
 		return err
 	}
-	fmt.Print(res.Format(db.RenderPath))
-	fmt.Printf("(%d rows)\n", len(res.Rows))
+	fmt.Fprint(out, res.Format(db.RenderPath))
+	fmt.Fprintf(out, "(%d rows)\n", len(res.Rows))
 	return nil
 }
 
 // printGenerated emits the retargetable translation of each range
 // variable's MATCHES expression.
-func printGenerated(db *core.DB, src, gen string) error {
+func printGenerated(db *core.DB, out io.Writer, src, gen string) error {
 	parsed, err := query.Parse(src)
 	if err != nil {
 		return err
@@ -169,18 +266,18 @@ func printGenerated(db *core.DB, src, gen string) error {
 		if err != nil {
 			p = plan.BuildSeeded(checked, plan.Forward)
 		}
-		fmt.Printf("-- generated code for variable %s --\n", rv.Name)
+		fmt.Fprintf(out, "-- generated code for variable %s --\n", rv.Name)
 		switch gen {
 		case "sql":
 			at := ""
 			if parsed.At != nil && !parsed.At.IsRange {
 				at = parsed.At.Start.Format("2006-01-02 15:04:05")
 			}
-			fmt.Println(codegen.SQL(p, at))
+			fmt.Fprintln(out, codegen.SQL(p, at))
 		case "gremlin":
-			fmt.Println(codegen.Gremlin(p))
+			fmt.Fprintln(out, codegen.Gremlin(p))
 		case "script":
-			fmt.Println(codegen.Script(p, db.Backend()))
+			fmt.Fprintln(out, codegen.Script(p, db.Backend()))
 		default:
 			return fmt.Errorf("unknown codegen target %q (use sql, gremlin, script, or ddl)", gen)
 		}

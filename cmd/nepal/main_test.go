@@ -1,50 +1,128 @@
 package main
 
 import (
+	"bytes"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
+	"time"
 )
 
 func TestRunDemoQuery(t *testing.T) {
 	q := "Retrieve P From PATHS P Where P MATCHES VNF()->[Vertical()]{1,6}->Host()"
-	if err := run("netmodel", "", "", true, "gremlin", q, false, ""); err != nil {
+	var out bytes.Buffer
+	if err := run(options{model: "netmodel", demo: true, backend: "gremlin", q: q, out: &out}); err != nil {
 		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "rows)") {
+		t.Errorf("query output missing row count: %q", out.String())
 	}
 }
 
 func TestRunExplainAndCodegen(t *testing.T) {
 	q := "Retrieve P From PATHS P Where P MATCHES VNF()->[Vertical()]{1,6}->Host(id=1001)"
-	if err := run("netmodel", "", "", true, "relational", q, true, ""); err != nil {
+	var out bytes.Buffer
+	if err := run(options{model: "netmodel", demo: true, backend: "relational", q: q, explain: true, out: &out}); err != nil {
 		t.Fatal(err)
 	}
 	for _, gen := range []string{"sql", "gremlin", "script"} {
-		if err := run("netmodel", "", "", true, "gremlin", q, false, gen); err != nil {
+		if err := run(options{model: "netmodel", demo: true, backend: "gremlin", q: q, gen: gen, out: &out}); err != nil {
 			t.Fatalf("codegen %s: %v", gen, err)
 		}
 	}
-	if err := run("netmodel", "", "", false, "gremlin", "", false, "ddl"); err != nil {
+	if err := run(options{model: "netmodel", backend: "gremlin", gen: "ddl", out: &out}); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("netmodel", "", "", true, "gremlin", q, false, "cobol"); err == nil {
+	if err := run(options{model: "netmodel", demo: true, backend: "gremlin", q: q, gen: "cobol", out: &out}); err == nil {
 		t.Fatal("unknown codegen target accepted")
+	}
+}
+
+// TestRunExplainAnalyzeShape asserts the -explain-analyze output shape on
+// both backends: an annotated plan tree whose operator lines carry wall
+// time, row counts, and EdgesScanned.
+func TestRunExplainAnalyzeShape(t *testing.T) {
+	q := "Retrieve P From PATHS P Where P MATCHES VNF()->[Vertical()]{1,6}->Host(id=1001)"
+	for _, backend := range []string{"gremlin", "relational"} {
+		var out bytes.Buffer
+		err := run(options{model: "netmodel", demo: true, backend: backend, q: q,
+			explainAnalyze: true, out: &out})
+		if err != nil {
+			t.Fatalf("%s: %v", backend, err)
+		}
+		text := out.String()
+		for _, want := range []string{
+			"-- variable P [" + backend + "] --",
+			"RPE: ",
+			"Anchor Host(id=1001)",
+			"ExtendBlock {1,6}",
+			"time=",
+			"rows_out=",
+			"edges_scanned=",
+			"Eval: time=",
+			"Query: time=",
+		} {
+			if !strings.Contains(text, want) {
+				t.Errorf("%s: explain-analyze output missing %q:\n%s", backend, want, text)
+			}
+		}
+	}
+}
+
+func TestRunMetricsAndSlowLog(t *testing.T) {
+	q := "Retrieve P From PATHS P Where P MATCHES VNF()->[Vertical()]{1,6}->Host()"
+	var out bytes.Buffer
+	err := run(options{model: "netmodel", demo: true, backend: "relational", q: q,
+		metrics: true, slowQuery: time.Nanosecond, out: &out})
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{
+		"SLOW QUERY",    // every query is slower than 1ns
+		"-- metrics --", // registry dump section
+		"engine.relational.evals 1",
+		"engine.relational.eval_latency_ms_count 1",
+		"db.queries 1",
+		"store.adjacency_probes",
+		"backend.relational.anchor_probes",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestRunStdinQueries(t *testing.T) {
+	in := strings.NewReader(`
+-- a comment line
+Retrieve P From PATHS P Where P MATCHES VNF()->[Vertical()]{1,6}->Host()
+`)
+	var out bytes.Buffer
+	if err := run(options{model: "netmodel", demo: true, backend: "gremlin", in: in, out: &out}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "rows)") {
+		t.Errorf("stdin query output missing row count: %q", out.String())
 	}
 }
 
 func TestRunModelsAndErrors(t *testing.T) {
 	q := "Retrieve P From PATHS P Where P MATCHES LegacyNode(id=1)"
+	var out bytes.Buffer
 	for _, model := range []string{"legacy", "legacy66"} {
-		if err := run(model, "", "", false, "relational", q, false, ""); err != nil {
+		if err := run(options{model: model, backend: "relational", q: q, out: &out}); err != nil {
 			t.Fatalf("model %s: %v", model, err)
 		}
 	}
-	if err := run("bogus", "", "", false, "gremlin", q, false, ""); err == nil {
+	if err := run(options{model: "bogus", backend: "gremlin", q: q, out: &out}); err == nil {
 		t.Fatal("unknown model accepted")
 	}
-	if err := run("netmodel", "", "", false, "oracle", q, false, ""); err == nil {
+	if err := run(options{model: "netmodel", backend: "oracle", q: q, out: &out}); err == nil {
 		t.Fatal("unknown backend accepted")
 	}
-	if err := run("netmodel", "", "/does/not/exist.json", false, "gremlin", q, false, ""); err == nil {
+	if err := run(options{model: "netmodel", dataPath: "/does/not/exist.json", backend: "gremlin", q: q, out: &out}); err == nil {
 		t.Fatal("missing data file accepted")
 	}
 }
@@ -57,7 +135,8 @@ func TestRunWithSchemaFile(t *testing.T) {
 		t.Fatal(err)
 	}
 	q := "Retrieve P From PATHS P Where P MATCHES Thing(color='red')"
-	if err := run("", path, "", false, "gremlin", q, false, ""); err != nil {
+	var out bytes.Buffer
+	if err := run(options{schemaPath: path, backend: "gremlin", q: q, out: &out}); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -8,107 +8,191 @@
 // which queries are interactive, which are mining queries, where the
 // slow tail sits, and what subclassing buys — is the reproduction target.
 //
+// Every run also accumulates the engine metrics registry and writes a
+// machine-readable report (tables + registry snapshot) to
+// BENCH_results.json, for regression tracking across commits.
+//
 // Usage:
 //
-//	nepalbench [-backend relational|gremlin] [-instances 50] [-services 8000] [-quick]
+//	nepalbench [-backend relational|gremlin] [-instances 50] [-services 8000] \
+//	           [-quick] [-json BENCH_results.json] [-pprof localhost:6060]
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
+	"sync"
 	"text/tabwriter"
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/obs"
 )
 
+// options collects one invocation's configuration; tests construct it
+// directly with a capture writer and a temp-dir JSON path.
+type options struct {
+	backend   string
+	instances int
+	services  int
+	// jsonPath, when non-empty, is where the machine-readable report is
+	// written at the end of the run.
+	jsonPath string
+	// pprofAddr, when set, serves net/http/pprof (and the registry under
+	// /debug/vars) on the address for the life of the process.
+	pprofAddr string
+	// out receives all table output; nil means os.Stdout.
+	out io.Writer
+}
+
 func main() {
-	backend := flag.String("backend", "relational", "query backend: relational or gremlin")
-	instances := flag.Int("instances", 50, "query instances per mix (paper: 50)")
-	services := flag.Int("services", 8000, "legacy topology scale (paper's feed ~ 1,200,000)")
+	var opt options
+	flag.StringVar(&opt.backend, "backend", "relational", "query backend: relational or gremlin")
+	flag.IntVar(&opt.instances, "instances", 50, "query instances per mix (paper: 50)")
+	flag.IntVar(&opt.services, "services", 8000, "legacy topology scale (paper's feed ~ 1,200,000)")
 	quick := flag.Bool("quick", false, "small quick run (8 instances, 2500 services)")
+	flag.StringVar(&opt.jsonPath, "json", "BENCH_results.json", "write the machine-readable report here (empty disables)")
+	flag.StringVar(&opt.pprofAddr, "pprof", "", "serve net/http/pprof and /debug/vars on this address")
 	flag.Parse()
 	if *quick {
-		*instances = 8
-		*services = 2500
+		opt.instances = 8
+		opt.services = 2500
 	}
 
-	if err := run(*backend, *instances, *services); err != nil {
+	if err := run(opt); err != nil {
 		fmt.Fprintln(os.Stderr, "nepalbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(backend string, instances, services int) error {
-	fmt.Printf("nepalbench: backend=%s instances=%d legacy-services=%d\n", backend, instances, services)
+// publishOnce guards the process-wide expvar registration (expvar panics
+// on duplicate names, and tests call run repeatedly).
+var publishOnce sync.Once
 
-	fmt.Println("\nbuilding virtualized service fixture (Table 1: ~2k nodes, 60-day history)...")
+func run(opt options) error {
+	out := opt.out
+	if out == nil {
+		out = os.Stdout
+	}
+	reg := obs.NewRegistry()
+	if opt.pprofAddr != "" {
+		publishOnce.Do(func() { reg.Publish("nepalbench") })
+		go func() {
+			if err := http.ListenAndServe(opt.pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "nepalbench: pprof:", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "pprof listening on http://%s/debug/pprof/ (metrics at /debug/vars)\n", opt.pprofAddr)
+	}
+	report := &bench.Report{
+		Backend:   opt.backend,
+		Instances: opt.instances,
+		Services:  opt.services,
+		StartedAt: time.Now(),
+	}
+	runStart := time.Now()
+	fmt.Fprintf(out, "nepalbench: backend=%s instances=%d legacy-services=%d\n",
+		opt.backend, opt.instances, opt.services)
+
+	fmt.Fprintln(out, "\nbuilding virtualized service fixture (Table 1: ~2k nodes, 60-day history)...")
 	start := time.Now()
 	svc, err := bench.BuildServiceFixture()
 	if err != nil {
 		return err
 	}
+	svc.Registry = reg
+	svc.Store.SetRegistry(reg)
 	live, versions := svc.Store.Counts()
-	fmt.Printf("  %d live objects, %d stored versions (%.1fs)\n", live, versions, time.Since(start).Seconds())
+	fmt.Fprintf(out, "  %d live objects, %d stored versions (%.1fs)\n", live, versions, time.Since(start).Seconds())
 
-	rows, err := bench.Table1(svc, backend, instances)
+	report.Table1, err = bench.Table1(svc, opt.backend, opt.instances)
 	if err != nil {
 		return err
 	}
-	printTable("Table 1. Query response times, virtualized service graph", rows)
+	printTable(out, "Table 1. Query response times, virtualized service graph", report.Table1)
 
-	fmt.Printf("\nbuilding legacy topology fixtures (Table 2 / ablation: %d services, both load modes)...\n", services)
+	fmt.Fprintf(out, "\nbuilding legacy topology fixtures (Table 2 / ablation: %d services, both load modes)...\n", opt.services)
 	start = time.Now()
-	single, err := bench.BuildLegacyFixture(services, false)
+	single, err := bench.BuildLegacyFixture(opt.services, false)
 	if err != nil {
 		return err
 	}
-	sub, err := bench.BuildLegacyFixture(services, true)
+	sub, err := bench.BuildLegacyFixture(opt.services, true)
 	if err != nil {
 		return err
 	}
+	single.Registry, sub.Registry = reg, reg
+	single.Store.SetRegistry(reg)
+	sub.Store.SetRegistry(reg)
 	live, versions = single.Store.Counts()
-	fmt.Printf("  %d live objects, %d stored versions per mode (%.1fs)\n", live, versions, time.Since(start).Seconds())
+	fmt.Fprintf(out, "  %d live objects, %d stored versions per mode (%.1fs)\n", live, versions, time.Since(start).Seconds())
 
-	rows, err = bench.Table2(single, backend, instances)
+	report.Table2, err = bench.Table2(single, opt.backend, opt.instances)
 	if err != nil {
 		return err
 	}
-	printTable("Table 2. Query response times, legacy topology (single-class load)", rows)
+	printTable(out, "Table 2. Query response times, legacy topology (single-class load)", report.Table2)
 
-	ablation, err := bench.Ablation(single, sub, backend, instances)
+	report.Ablation, err = bench.Ablation(single, sub, opt.backend, opt.instances)
 	if err != nil {
 		return err
 	}
-	fmt.Println("\n§6 ablation. Legacy graph reloaded with 66 edge subclasses")
-	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(w, "Type\tsingle-class\tsubclassed\tpaper single\tpaper subclassed")
-	for _, r := range ablation {
-		fmt.Fprintf(w, "%s\t%s\t%s\t%s\t%s\n",
+	fmt.Fprintln(out, "\n§6 ablation. Legacy graph reloaded with 66 edge subclasses")
+	w := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "Type\tsingle-class\tsubclassed\tedges single\tedges sub\tpaper single\tpaper subclassed")
+	for _, r := range report.Ablation {
+		fmt.Fprintf(w, "%s\t%s\t%s\t%.0f\t%.0f\t%s\t%s\n",
 			r.Type, fmtDur(r.SingleClass), fmtDur(r.Subclassed),
+			r.SingleClassEdges, r.SubclassedEdges,
 			fmtDur(r.PaperSingle), fmtDur(r.PaperSubclassed))
 	}
 	w.Flush()
 
-	fmt.Println("\n§6 storage. Two-month history overhead vs 60 independent copies")
-	w = tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(out, "\n§6 storage. Two-month history overhead vs 60 independent copies")
+	w = tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(w, "Dataset\tmeasured\tpaper\tnaive 60 copies")
-	for _, r := range bench.HistoryOverheads(svc, single) {
+	report.Overheads = bench.HistoryOverheads(svc, single)
+	for _, r := range report.Overheads {
 		fmt.Fprintf(w, "%s\t%.1f%%\t%.0f%%\t%.0f%%\n",
 			r.Dataset, r.Overhead*100, r.PaperOverhead*100, r.NaiveCopies*100)
 	}
 	w.Flush()
+
+	report.Elapsed = time.Since(runStart).Round(time.Millisecond).String()
+	report.Metrics = reg.Snapshot()
+	if opt.jsonPath != "" {
+		if err := writeReport(report, opt.jsonPath); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "\nwrote %s\n", opt.jsonPath)
+	}
 	return nil
 }
 
-func printTable(title string, rows []bench.Row) {
-	fmt.Println("\n" + title)
-	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(w, "Type\t#paths\tTime (snap)\tTime (hist)\tslow>4xmed\tpaper #paths\tpaper snap\tpaper hist")
+func writeReport(report *bench.Report, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := report.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func printTable(out io.Writer, title string, rows []bench.Row) {
+	fmt.Fprintln(out, "\n"+title)
+	w := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "Type\t#paths\tTime (snap)\tTime (hist)\tedges\tslow>4xmed\tpaper #paths\tpaper snap\tpaper hist")
 	for _, r := range rows {
-		fmt.Fprintf(w, "%s\t%.1f\t%s\t%s\t%d/%d\t%.1f\t%s\t%s\n",
-			r.Type, r.AvgPaths, fmtDur(r.Snap), fmtDur(r.Hist), r.SlowSamples, r.Instances,
+		fmt.Fprintf(w, "%s\t%.1f\t%s\t%s\t%.0f\t%d/%d\t%.1f\t%s\t%s\n",
+			r.Type, r.AvgPaths, fmtDur(r.Snap), fmtDur(r.Hist), r.AvgEdgesScanned,
+			r.SlowSamples, r.Instances,
 			r.PaperPaths, fmtDur(r.PaperSnap), fmtDur(r.PaperHist))
 	}
 	w.Flush()

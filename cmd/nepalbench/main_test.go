@@ -1,12 +1,77 @@
 package main
 
-import "testing"
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+)
 
 func TestRunQuickBench(t *testing.T) {
 	if testing.Short() {
 		t.Skip("bench harness run")
 	}
-	if err := run("relational", 2, 600); err != nil {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_results.json")
+	var out bytes.Buffer
+	err := run(options{backend: "relational", instances: 2, services: 600,
+		jsonPath: path, out: &out})
+	if err != nil {
 		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{
+		"Table 1. Query response times",
+		"Table 2. Query response times",
+		"§6 ablation",
+		"§6 storage",
+		"wrote " + path,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report bench.Report
+	if err := json.Unmarshal(data, &report); err != nil {
+		t.Fatalf("report does not parse: %v", err)
+	}
+	if report.Backend != "relational" || report.Instances != 2 || report.Services != 600 {
+		t.Errorf("report config = %q/%d/%d", report.Backend, report.Instances, report.Services)
+	}
+	if len(report.Table1) == 0 || len(report.Table2) == 0 || len(report.Ablation) == 0 {
+		t.Errorf("report tables empty: %d/%d/%d",
+			len(report.Table1), len(report.Table2), len(report.Ablation))
+	}
+	if len(report.Overheads) == 0 {
+		t.Error("report overheads empty")
+	}
+	// The run accumulated engine metrics via the fixtures' shared registry.
+	for _, key := range []string{
+		"engine.relational.evals",
+		"store.adjacency_probes",
+		"backend.relational.anchor_probes",
+	} {
+		if _, ok := report.Metrics[key]; !ok {
+			t.Errorf("report metrics missing %q", key)
+		}
+	}
+	// Trace-level edge counters surfaced into the ablation rows: the
+	// subclassed load must scan far fewer edges than the single-class load.
+	for _, r := range report.Ablation {
+		if r.Type != "bottom-up" {
+			continue
+		}
+		if r.SubclassedEdges <= 0 || r.SingleClassEdges < r.SubclassedEdges {
+			t.Errorf("ablation edges: single=%.0f sub=%.0f", r.SingleClassEdges, r.SubclassedEdges)
+		}
 	}
 }

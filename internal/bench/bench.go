@@ -13,6 +13,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/gremlin"
 	"repro/internal/netmodel"
+	"repro/internal/obs"
 	"repro/internal/plan"
 	"repro/internal/relational"
 	"repro/internal/rpe"
@@ -27,21 +28,27 @@ import (
 var LoadTime = time.Date(2017, 2, 15, 0, 0, 0, 0, time.UTC)
 
 // Row is one benchmark table row: the measured counterpart of the paper's
-// (Type, #paths, Time snap, Time hist) columns.
+// (Type, #paths, Time snap, Time hist) columns, plus the operator-pipeline
+// counters averaged over the snapshot runs.
 type Row struct {
-	Type      string
-	Instances int
-	AvgPaths  float64
-	Snap      time.Duration
-	Hist      time.Duration
+	Type      string        `json:"type"`
+	Instances int           `json:"instances"`
+	AvgPaths  float64       `json:"avg_paths"`
+	Snap      time.Duration `json:"snap_ns"`
+	Hist      time.Duration `json:"hist_ns"`
 	// Paper columns for side-by-side reporting (zero when the paper gives
 	// no figure for the cell).
-	PaperPaths float64
-	PaperSnap  time.Duration
-	PaperHist  time.Duration
+	PaperPaths float64       `json:"paper_paths,omitempty"`
+	PaperSnap  time.Duration `json:"paper_snap_ns,omitempty"`
+	PaperHist  time.Duration `json:"paper_hist_ns,omitempty"`
 	// SlowSamples counts instances slower than 4x the median — the
 	// bottom-up tail statistic of §6.
-	SlowSamples int
+	SlowSamples int `json:"slow_samples"`
+	// AvgAnchors and AvgEdgesScanned average the Select and Extend read
+	// volumes per instance — scan-volume counterparts of the timing
+	// columns, independent of machine speed.
+	AvgAnchors      float64 `json:"avg_anchors"`
+	AvgEdgesScanned float64 `json:"avg_edges_scanned"`
 }
 
 // ServiceFixture is the Table 1 dataset: the virtualized service graph
@@ -52,6 +59,10 @@ type ServiceFixture struct {
 	Clock   *temporal.Clock
 	// HistAt is the mid-history instant history-mode queries run at.
 	HistAt time.Time
+	// Registry, when set, is attached to every engine the fixture builds
+	// (and should be attached to Store by the caller), so a benchmark run
+	// accumulates engine metrics for reporting.
+	Registry *obs.Registry
 }
 
 // BuildServiceFixture constructs the Table 1 dataset deterministically.
@@ -75,35 +86,52 @@ func BuildServiceFixture() (*ServiceFixture, error) {
 
 // Engine builds a fresh engine of the named backend over the fixture.
 func (f *ServiceFixture) Engine(backend string) *plan.Engine {
-	return engineFor(f.Store, backend)
+	return engineFor(f.Store, backend, f.Registry)
 }
 
-func engineFor(st *graph.Store, backend string) *plan.Engine {
+func engineFor(st *graph.Store, backend string, reg *obs.Registry) *plan.Engine {
+	var acc plan.Accessor
 	if backend == "relational" {
-		return plan.NewEngine(relational.New(st))
+		acc = relational.New(st)
+	} else {
+		acc = gremlin.New(st)
 	}
-	return plan.NewEngine(gremlin.New(st))
+	if reg != nil {
+		if in, ok := acc.(interface{ Instrument(*obs.Registry) }); ok {
+			in.Instrument(reg)
+		}
+	}
+	eng := plan.NewEngine(acc)
+	eng.SetRegistry(reg)
+	return eng
 }
 
 // RunQuery plans and evaluates one RPE instance, returning the path count
 // and elapsed time — measured, like the paper, "from when the first query
 // was submitted to when the final paths table is completed".
 func RunQuery(eng *plan.Engine, view graph.View, src string) (int, time.Duration, error) {
+	n, d, _, err := RunQueryMetered(eng, view, src)
+	return n, d, err
+}
+
+// RunQueryMetered is RunQuery returning the evaluation's operator-pipeline
+// counters alongside the measurements.
+func RunQueryMetered(eng *plan.Engine, view graph.View, src string) (int, time.Duration, plan.Metrics, error) {
 	st := eng.Accessor().Store()
 	start := time.Now()
 	c, err := rpe.CheckString(src, st.Schema())
 	if err != nil {
-		return 0, 0, err
+		return 0, 0, plan.Metrics{}, err
 	}
 	p, err := plan.Build(c, st.Stats())
 	if err != nil {
-		return 0, 0, err
+		return 0, 0, plan.Metrics{}, err
 	}
-	set, err := eng.Eval(view, p)
+	set, m, err := eng.EvalMetered(view, p)
 	if err != nil {
-		return 0, 0, err
+		return 0, 0, m, err
 	}
-	return set.Len(), time.Since(start), nil
+	return set.Len(), time.Since(start), m, nil
 }
 
 // runMix runs n instances from gen in both snapshot and history views and
@@ -117,16 +145,18 @@ func runMix(eng *plan.Engine, histAt time.Time, name string, n int, gen func(i i
 		return Row{}, err
 	}
 	row := Row{Type: name, Instances: n}
-	var totalPaths int
+	var totalPaths, totalAnchors, totalEdges int
 	var snapTotal, histTotal time.Duration
 	var times []time.Duration
 	for i := 0; i < n; i++ {
 		src := gen(i)
-		paths, d, err := RunQuery(eng, graph.CurrentView(st), src)
+		paths, d, m, err := RunQueryMetered(eng, graph.CurrentView(st), src)
 		if err != nil {
 			return row, fmt.Errorf("bench: %s instance %d: %w", name, i, err)
 		}
 		totalPaths += paths
+		totalAnchors += m.AnchorRecords
+		totalEdges += m.EdgesScanned
 		snapTotal += d
 		times = append(times, d)
 		_, dh, err := RunQuery(eng, graph.PointView(st, histAt), src)
@@ -136,6 +166,8 @@ func runMix(eng *plan.Engine, histAt time.Time, name string, n int, gen func(i i
 		histTotal += dh
 	}
 	row.AvgPaths = float64(totalPaths) / float64(n)
+	row.AvgAnchors = float64(totalAnchors) / float64(n)
+	row.AvgEdgesScanned = float64(totalEdges) / float64(n)
 	row.Snap = snapTotal / time.Duration(n)
 	row.Hist = histTotal / time.Duration(n)
 	med := median(times)
@@ -202,6 +234,8 @@ type LegacyFixture struct {
 	Legacy *workload.Legacy
 	Clock  *temporal.Clock
 	HistAt time.Time
+	// Registry, when set, is attached to every engine the fixture builds.
+	Registry *obs.Registry
 }
 
 // BuildLegacyFixture constructs the legacy dataset. services scales the
@@ -229,7 +263,7 @@ func BuildLegacyFixture(services int, subclassed bool) (*LegacyFixture, error) {
 
 // Engine builds a fresh engine of the named backend over the fixture.
 func (f *LegacyFixture) Engine(backend string) *plan.Engine {
-	return engineFor(f.Store, backend)
+	return engineFor(f.Store, backend, f.Registry)
 }
 
 // Table2 runs the four Table 2 query mixes. The reverse-path mining query
@@ -267,15 +301,20 @@ func Table2(f *LegacyFixture, backend string, instances int) ([]Row, error) {
 	return rows, nil
 }
 
-// AblationRow compares one query mix across the two load modes.
+// AblationRow compares one query mix across the two load modes. The
+// EdgesScanned columns carry the experiment's causal evidence: timing can
+// vary with machine and load, but the scan-volume collapse from full
+// telemetry fan-in to per-class index probes is deterministic.
 type AblationRow struct {
-	Type             string
-	SingleClass      time.Duration
-	Subclassed       time.Duration
-	PaperSingle      time.Duration
-	PaperSubclassed  time.Duration
-	SingleClassPaths float64
-	SubclassedPaths  float64
+	Type             string        `json:"type"`
+	SingleClass      time.Duration `json:"single_class_ns"`
+	Subclassed       time.Duration `json:"subclassed_ns"`
+	PaperSingle      time.Duration `json:"paper_single_ns,omitempty"`
+	PaperSubclassed  time.Duration `json:"paper_subclassed_ns,omitempty"`
+	SingleClassPaths float64       `json:"single_class_paths"`
+	SubclassedPaths  float64       `json:"subclassed_paths"`
+	SingleClassEdges float64       `json:"single_class_edges_scanned"`
+	SubclassedEdges  float64       `json:"subclassed_edges_scanned"`
 }
 
 // Ablation reproduces the §6 edge-subclassing experiment: the two slowest
@@ -319,6 +358,8 @@ func Ablation(single, sub *LegacyFixture, backend string, instances int) ([]Abla
 			PaperSubclassed:  m.paperSub,
 			SingleClassPaths: rowS.AvgPaths,
 			SubclassedPaths:  rowC.AvgPaths,
+			SingleClassEdges: rowS.AvgEdgesScanned,
+			SubclassedEdges:  rowC.AvgEdgesScanned,
 		})
 	}
 	return out, nil
@@ -326,10 +367,10 @@ func Ablation(single, sub *LegacyFixture, backend string, instances int) ([]Abla
 
 // OverheadResult reports the §6 storage experiment.
 type OverheadResult struct {
-	Dataset       string
-	Overhead      float64 // measured: (versions-live)/live over 60 days
-	PaperOverhead float64
-	NaiveCopies   float64 // the conventional 60-copy alternative
+	Dataset       string  `json:"dataset"`
+	Overhead      float64 `json:"overhead"` // measured: (versions-live)/live over 60 days
+	PaperOverhead float64 `json:"paper_overhead"`
+	NaiveCopies   float64 `json:"naive_copies"` // the conventional 60-copy alternative
 }
 
 // HistoryOverheads measures storage overhead on both fixtures.

@@ -1,10 +1,12 @@
 package bench
 
 import (
+	"strings"
 	"testing"
 	"time"
 
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/plan"
 	"repro/internal/rpe"
 	"repro/internal/workload"
@@ -277,5 +279,63 @@ func TestAblationScanVolume(t *testing.T) {
 	if mSingle.ElementsRejected < 1000 {
 		t.Errorf("single-class heavy rack must reject its telemetry fan-in (rejected=%d)",
 			mSingle.ElementsRejected)
+	}
+}
+
+// TestAblationTraceCounters re-asserts the §6 scan-volume collapse from
+// the operator-DAG trace itself: the Extend spans' edges_scanned counters
+// (not wall time, not the aggregate Metrics) must show the single-class
+// load reading >=10x the edges of the subclassed load, and the rendered
+// EXPLAIN ANALYZE must surface the numbers.
+func TestAblationTraceCounters(t *testing.T) {
+	single, err := BuildLegacyFixture(testLegacyServices, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := BuildLegacyFixture(testLegacyServices, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace := func(f *LegacyFixture) (int64, string) {
+		eng := f.Engine("relational")
+		view := graph.CurrentView(f.Store)
+		s := workload.NewLegacySampler(f.Legacy, 1)
+		src := s.BottomUpAt(f.Legacy.HeavyRacks[0])
+		c, err := rpe.CheckString(src, f.Store.Schema())
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := plan.Build(c, f.Store.Stats())
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, _, span, err := eng.EvalTraced(view, p, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var edges int64
+		span.Walk(func(s *obs.Span) {
+			if s.Name() == "Extend" {
+				edges += s.Counter("edges_scanned")
+			}
+		})
+		return edges, p.ExplainAnalyze(span)
+	}
+	eSingle, explSingle := trace(single)
+	eSub, explSub := trace(sub)
+	t.Logf("trace edges_scanned: single-class=%d subclassed=%d", eSingle, eSub)
+	t.Logf("single-class EXPLAIN ANALYZE:\n%s", explSingle)
+	t.Logf("subclassed EXPLAIN ANALYZE:\n%s", explSub)
+
+	if eSub <= 0 {
+		t.Fatal("subclassed trace recorded no Extend scans")
+	}
+	if eSingle < 10*eSub {
+		t.Errorf("trace counters must show the >=10x scan collapse: %d vs %d", eSingle, eSub)
+	}
+	for _, expl := range []string{explSingle, explSub} {
+		if !strings.Contains(expl, "edges_scanned=") || !strings.Contains(expl, "time=") {
+			t.Errorf("EXPLAIN ANALYZE missing measurements:\n%s", expl)
+		}
 	}
 }

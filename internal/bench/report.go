@@ -1,0 +1,35 @@
+package bench
+
+import (
+	"encoding/json"
+	"io"
+	"time"
+)
+
+// Report is the machine-readable benchmark result cmd/nepalbench writes
+// (BENCH_results.json): configuration, every table's rows, and a snapshot
+// of the engine metrics registry accumulated over the run.
+type Report struct {
+	Backend   string    `json:"backend"`
+	Instances int       `json:"instances"`
+	Services  int       `json:"services"`
+	StartedAt time.Time `json:"started_at"`
+	Elapsed   string    `json:"elapsed"`
+
+	Table1    []Row            `json:"table1,omitempty"`
+	Table2    []Row            `json:"table2,omitempty"`
+	Ablation  []AblationRow    `json:"ablation,omitempty"`
+	Overheads []OverheadResult `json:"overheads,omitempty"`
+
+	// Metrics is the engine metrics registry snapshot at the end of the
+	// run (counters and gauges by value, histograms expanded).
+	Metrics map[string]any `json:"metrics,omitempty"`
+}
+
+// WriteJSON writes the report, indented for human diffing but fully
+// machine-readable.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

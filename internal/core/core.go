@@ -26,6 +26,7 @@ import (
 	"repro/internal/exec"
 	"repro/internal/graph"
 	"repro/internal/gremlin"
+	"repro/internal/obs"
 	"repro/internal/plan"
 	"repro/internal/query"
 	"repro/internal/relational"
@@ -67,6 +68,8 @@ type DB struct {
 	executor *exec.Executor
 	backend  string
 	views    query.Views
+	reg      *obs.Registry
+	slowLog  *obs.SlowLog
 }
 
 // Open creates an empty database over the finalized schema.
@@ -153,13 +156,92 @@ func (db *DB) ApplySnapshot(snap *graph.Snapshot) (graph.DiffStats, error) {
 	return db.store.ApplySnapshot(snap)
 }
 
-// Query parses, analyzes, and executes a Nepal query.
+// Instrument attaches a metrics registry to the database: the engine
+// records per-evaluation latency and counters, the store counts adjacency
+// probes and snapshot reconciliations, and the backend counts its index
+// probes — all under names prefixed with the component and backend. A nil
+// registry detaches. Call before the database starts serving queries.
+func (db *DB) Instrument(reg *obs.Registry) {
+	db.reg = reg
+	db.engine.SetRegistry(reg)
+	db.store.SetRegistry(reg)
+	if in, ok := db.engine.Accessor().(interface{ Instrument(*obs.Registry) }); ok {
+		in.Instrument(reg)
+	}
+}
+
+// SetSlowLog installs a slow-query log: every Query/QueryTraced whose
+// total time reaches the log's threshold is captured with its text, plan,
+// metrics, and trace (when traced). A nil log disables capture.
+func (db *DB) SetSlowLog(l *obs.SlowLog) { db.slowLog = l }
+
+// SlowLog returns the installed slow-query log, if any.
+func (db *DB) SlowLog() *obs.SlowLog { return db.slowLog }
+
+// Query parses, analyzes, and executes a Nepal query. The result carries
+// the evaluation's operator-pipeline metrics; tracing stays off on this
+// path, keeping its overhead to counter increments.
 func (db *DB) Query(src string) (*exec.Result, error) {
 	a, err := db.analyze(src)
 	if err != nil {
 		return nil, err
 	}
-	return db.executor.Run(a)
+	start := time.Now()
+	res, err := db.executor.Run(a)
+	if err != nil {
+		return nil, err
+	}
+	db.observeQuery(src, res, time.Since(start))
+	return res, nil
+}
+
+// QueryTraced is Query with operator-DAG tracing: the result's Trace
+// holds the query's span tree (per-variable groups of Eval spans) and
+// Plans the executed plan of each variable, ready for ExplainAnalyze
+// rendering or programmatic inspection.
+func (db *DB) QueryTraced(src string) (*exec.Result, error) {
+	a, err := db.analyze(src)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	res, err := db.executor.RunTraced(a, nil)
+	if err != nil {
+		return nil, err
+	}
+	db.observeQuery(src, res, time.Since(start))
+	return res, nil
+}
+
+// observeQuery records one finished query into the registry and the slow
+// log.
+func (db *DB) observeQuery(src string, res *exec.Result, dur time.Duration) {
+	if db.reg != nil {
+		db.reg.Counter("db.queries").Add(1)
+		db.reg.Histogram("db.query_latency_ms").Observe(float64(dur) / 1e6)
+	}
+	if db.slowLog != nil && dur >= db.slowLog.Threshold() {
+		var planText strings.Builder
+		for _, name := range schema.SortedNames(planKeys(res.Plans)) {
+			fmt.Fprintf(&planText, "-- variable %s --\n%s", name, res.Plans[name].Explain())
+		}
+		db.slowLog.Observe(obs.SlowLogEntry{
+			When:     time.Now(),
+			Query:    src,
+			Duration: dur,
+			Plan:     planText.String(),
+			Metrics:  res.Metrics.String(),
+			Trace:    res.Trace,
+		})
+	}
+}
+
+func planKeys(m map[string]*plan.Plan) map[string]bool {
+	out := make(map[string]bool, len(m))
+	for k := range m {
+		out[k] = true
+	}
+	return out
 }
 
 // QueryRouted executes a query whose range variables may be routed to
@@ -234,6 +316,52 @@ func (db *DB) Explain(src string) (string, error) {
 		sb.WriteString(p.Explain())
 	}
 	return sb.String(), nil
+}
+
+// ExplainAnalyze executes the query with operator-DAG tracing and renders
+// each variable's plan annotated with the measured per-operator
+// statistics — wall time, rows in/out, backend probes, EdgesScanned — in
+// the style of EXPLAIN ANALYZE. The traced result is returned alongside
+// the rendering for programmatic use.
+func (db *DB) ExplainAnalyze(src string) (string, *exec.Result, error) {
+	a, err := db.analyze(src)
+	if err != nil {
+		return "", nil, err
+	}
+	start := time.Now()
+	res, err := db.executor.RunTraced(a, nil)
+	if err != nil {
+		return "", nil, err
+	}
+	dur := time.Since(start)
+	db.observeQuery(src, res, dur)
+	var sb strings.Builder
+	for _, rv := range a.Query.Vars {
+		p := res.Plans[rv.Name]
+		if p == nil {
+			continue
+		}
+		fmt.Fprintf(&sb, "-- variable %s [%s] --\n", rv.Name, db.backend)
+		sb.WriteString(p.ExplainAnalyze(varSpan(res.Trace, rv.Name)))
+	}
+	fmt.Fprintf(&sb, "Query: time=%s rows=%d %s\n",
+		obs.FormatDuration(dur), len(res.Rows), res.Metrics)
+	return sb.String(), res, nil
+}
+
+// varSpan finds the per-variable group span inside a query trace; when
+// absent (e.g. the variable never evaluated) the whole trace is used, so
+// stats degrade to query-wide aggregates instead of vanishing.
+func varSpan(trace *obs.Span, name string) *obs.Span {
+	if trace == nil {
+		return nil
+	}
+	for _, child := range trace.Children() {
+		if child.Name() == "Var" && child.Detail() == name {
+			return child
+		}
+	}
+	return trace
 }
 
 // RenderPath formats a pathway against this database's store.

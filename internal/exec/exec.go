@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/plan"
 	"repro/internal/query"
 	"repro/internal/schema"
@@ -44,13 +45,67 @@ func (x *Executor) engineFor(varName string) *plan.Engine {
 	return x.Default
 }
 
-// Run executes the analyzed query.
+// runCtx carries one query execution's instrumentation: the metrics
+// totals accumulated across every variable evaluation (subqueries
+// included), the per-variable plans chosen by the optimizer, and — when
+// tracing — the query span under which per-variable Eval spans nest.
+type runCtx struct {
+	metrics plan.Metrics
+	plans   map[string]*plan.Plan
+	span    *obs.Span // non-nil enables operator-DAG tracing
+	vars    map[string]*obs.Span
+}
+
+// varSpan returns the grouping span of one range variable's evaluations.
+func (rc *runCtx) varSpan(name string) *obs.Span {
+	if rc.span == nil {
+		return nil
+	}
+	sp := rc.vars[name]
+	if sp == nil {
+		sp = rc.span.Child("Var", name)
+		rc.vars[name] = sp
+	}
+	return sp
+}
+
+// Run executes the analyzed query. The result carries the evaluation
+// metrics totaled across all variables (a value copy, safe to read
+// concurrently with further queries).
 func (x *Executor) Run(a *query.Analyzed) (*Result, error) {
-	rows, perVarTimes, err := x.rows(a, nil)
+	return x.run(a, &runCtx{plans: map[string]*plan.Plan{}})
+}
+
+// RunTraced is Run with operator-DAG tracing: every variable evaluation's
+// Eval span nests under a per-variable group span inside the returned
+// result's Trace tree, and Plans records each variable's executed plan so
+// callers can render EXPLAIN ANALYZE.
+func (x *Executor) RunTraced(a *query.Analyzed, parent *obs.Span) (*Result, error) {
+	var span *obs.Span
+	if parent != nil {
+		span = parent.StartChild("Query", "")
+	} else {
+		span = obs.NewSpan("Query", "")
+	}
+	rc := &runCtx{
+		plans: map[string]*plan.Plan{},
+		span:  span,
+		vars:  map[string]*obs.Span{},
+	}
+	res, err := x.run(a, rc)
+	span.Finish()
+	return res, err
+}
+
+func (x *Executor) run(a *query.Analyzed, rc *runCtx) (*Result, error) {
+	rows, perVarTimes, err := x.rows(a, nil, rc)
 	if err != nil {
 		return nil, err
 	}
-	res := &Result{}
+	res := &Result{Metrics: rc.metrics, Plans: rc.plans, Trace: rc.span}
+	if rc.span != nil {
+		rc.span.AddRows(0, int64(len(rows)))
+	}
 	if a.Query.Agg != query.AggNone {
 		res.Agg = aggregate(a.Query, rows, perVarTimes)
 		return res, nil
@@ -98,7 +153,7 @@ type workRow struct {
 
 // rows materializes the joined tuples of a query. outer supplies bindings
 // for correlated subqueries.
-func (x *Executor) rows(a *query.Analyzed, outer *workRow) ([]workRow, bool, error) {
+func (x *Executor) rows(a *query.Analyzed, outer *workRow, rc *runCtx) ([]workRow, bool, error) {
 	q := a.Query
 	perVarTimes := hasPerVarTimes(q)
 
@@ -134,7 +189,7 @@ func (x *Executor) rows(a *query.Analyzed, outer *workRow) ([]workRow, bool, err
 	for _, step := range order {
 		var next []workRow
 		for _, tup := range tuples {
-			paths, err := x.evalVar(a, step, views[step.name], tup, bound)
+			paths, err := x.evalVar(a, step, views[step.name], tup, bound, rc)
 			if err != nil {
 				return nil, perVarTimes, err
 			}
@@ -177,7 +232,7 @@ func (x *Executor) rows(a *query.Analyzed, outer *workRow) ([]workRow, bool, err
 
 	// NOT EXISTS subqueries.
 	for _, sub := range subNE {
-		tuples, err = x.applyNotExists(sub, tuples)
+		tuples, err = x.applyNotExists(sub, tuples, rc)
 		if err != nil {
 			return nil, perVarTimes, err
 		}
@@ -289,14 +344,26 @@ func (x *Executor) findSeed(a *query.Analyzed, name string, placed map[string]bo
 	return evalStep{}, false
 }
 
-// evalVar evaluates one variable for the current tuple.
-func (x *Executor) evalVar(a *query.Analyzed, step evalStep, view graph.View, tup workRow, bound map[string]bool) ([]plan.Pathway, error) {
+// evalVar evaluates one variable for the current tuple, folding the
+// evaluation's metrics (and trace, when enabled) into the run context.
+func (x *Executor) evalVar(a *query.Analyzed, step evalStep, view graph.View, tup workRow, bound map[string]bool, rc *runCtx) ([]plan.Pathway, error) {
 	eng := x.engineFor(step.name)
+	if rc.plans != nil {
+		rc.plans[step.name] = step.plan
+	}
 	if !step.seeded {
-		set, err := eng.Eval(view, step.plan)
+		var set *plan.PathwaySet
+		var m plan.Metrics
+		var err error
+		if rc.span != nil {
+			set, m, _, err = eng.EvalTraced(view, step.plan, rc.varSpan(step.name))
+		} else {
+			set, m, err = eng.EvalMetered(view, step.plan)
+		}
 		if err != nil {
 			return nil, err
 		}
+		rc.metrics.Merge(m)
 		return x.applyViewFilter(a, step.name, view, set.Paths()), nil
 	}
 	// Seeds come from the joined variable's endpoint in this tuple; when
@@ -315,10 +382,17 @@ func (x *Executor) evalVar(a *query.Analyzed, step evalStep, view graph.View, tu
 	if err != nil {
 		return nil, err
 	}
-	set, err := eng.EvalSeeded(view, step.plan, seeds)
+	var set *plan.PathwaySet
+	var m plan.Metrics
+	if rc.span != nil {
+		set, m, _, err = eng.EvalSeededTraced(view, step.plan, seeds, rc.varSpan(step.name))
+	} else {
+		set, m, err = eng.EvalSeededMetered(view, step.plan, seeds)
+	}
 	if err != nil {
 		return nil, err
 	}
+	rc.metrics.Merge(m)
 	return x.applyViewFilter(a, step.name, view, set.Paths()), nil
 }
 
@@ -453,10 +527,10 @@ func (x *Executor) termValue(a *query.Analyzed, t query.Term, row workRow) (any,
 }
 
 // applyNotExists filters tuples through one NOT EXISTS subquery.
-func (x *Executor) applyNotExists(sub *query.Analyzed, tuples []workRow) ([]workRow, error) {
+func (x *Executor) applyNotExists(sub *query.Analyzed, tuples []workRow, rc *runCtx) ([]workRow, error) {
 	var kept []workRow
 	for _, tup := range tuples {
-		subRows, _, err := x.rows(sub, &tup)
+		subRows, _, err := x.rows(sub, &tup, rc)
 		if err != nil {
 			return nil, err
 		}

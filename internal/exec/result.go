@@ -19,6 +19,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/plan"
 	"repro/internal/temporal"
 )
@@ -45,6 +46,15 @@ type Result struct {
 	Rows    []Row
 	// Agg carries the answer of a temporal aggregate query; nil otherwise.
 	Agg *AggValue
+	// Metrics totals the operator-pipeline counters across every variable
+	// evaluation of the query, subqueries included. It is a value copy:
+	// safe to read concurrently with further queries on the same executor.
+	Metrics plan.Metrics
+	// Plans records the executed plan of each range variable by name.
+	Plans map[string]*plan.Plan
+	// Trace is the query's operator-DAG span tree; nil unless the query
+	// ran through RunTraced.
+	Trace *obs.Span
 }
 
 // AggValue is the answer to First/Last/When-Exists.

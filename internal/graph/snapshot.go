@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"reflect"
+	"time"
 
 	"repro/internal/schema"
 )
@@ -55,6 +56,7 @@ func (d DiffStats) Total() int {
 // sources can own disjoint parts of the graph.
 func (st *Store) ApplySnapshot(snap *Snapshot) (DiffStats, error) {
 	var stats DiffStats
+	defer func(start time.Time) { st.recordSnapshot(time.Since(start)) }(time.Now())
 
 	nodeClasses := make(map[string]bool)
 	seenNodes := make(map[UID]bool, len(snap.Nodes))

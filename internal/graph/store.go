@@ -14,6 +14,7 @@ package graph
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/schema"
@@ -126,6 +127,10 @@ type Store struct {
 	// versionCount counts all versions ever stored (storage accounting).
 	versionCount int
 	liveCount    int
+
+	// obs holds the optional metrics sink (see SetRegistry); read with a
+	// single atomic load on the probe paths.
+	obs atomic.Pointer[storeObs]
 }
 
 type uniqueKey struct {
@@ -387,6 +392,9 @@ func (st *Store) Object(uid UID) *Object {
 // node (temporal filtering is the caller's concern). The returned slice
 // must not be modified.
 func (st *Store) OutEdges(node UID) []UID {
+	if o := st.obs.Load(); o != nil {
+		o.adjProbes.Add(1)
+	}
 	st.mu.RLock()
 	defer st.mu.RUnlock()
 	return st.out[node]
@@ -394,6 +402,9 @@ func (st *Store) OutEdges(node UID) []UID {
 
 // InEdges returns the UIDs of all edges ever attached incoming to the node.
 func (st *Store) InEdges(node UID) []UID {
+	if o := st.obs.Load(); o != nil {
+		o.adjProbes.Add(1)
+	}
 	st.mu.RLock()
 	defer st.mu.RUnlock()
 	return st.in[node]
@@ -402,6 +413,9 @@ func (st *Store) InEdges(node UID) []UID {
 // ByClass returns the UIDs of all objects whose concrete class is exactly
 // name. The returned slice must not be modified.
 func (st *Store) ByClass(name string) []UID {
+	if o := st.obs.Load(); o != nil {
+		o.classScans.Add(1)
+	}
 	st.mu.RLock()
 	defer st.mu.RUnlock()
 	return st.byClass[name]

@@ -14,8 +14,10 @@ package gremlin
 
 import (
 	"strings"
+	"sync/atomic"
 
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/plan"
 	"repro/internal/rpe"
 	"repro/internal/schema"
@@ -24,6 +26,15 @@ import (
 // Backend is the Gremlin-style accessor over a temporal graph store.
 type Backend struct {
 	store *graph.Store
+	obs   atomic.Pointer[backendObs]
+}
+
+// backendObs caches the registry counters an instrumented backend
+// records; nil (the default) disables recording.
+type backendObs struct {
+	anchorProbes  *obs.Counter
+	uniqueLookups *obs.Counter
+	edgeProbes    *obs.Counter
 }
 
 // New returns a backend over the store.
@@ -34,6 +45,21 @@ func (b *Backend) Name() string { return "gremlin" }
 
 // Store implements plan.Accessor.
 func (b *Backend) Store() *graph.Store { return b.store }
+
+// Instrument attaches a metrics registry: anchor probes, unique-index
+// lookups, and adjacency probes are then counted under
+// "backend.gremlin.*". A nil registry detaches.
+func (b *Backend) Instrument(r *obs.Registry) {
+	if r == nil {
+		b.obs.Store(nil)
+		return
+	}
+	b.obs.Store(&backendObs{
+		anchorProbes:  r.Counter("backend.gremlin.anchor_probes"),
+		uniqueLookups: r.Counter("backend.gremlin.unique_lookups"),
+		edgeProbes:    r.Counter("backend.gremlin.edge_probes"),
+	})
+}
 
 // Label returns the Gremlin label of a class: its inheritance path.
 func Label(c *schema.Class) string { return c.Path() }
@@ -51,8 +77,15 @@ func LabelMatches(queryLabel, elemLabel string) bool {
 // the atom pins a unique field with equality (TinkerPop-style id index),
 // otherwise a label-prefix scan over the per-label element lists.
 func (b *Backend) AnchorElements(view graph.View, c *rpe.Checked, a *rpe.Atom) []graph.UID {
+	o := b.obs.Load()
+	if o != nil {
+		o.anchorProbes.Add(1)
+	}
 	cls := c.ClassOf(a)
 	if uid, ok := uniqueLookup(b.store, cls, a); ok {
+		if o != nil {
+			o.uniqueLookups.Add(1)
+		}
 		obj := b.store.Object(uid)
 		if obj != nil && obj.Class.IsSubclassOf(cls) {
 			return []graph.UID{uid}
@@ -75,6 +108,9 @@ func (b *Backend) AnchorElements(view graph.View, c *rpe.Checked, a *rpe.Atom) [
 // a property-graph traversal visits every incident edge and filters by
 // label afterwards.
 func (b *Backend) IncidentEdges(view graph.View, node graph.UID, dir plan.Direction, _ *rpe.Atom, _ *rpe.Checked) []graph.UID {
+	if o := b.obs.Load(); o != nil {
+		o.edgeProbes.Add(1)
+	}
 	if dir == plan.Forward {
 		return b.store.OutEdges(node)
 	}

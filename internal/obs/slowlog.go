@@ -1,0 +1,132 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"time"
+)
+
+// SlowLogEntry is one captured slow evaluation: the query text, how long
+// it took, the plan it ran, its engine counters, and — when the query was
+// traced — the full operator span tree.
+type SlowLogEntry struct {
+	When     time.Time
+	Query    string
+	Duration time.Duration
+	Plan     string
+	Metrics  string
+	Trace    *Span
+}
+
+// Format renders the entry as a multi-line text block.
+func (e SlowLogEntry) Format() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "SLOW QUERY (%s) at %s\n", FormatDuration(e.Duration),
+		e.When.UTC().Format("2006-01-02 15:04:05.000"))
+	fmt.Fprintf(&sb, "  query: %s\n", e.Query)
+	if e.Metrics != "" {
+		fmt.Fprintf(&sb, "  metrics: %s\n", e.Metrics)
+	}
+	if e.Plan != "" {
+		sb.WriteString(indent(e.Plan, "  plan> "))
+	}
+	if e.Trace != nil {
+		sb.WriteString(indent(RenderTree(e.Trace), "  trace> "))
+	}
+	return sb.String()
+}
+
+func indent(block, prefix string) string {
+	lines := strings.Split(strings.TrimRight(block, "\n"), "\n")
+	var sb strings.Builder
+	for _, l := range lines {
+		sb.WriteString(prefix + l + "\n")
+	}
+	return sb.String()
+}
+
+// SlowLog captures evaluations whose duration meets a threshold. It keeps
+// the most recent entries in a bounded ring and optionally streams each
+// captured entry to a writer. A nil *SlowLog is a valid disabled log.
+type SlowLog struct {
+	threshold time.Duration
+	w         io.Writer
+
+	mu      sync.Mutex
+	ring    []SlowLogEntry
+	next    int
+	total   int64
+	maxKeep int
+}
+
+// DefaultSlowLogKeep bounds how many recent entries a SlowLog retains.
+const DefaultSlowLogKeep = 64
+
+// NewSlowLog returns a log capturing evaluations of at least threshold.
+// w may be nil to only retain entries for programmatic access.
+func NewSlowLog(threshold time.Duration, w io.Writer) *SlowLog {
+	return &SlowLog{threshold: threshold, w: w, maxKeep: DefaultSlowLogKeep}
+}
+
+// Threshold returns the capture threshold (0 for a nil log).
+func (l *SlowLog) Threshold() time.Duration {
+	if l == nil {
+		return 0
+	}
+	return l.threshold
+}
+
+// Observe records the evaluation if it meets the threshold, returning
+// whether it was captured. Safe on a nil receiver.
+func (l *SlowLog) Observe(e SlowLogEntry) bool {
+	if l == nil || e.Duration < l.threshold {
+		return false
+	}
+	if e.When.IsZero() {
+		e.When = time.Now()
+	}
+	l.mu.Lock()
+	l.total++
+	if len(l.ring) < l.maxKeep {
+		l.ring = append(l.ring, e)
+	} else {
+		l.ring[l.next] = e
+		l.next = (l.next + 1) % l.maxKeep
+	}
+	w := l.w
+	l.mu.Unlock()
+	if w != nil {
+		fmt.Fprint(w, e.Format())
+	}
+	return true
+}
+
+// Entries returns the retained entries, oldest first.
+func (l *SlowLog) Entries() []SlowLogEntry {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]SlowLogEntry, 0, len(l.ring))
+	if len(l.ring) < l.maxKeep {
+		out = append(out, l.ring...)
+		return out
+	}
+	out = append(out, l.ring[l.next:]...)
+	out = append(out, l.ring[:l.next]...)
+	return out
+}
+
+// Total reports how many entries have been captured over the log's
+// lifetime (including ones evicted from the ring).
+func (l *SlowLog) Total() int64 {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.total
+}

@@ -9,6 +9,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/gremlin"
 	"repro/internal/netmodel"
+	"repro/internal/obs"
 	"repro/internal/plan"
 	"repro/internal/relational"
 	"repro/internal/rpe"
@@ -48,16 +49,76 @@ func TestDifferentialRandom(t *testing.T) {
 				}
 				for vname, view := range views {
 					ref := plan.ReferenceEval(view, c)
+					emitted := map[string]int{}
 					for ename, eng := range engines {
-						got, err := eng.Eval(view, p)
+						label := fmt.Sprintf("%s/%s %q", ename, vname, src)
+						got, m, span, err := eng.EvalTraced(view, p, nil)
 						if err != nil {
-							t.Fatalf("%s/%s %q: %v", ename, vname, src, err)
+							t.Fatalf("%s: %v", label, err)
 						}
-						compareSets(t, fmt.Sprintf("%s/%s %q", ename, vname, src), st, got, ref)
+						compareSets(t, label, st, got, ref)
+						checkTraceInvariants(t, label, got, m, span)
+						emitted[ename] = m.PathsEmitted
+					}
+					// The two backends walk different physical structures but
+					// must emit the same logical pathway set.
+					if emitted["gremlin"] != emitted["relational"] {
+						t.Errorf("%s %q: PathsEmitted gremlin=%d relational=%d",
+							vname, src, emitted["gremlin"], emitted["relational"])
 					}
 				}
 			}
 		})
+	}
+}
+
+// checkTraceInvariants cross-checks one traced evaluation's three views of
+// the same run — the pathway set, the aggregate Metrics, and the
+// operator-DAG trace — which must be mutually consistent:
+//
+//   - every Metrics counter is non-negative
+//   - PathsEmitted equals the result set size and the Eval root's rows_out
+//   - the Select spans' rows_out sums to Metrics.AnchorRecords
+//   - the Extend spans' edges_scanned sums to Metrics.EdgesScanned
+func checkTraceInvariants(t *testing.T, label string, set *plan.PathwaySet, m plan.Metrics, root *obs.Span) {
+	t.Helper()
+	for name, v := range map[string]int{
+		"AnchorRecords": m.AnchorRecords, "EdgesScanned": m.EdgesScanned,
+		"ElementsConsumed": m.ElementsConsumed, "ElementsRejected": m.ElementsRejected,
+		"PartialsExplored": m.PartialsExplored, "PathsEmitted": m.PathsEmitted,
+	} {
+		if v < 0 {
+			t.Errorf("%s: negative metric %s=%d", label, name, v)
+		}
+	}
+	if m.PathsEmitted != set.Len() {
+		t.Errorf("%s: PathsEmitted=%d but result set has %d pathways", label, m.PathsEmitted, set.Len())
+	}
+	if root == nil {
+		t.Errorf("%s: EvalTraced returned nil root span", label)
+		return
+	}
+	var selectRows, extendEdges int64
+	var rootRows int64
+	root.Walk(func(s *obs.Span) {
+		switch s.Name() {
+		case "Select":
+			_, out := s.Rows()
+			selectRows += out
+		case "Extend":
+			extendEdges += s.Counter("edges_scanned")
+		case "Eval":
+			_, rootRows = s.Rows()
+		}
+	})
+	if selectRows != int64(m.AnchorRecords) {
+		t.Errorf("%s: Select spans rows_out=%d, Metrics.AnchorRecords=%d", label, selectRows, m.AnchorRecords)
+	}
+	if extendEdges != int64(m.EdgesScanned) {
+		t.Errorf("%s: Extend spans edges_scanned=%d, Metrics.EdgesScanned=%d", label, extendEdges, m.EdgesScanned)
+	}
+	if rootRows != int64(set.Len()) {
+		t.Errorf("%s: Eval root rows_out=%d, result set %d", label, rootRows, set.Len())
 	}
 }
 

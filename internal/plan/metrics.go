@@ -30,6 +30,20 @@ func (m Metrics) String() string {
 		m.PartialsExplored, m.PathsEmitted)
 }
 
+// Merge folds another evaluation's counters into m — the executor uses it
+// to total metrics across the variable evaluations of one query.
+func (m *Metrics) Merge(o Metrics) {
+	if m == nil {
+		return
+	}
+	m.AnchorRecords += o.AnchorRecords
+	m.EdgesScanned += o.EdgesScanned
+	m.ElementsConsumed += o.ElementsConsumed
+	m.ElementsRejected += o.ElementsRejected
+	m.PartialsExplored += o.PartialsExplored
+	m.PathsEmitted += o.PathsEmitted
+}
+
 // The counters below are nil-safe so the engine can thread an optional
 // *Metrics without branching at every site.
 

@@ -90,7 +90,7 @@ func (p *Plan) Explain() string {
 		fmt.Fprintf(&sb, "Select: %s\n", p.Anchor)
 	}
 	fmt.Fprintf(&sb, "MaxLen: %d elements\n", p.MaxLen)
-	sb.WriteString(explainOps(p.Checked.Expr, p.anchorIDs()))
+	sb.WriteString(explainOps(p.Checked.Expr, p.anchorIDs(), nil))
 	return sb.String()
 }
 
@@ -110,10 +110,18 @@ func (p *Plan) anchorIDs() map[int]bool {
 }
 
 // explainOps walks the expression emitting one operator line per block.
-func explainOps(e rpe.Expr, anchors map[int]bool) string {
+// annotate, when non-nil, supplies a per-line suffix (EXPLAIN ANALYZE
+// measurements); a nil annotate renders the bare plan.
+func explainOps(e rpe.Expr, anchors map[int]bool, annotate func(rpe.Expr) string) string {
 	var sb strings.Builder
 	var walk func(e rpe.Expr, depth int)
 	indent := func(d int) string { return strings.Repeat("  ", d+1) }
+	suffix := func(e rpe.Expr) string {
+		if annotate == nil {
+			return ""
+		}
+		return annotate(e)
+	}
 	walk = func(e rpe.Expr, depth int) {
 		switch x := e.(type) {
 		case *rpe.Atom:
@@ -121,19 +129,19 @@ func explainOps(e rpe.Expr, anchors map[int]bool) string {
 			if anchors[x.ID()] {
 				op = "Anchor"
 			}
-			fmt.Fprintf(&sb, "%s%s %s\n", indent(depth), op, x)
+			fmt.Fprintf(&sb, "%s%s %s%s\n", indent(depth), op, x, suffix(x))
 		case *rpe.Sequence:
-			fmt.Fprintf(&sb, "%sSequence\n", indent(depth))
+			fmt.Fprintf(&sb, "%sSequence%s\n", indent(depth), suffix(x))
 			for _, part := range x.Parts {
 				walk(part, depth+1)
 			}
 		case *rpe.Alternation:
-			fmt.Fprintf(&sb, "%sUnion\n", indent(depth))
+			fmt.Fprintf(&sb, "%sUnion%s\n", indent(depth), suffix(x))
 			for _, alt := range x.Alts {
 				walk(alt, depth+1)
 			}
 		case *rpe.Repetition:
-			fmt.Fprintf(&sb, "%sExtendBlock {%d,%d}\n", indent(depth), x.Min, x.Max)
+			fmt.Fprintf(&sb, "%sExtendBlock {%d,%d}%s\n", indent(depth), x.Min, x.Max, suffix(x))
 			walk(x.Body, depth+1)
 		}
 	}

@@ -3,8 +3,10 @@ package plan
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/rpe"
 )
 
@@ -13,12 +15,15 @@ import (
 // Extend forwards from the anchor's post-state and backwards from its
 // pre-state, and Union partial results — with cycle prevention via the
 // uid-list disjointness predicate of §5.2.
+//
+// All evaluation entry points are safe for concurrent use on one Engine:
+// per-evaluation instrumentation travels in an evalState threaded through
+// the search rather than in Engine fields.
 type Engine struct {
 	acc Accessor
-	// metrics, when non-nil, accumulates instrumentation for the current
-	// evaluation (set by EvalMetered; Engine methods are not safe for
-	// concurrent metered use on the same Engine value).
-	metrics *Metrics
+	// reg, when non-nil, receives per-evaluation metrics (eval counts,
+	// latency histogram, scan volume); set via SetRegistry before serving.
+	reg *engineObs
 }
 
 // NewEngine returns an engine over the backend accessor.
@@ -27,22 +32,99 @@ func NewEngine(acc Accessor) *Engine { return &Engine{acc: acc} }
 // Accessor returns the backend accessor the engine drives.
 func (e *Engine) Accessor() Accessor { return e.acc }
 
-// EvalMetered is Eval with instrumentation: it returns the operator
-// pipeline's counters alongside the pathway set.
-func (e *Engine) EvalMetered(view graph.View, p *Plan) (*PathwaySet, Metrics, error) {
-	var m Metrics
-	e.metrics = &m
-	set, err := e.Eval(view, p)
-	e.metrics = nil
-	if set != nil {
-		m.PathsEmitted = set.Len()
+// engineObs caches the engine's registry metrics so the per-eval record
+// is a handful of atomic adds.
+type engineObs struct {
+	evals    *obs.Counter
+	latency  *obs.Histogram
+	anchors  *obs.Counter
+	edges    *obs.Counter
+	partials *obs.Counter
+	paths    *obs.Counter
+}
+
+// SetRegistry attaches a metrics registry: every evaluation then records
+// its latency and operator counters under "engine.<backend>.*". A nil
+// registry detaches. Call before the engine starts serving queries.
+func (e *Engine) SetRegistry(r *obs.Registry) {
+	if r == nil {
+		e.reg = nil
+		return
 	}
-	return set, m, err
+	prefix := "engine." + e.acc.Name() + "."
+	e.reg = &engineObs{
+		evals:    r.Counter(prefix + "evals"),
+		latency:  r.Histogram(prefix + "eval_latency_ms"),
+		anchors:  r.Counter(prefix + "anchor_records"),
+		edges:    r.Counter(prefix + "edges_scanned"),
+		partials: r.Counter(prefix + "partials_explored"),
+		paths:    r.Counter(prefix + "paths_emitted"),
+	}
+}
+
+// record folds one evaluation into the registry metrics.
+func (e *Engine) record(m Metrics, d time.Duration) {
+	o := e.reg
+	if o == nil {
+		return
+	}
+	o.evals.Add(1)
+	o.latency.Observe(float64(d) / 1e6)
+	o.anchors.Add(int64(m.AnchorRecords))
+	o.edges.Add(int64(m.EdgesScanned))
+	o.partials.Add(int64(m.PartialsExplored))
+	o.paths.Add(int64(m.PathsEmitted))
+}
+
+// evalState carries one evaluation's instrumentation: optional counters
+// and an optional operator-span trace. The zero value disables both; all
+// sinks are nil-safe so the uninstrumented path costs only nil checks.
+type evalState struct {
+	m  *Metrics
+	tr *traceEval
 }
 
 // Eval evaluates the plan within the view and returns all satisfying
 // pathways with their maximal validity ranges.
 func (e *Engine) Eval(view graph.View, p *Plan) (*PathwaySet, error) {
+	if e.reg != nil {
+		set, _, err := e.EvalMetered(view, p)
+		return set, err
+	}
+	return e.eval(view, p, &evalState{})
+}
+
+// EvalMetered is Eval with instrumentation: it returns the operator
+// pipeline's counters alongside the pathway set.
+func (e *Engine) EvalMetered(view graph.View, p *Plan) (*PathwaySet, Metrics, error) {
+	var m Metrics
+	start := time.Now()
+	set, err := e.eval(view, p, &evalState{m: &m})
+	if set != nil {
+		m.PathsEmitted = set.Len()
+	}
+	e.record(m, time.Since(start))
+	return set, m, err
+}
+
+// EvalTraced is EvalMetered with operator-DAG tracing: it additionally
+// returns the evaluation's span tree (one span per Select/Extend/Union
+// operator, accumulating wall time, rows, and probe counts). When parent
+// is non-nil the Eval span nests under it; otherwise it is a root span.
+func (e *Engine) EvalTraced(view graph.View, p *Plan, parent *obs.Span) (*PathwaySet, Metrics, *obs.Span, error) {
+	var m Metrics
+	te := newTraceEval(e.acc.Name(), p, parent)
+	start := time.Now()
+	set, err := e.eval(view, p, &evalState{m: &m, tr: te})
+	if set != nil {
+		m.PathsEmitted = set.Len()
+	}
+	te.finish(set, m)
+	e.record(m, time.Since(start))
+	return set, m, te.root, err
+}
+
+func (e *Engine) eval(view graph.View, p *Plan, es *evalState) (*PathwaySet, error) {
 	if p.Seeded {
 		return nil, fmt.Errorf("plan: seeded plan requires EvalSeeded")
 	}
@@ -50,8 +132,18 @@ func (e *Engine) Eval(view graph.View, p *Plan) (*PathwaySet, error) {
 	c := p.Checked
 	nfa := c.NFA()
 	for _, atom := range p.Anchor.Atoms {
-		elements := e.acc.AnchorElements(view, c, atom)
-		e.metrics.addAnchors(len(elements))
+		var elements []graph.UID
+		if es.tr != nil {
+			sp := es.tr.selectSpan(atom)
+			t0 := time.Now()
+			elements = e.acc.AnchorElements(view, c, atom)
+			sp.AddDuration(time.Since(t0))
+			sp.Add("probes", 1)
+			sp.AddRows(0, int64(len(elements)))
+		} else {
+			elements = e.acc.AnchorElements(view, c, atom)
+		}
+		es.m.addAnchors(len(elements))
 		transIdxs := nfa.TransWithAtom(atom.ID())
 		for _, uid := range elements {
 			if !e.elementSatisfies(view, c, atom, uid) {
@@ -62,12 +154,21 @@ func (e *Engine) Eval(view graph.View, p *Plan) (*PathwaySet, error) {
 				fwd := e.forward(view, c, p, search{
 					elems:  []graph.UID{uid},
 					states: nfa.Closure(tr.To).Clone(),
-				})
+				}, es)
 				bwd := e.backward(view, c, p, search{
 					elems:  []graph.UID{uid},
 					states: nfa.ClosureRev(tr.From).Clone(),
-				})
-				e.combine(view, c, out, bwd, fwd)
+				}, es)
+				if es.tr != nil {
+					sp := es.tr.unionSpan()
+					before := out.Len()
+					t0 := time.Now()
+					e.combine(view, c, out, bwd, fwd)
+					sp.AddDuration(time.Since(t0))
+					sp.AddRows(int64(len(bwd)*len(fwd)), int64(out.Len()-before))
+				} else {
+					e.combine(view, c, out, bwd, fwd)
+				}
 			}
 		}
 	}
@@ -78,42 +179,92 @@ func (e *Engine) Eval(view graph.View, p *Plan) (*PathwaySet, error) {
 // are node UIDs bound to the pathway's source (Forward) or target
 // (Backward) end.
 func (e *Engine) EvalSeeded(view graph.View, p *Plan, seeds []graph.UID) (*PathwaySet, error) {
+	if e.reg != nil {
+		set, _, err := e.EvalSeededMetered(view, p, seeds)
+		return set, err
+	}
+	return e.evalSeeded(view, p, seeds, &evalState{})
+}
+
+// EvalSeededMetered is EvalSeeded with instrumentation.
+func (e *Engine) EvalSeededMetered(view graph.View, p *Plan, seeds []graph.UID) (*PathwaySet, Metrics, error) {
+	var m Metrics
+	start := time.Now()
+	set, err := e.evalSeeded(view, p, seeds, &evalState{m: &m})
+	if set != nil {
+		m.PathsEmitted = set.Len()
+	}
+	e.record(m, time.Since(start))
+	return set, m, err
+}
+
+// EvalSeededTraced is EvalSeeded with operator-DAG tracing.
+func (e *Engine) EvalSeededTraced(view graph.View, p *Plan, seeds []graph.UID, parent *obs.Span) (*PathwaySet, Metrics, *obs.Span, error) {
+	var m Metrics
+	te := newTraceEval(e.acc.Name(), p, parent)
+	start := time.Now()
+	set, err := e.evalSeeded(view, p, seeds, &evalState{m: &m, tr: te})
+	if set != nil {
+		m.PathsEmitted = set.Len()
+	}
+	te.finish(set, m)
+	e.record(m, time.Since(start))
+	return set, m, te.root, err
+}
+
+func (e *Engine) evalSeeded(view graph.View, p *Plan, seeds []graph.UID, es *evalState) (*PathwaySet, error) {
 	out := NewPathwaySet()
 	c := p.Checked
-	nfa := c.NFA()
 	for _, seed := range seeds {
 		obj := e.acc.Store().Object(seed)
 		if obj == nil || obj.IsEdge() || !view.Visible(obj) {
 			continue
 		}
-		if p.SeedDir == Forward {
-			init := search{elems: []graph.UID{seed}, states: nfa.Closure(nfa.Start).Clone()}
-			// Branch (a): the seed node is consumed by a leading node atom.
-			if consumed, ok := e.consume(view, c, init.states, seed, Forward); ok {
-				sp := search{elems: init.elems, states: consumed, nconsumed: 1}
-				for _, comp := range e.forwardAll(view, c, p, sp) {
-					e.finish(view, c, out, comp.elems, comp.tailEdge, false)
-				}
-			}
-			// Branch (b): the seed is the implicit endpoint of a leading
-			// edge match; nothing consumed yet.
-			for _, comp := range e.forwardAll(view, c, p, init) {
+		if es.tr != nil {
+			es.tr.seedSelectSpan().AddRows(1, 1)
+			sp := es.tr.unionSpan()
+			before := out.Len()
+			t0 := time.Now()
+			e.evalSeedOne(view, c, p, seed, out, es)
+			sp.AddDuration(time.Since(t0))
+			sp.AddRows(0, int64(out.Len()-before))
+		} else {
+			e.evalSeedOne(view, c, p, seed, out, es)
+		}
+		es.m.addAnchors(1)
+	}
+	return out, nil
+}
+
+// evalSeedOne runs both seed branches (§3.4) for one seed node.
+func (e *Engine) evalSeedOne(view graph.View, c *rpe.Checked, p *Plan, seed graph.UID, out *PathwaySet, es *evalState) {
+	nfa := c.NFA()
+	if p.SeedDir == Forward {
+		init := search{elems: []graph.UID{seed}, states: nfa.Closure(nfa.Start).Clone()}
+		// Branch (a): the seed node is consumed by a leading node atom.
+		if consumed, ok := e.consume(view, c, init.states, seed, Forward); ok {
+			sp := search{elems: init.elems, states: consumed, nconsumed: 1}
+			for _, comp := range e.forwardAll(view, c, p, sp, es) {
 				e.finish(view, c, out, comp.elems, comp.tailEdge, false)
 			}
-		} else {
-			init := search{elems: []graph.UID{seed}, states: nfa.ClosureRev(nfa.Accept).Clone()}
-			if consumed, ok := e.consume(view, c, init.states, seed, Backward); ok {
-				sp := search{elems: init.elems, states: consumed, nconsumed: 1}
-				for _, comp := range e.backwardAll(view, c, p, sp) {
-					e.finish(view, c, out, reversed(comp.elems), false, comp.tailEdge)
-				}
-			}
-			for _, comp := range e.backwardAll(view, c, p, init) {
+		}
+		// Branch (b): the seed is the implicit endpoint of a leading
+		// edge match; nothing consumed yet.
+		for _, comp := range e.forwardAll(view, c, p, init, es) {
+			e.finish(view, c, out, comp.elems, comp.tailEdge, false)
+		}
+	} else {
+		init := search{elems: []graph.UID{seed}, states: nfa.ClosureRev(nfa.Accept).Clone()}
+		if consumed, ok := e.consume(view, c, init.states, seed, Backward); ok {
+			sp := search{elems: init.elems, states: consumed, nconsumed: 1}
+			for _, comp := range e.backwardAll(view, c, p, sp, es) {
 				e.finish(view, c, out, reversed(comp.elems), false, comp.tailEdge)
 			}
 		}
+		for _, comp := range e.backwardAll(view, c, p, init, es) {
+			e.finish(view, c, out, reversed(comp.elems), false, comp.tailEdge)
+		}
 	}
-	return out, nil
 }
 
 // search is a partial pathway under construction. For forward searches
@@ -133,19 +284,19 @@ type completion struct {
 
 // forward runs a forward half-search and returns all completions,
 // including the trivial one when the anchor state set already accepts.
-func (e *Engine) forward(view graph.View, c *rpe.Checked, p *Plan, init search) []completion {
+func (e *Engine) forward(view graph.View, c *rpe.Checked, p *Plan, init search, es *evalState) []completion {
 	init.nconsumed = 1 // anchor element already consumed
-	return e.forwardAll(view, c, p, init)
+	return e.forwardAll(view, c, p, init, es)
 }
 
-func (e *Engine) forwardAll(view graph.View, c *rpe.Checked, p *Plan, init search) []completion {
+func (e *Engine) forwardAll(view graph.View, c *rpe.Checked, p *Plan, init search, es *evalState) []completion {
 	nfa := c.NFA()
 	var out []completion
 	stack := []search{init}
 	for len(stack) > 0 {
 		cur := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		e.metrics.addPartial()
+		es.m.addPartial()
 		if cur.nconsumed > 0 && cur.states.Has(nfa.Accept) {
 			tail := cur.elems[len(cur.elems)-1]
 			out = append(out, completion{elems: cloneUIDs(cur.elems), tailEdge: e.isEdge(tail)})
@@ -157,13 +308,9 @@ func (e *Engine) forwardAll(view graph.View, c *rpe.Checked, p *Plan, init searc
 		if e.isEdge(tail) {
 			// Structural successor: the edge's destination node.
 			next := e.acc.Store().Object(tail).Dst
-			e.step(view, c, &stack, cur, next, Forward)
+			e.step(view, c, &stack, cur, next, Forward, es)
 		} else if hint, feasible := e.expandHint(c, cur.states, Forward); feasible {
-			edges := e.acc.IncidentEdges(view, tail, Forward, hint, c)
-			e.metrics.addEdges(len(edges))
-			for _, edge := range edges {
-				e.step(view, c, &stack, cur, edge, Forward)
-			}
+			e.expand(view, c, &stack, cur, tail, hint, Forward, es)
 		}
 	}
 	return out
@@ -171,19 +318,19 @@ func (e *Engine) forwardAll(view graph.View, c *rpe.Checked, p *Plan, init searc
 
 // backward mirrors forward using the reversed automaton. elems is stored
 // reversed (pathway head last).
-func (e *Engine) backward(view graph.View, c *rpe.Checked, p *Plan, init search) []completion {
+func (e *Engine) backward(view graph.View, c *rpe.Checked, p *Plan, init search, es *evalState) []completion {
 	init.nconsumed = 1
-	return e.backwardAll(view, c, p, init)
+	return e.backwardAll(view, c, p, init, es)
 }
 
-func (e *Engine) backwardAll(view graph.View, c *rpe.Checked, p *Plan, init search) []completion {
+func (e *Engine) backwardAll(view graph.View, c *rpe.Checked, p *Plan, init search, es *evalState) []completion {
 	nfa := c.NFA()
 	var out []completion
 	stack := []search{init}
 	for len(stack) > 0 {
 		cur := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		e.metrics.addPartial()
+		es.m.addPartial()
 		if cur.nconsumed > 0 && cur.states.Has(nfa.Start) {
 			head := cur.elems[len(cur.elems)-1]
 			out = append(out, completion{elems: cloneUIDs(cur.elems), tailEdge: e.isEdge(head)})
@@ -194,37 +341,66 @@ func (e *Engine) backwardAll(view graph.View, c *rpe.Checked, p *Plan, init sear
 		head := cur.elems[len(cur.elems)-1]
 		if e.isEdge(head) {
 			prev := e.acc.Store().Object(head).Src
-			e.step(view, c, &stack, cur, prev, Backward)
+			e.step(view, c, &stack, cur, prev, Backward, es)
 		} else if hint, feasible := e.expandHint(c, cur.states, Backward); feasible {
-			edges := e.acc.IncidentEdges(view, head, Backward, hint, c)
-			e.metrics.addEdges(len(edges))
-			for _, edge := range edges {
-				e.step(view, c, &stack, cur, edge, Backward)
-			}
+			e.expand(view, c, &stack, cur, head, hint, Backward, es)
 		}
 	}
 	return out
 }
 
+// expand performs one Extend operator execution: an adjacency probe at
+// node followed by one consume attempt per returned edge. When tracing,
+// the probe's wall time and candidate volume accumulate into the Extend
+// span of the (hint, dir) operator.
+func (e *Engine) expand(view graph.View, c *rpe.Checked, stack *[]search, cur search, node graph.UID, hint *rpe.Atom, dir Direction, es *evalState) {
+	if es.tr == nil {
+		edges := e.acc.IncidentEdges(view, node, dir, hint, c)
+		es.m.addEdges(len(edges))
+		for _, edge := range edges {
+			e.step(view, c, stack, cur, edge, dir, es)
+		}
+		return
+	}
+	sp := es.tr.extendSpan(hint, dir)
+	t0 := time.Now()
+	edges := e.acc.IncidentEdges(view, node, dir, hint, c)
+	sp.AddDuration(time.Since(t0))
+	sp.Add("probes", 1)
+	sp.Add("edges_scanned", int64(len(edges)))
+	sp.AddRows(1, 0)
+	es.m.addEdges(len(edges))
+	for _, edge := range edges {
+		if e.step(view, c, stack, cur, edge, dir, es) {
+			sp.AddRows(0, 1)
+		} else {
+			// Candidates pruned by cycle prevention or rejected by the NFA.
+			sp.Add("rejected", 1)
+		}
+	}
+}
+
 // step consumes one element in the given direction, pushing the extended
-// partial when any transition fires.
-func (e *Engine) step(view graph.View, c *rpe.Checked, stack *[]search, cur search, elem graph.UID, dir Direction) {
+// partial when any transition fires. It reports whether the element was
+// consumed.
+func (e *Engine) step(view graph.View, c *rpe.Checked, stack *[]search, cur search, elem graph.UID, dir Direction, es *evalState) bool {
 	for _, seen := range cur.elems {
 		if seen == elem {
-			return // cycle prevention: H.id_ != ANY(uid_list)
+			return false // cycle prevention: H.id_ != ANY(uid_list)
 		}
 	}
 	next, ok := e.consume(view, c, cur.states, elem, dir)
 	if !ok {
-		e.metrics.addRejected()
-		return
+		es.m.addRejected()
+		return false
 	}
-	e.metrics.addConsumed()
+	es.m.addConsumed()
 	*stack = append(*stack, search{
 		elems:     append(cloneUIDs(cur.elems), elem),
 		states:    next,
 		nconsumed: cur.nconsumed + 1,
 	})
+	return true
 }
 
 // consume advances the state set over one element: skip transitions fire

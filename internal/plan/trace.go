@@ -1,0 +1,297 @@
+package plan
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/rpe"
+)
+
+// traceEval accumulates one traced evaluation's operator-DAG spans. Each
+// logical operator of the plan — the Select for every anchor atom, the
+// Extend for every (edge atom, direction) pair the search expands
+// through, and the Union that assembles pathways from half-searches —
+// owns one span whose duration and counters are the totals across all of
+// the operator's executions during the search.
+type traceEval struct {
+	root    *obs.Span
+	backend string
+	selects map[int]*obs.Span
+	extends map[extendKey]*obs.Span
+	union   *obs.Span
+	seedSel *obs.Span
+}
+
+type extendKey struct {
+	atomID int // -1 for an unpruned scan (no single-atom hint)
+	dir    Direction
+}
+
+// newTraceEval starts an Eval span (under parent when non-nil).
+func newTraceEval(backend string, p *Plan, parent *obs.Span) *traceEval {
+	detail := fmt.Sprintf("%s [%s]", p.Checked.Expr, backend)
+	var root *obs.Span
+	if parent != nil {
+		root = parent.StartChild("Eval", detail)
+	} else {
+		root = obs.NewSpan("Eval", detail)
+	}
+	return &traceEval{
+		root:    root,
+		backend: backend,
+		selects: make(map[int]*obs.Span),
+		extends: make(map[extendKey]*obs.Span),
+	}
+}
+
+// selectSpan returns the accumulator span of the Select operator for one
+// anchor atom.
+func (t *traceEval) selectSpan(a *rpe.Atom) *obs.Span {
+	sp := t.selects[a.ID()]
+	if sp == nil {
+		sp = t.root.Child("Select", fmt.Sprintf("%s [%s]", a, t.backend))
+		sp.Add("atom_id", int64(a.ID()))
+		t.selects[a.ID()] = sp
+	}
+	return sp
+}
+
+// seedSelectSpan is the Select-equivalent span of a seeded plan: rows out
+// are the imported seed nodes admitted by the view.
+func (t *traceEval) seedSelectSpan() *obs.Span {
+	if t.seedSel == nil {
+		t.seedSel = t.root.Child("Select", "imported seeds [join]")
+	}
+	return t.seedSel
+}
+
+// extendSpan returns the accumulator span of the Extend operator for one
+// (pruning hint, direction) pair. A nil hint is the unpruned
+// scan-every-edge case the §6 ablation measures.
+func (t *traceEval) extendSpan(hint *rpe.Atom, dir Direction) *obs.Span {
+	key := extendKey{atomID: -1, dir: dir}
+	detail := fmt.Sprintf("(unpruned) %s [%s]", dir, t.backend)
+	if hint != nil {
+		key.atomID = hint.ID()
+		detail = fmt.Sprintf("%s %s [%s]", hint, dir, t.backend)
+	}
+	sp := t.extends[key]
+	if sp == nil {
+		sp = t.root.Child("Extend", detail)
+		if hint != nil {
+			sp.Add("atom_id", int64(hint.ID()))
+		}
+		t.extends[key] = sp
+	}
+	return sp
+}
+
+// unionSpan returns the span of the Union operator joining backward and
+// forward half-pathways around anchors (and assembling seeded results).
+func (t *traceEval) unionSpan() *obs.Span {
+	if t.union == nil {
+		t.union = t.root.Child("Union", "")
+	}
+	return t.union
+}
+
+// finish closes the Eval span, stamping result totals on the root so the
+// tree is self-describing.
+func (t *traceEval) finish(set *PathwaySet, m Metrics) {
+	if set != nil {
+		t.root.AddRows(0, int64(set.Len()))
+	}
+	t.root.Add("anchors", int64(m.AnchorRecords))
+	t.root.Add("edges_scanned", int64(m.EdgesScanned))
+	t.root.Add("partials", int64(m.PartialsExplored))
+	t.root.Add("paths", int64(m.PathsEmitted))
+	t.root.Finish()
+}
+
+// opStats aggregates the measured statistics attributed to one atom (or
+// one operator kind) across a traced evaluation's span tree.
+type opStats struct {
+	dur      time.Duration
+	probes   int64
+	edges    int64
+	rowsIn   int64
+	rowsOut  int64
+	rejected int64
+	seen     bool
+}
+
+func (o *opStats) fold(s *obs.Span) {
+	o.seen = true
+	o.dur += s.Duration()
+	in, out := s.Rows()
+	o.rowsIn += in
+	o.rowsOut += out
+	cs := s.Counters()
+	o.probes += cs["probes"]
+	o.edges += cs["edges_scanned"]
+	o.rejected += cs["rejected"]
+}
+
+func (o *opStats) add(other opStats) {
+	if !other.seen {
+		return
+	}
+	o.seen = true
+	o.dur += other.dur
+	o.probes += other.probes
+	o.edges += other.edges
+	o.rowsIn += other.rowsIn
+	o.rowsOut += other.rowsOut
+	o.rejected += other.rejected
+}
+
+// annotation renders the aggregate as the bracketed suffix of a plan line.
+func (o opStats) annotation() string {
+	if !o.seen {
+		return ""
+	}
+	parts := []string{"time=" + obs.FormatDuration(o.dur)}
+	if o.probes > 0 {
+		parts = append(parts, fmt.Sprintf("probes=%d", o.probes))
+	}
+	if o.rowsIn > 0 {
+		parts = append(parts, fmt.Sprintf("rows_in=%d", o.rowsIn))
+	}
+	parts = append(parts, fmt.Sprintf("rows_out=%d", o.rowsOut))
+	parts = append(parts, fmt.Sprintf("edges_scanned=%d", o.edges))
+	if o.rejected > 0 {
+		parts = append(parts, fmt.Sprintf("rejected=%d", o.rejected))
+	}
+	return "  [" + strings.Join(parts, " ") + "]"
+}
+
+// traceStats is the per-atom view of a traced evaluation, extracted from
+// a span (sub)tree produced by EvalTraced. The tree may be a single Eval
+// span or any ancestor (a per-variable or per-query span): all descendant
+// operator spans are folded in.
+type traceStats struct {
+	selects  map[int]*opStats
+	extends  map[int]*opStats
+	unpruned opStats
+	union    opStats
+	evalDur  time.Duration
+	evals    int64
+	paths    int64
+}
+
+func collectTraceStats(root *obs.Span) *traceStats {
+	ts := &traceStats{
+		selects: make(map[int]*opStats),
+		extends: make(map[int]*opStats),
+	}
+	root.Walk(func(s *obs.Span) {
+		cs := s.Counters()
+		id, hasAtom := cs["atom_id"]
+		switch s.Name() {
+		case "Eval":
+			ts.evals++
+			ts.evalDur += s.Duration()
+			_, out := s.Rows()
+			ts.paths += out
+		case "Select":
+			if hasAtom {
+				st := ts.selects[int(id)]
+				if st == nil {
+					st = &opStats{}
+					ts.selects[int(id)] = st
+				}
+				st.fold(s)
+			}
+		case "Extend":
+			if hasAtom {
+				st := ts.extends[int(id)]
+				if st == nil {
+					st = &opStats{}
+					ts.extends[int(id)] = st
+				}
+				st.fold(s)
+			} else {
+				ts.unpruned.fold(s)
+			}
+		case "Union":
+			ts.union.fold(s)
+		}
+	})
+	return ts
+}
+
+// subtreeStats aggregates the stats of every atom under an expression —
+// the annotation of ExtendBlock, Union, and Sequence lines.
+func (ts *traceStats) subtreeStats(e rpe.Expr) opStats {
+	var agg opStats
+	var walk func(e rpe.Expr)
+	walk = func(e rpe.Expr) {
+		switch x := e.(type) {
+		case *rpe.Atom:
+			if st := ts.selects[x.ID()]; st != nil {
+				agg.add(*st)
+			}
+			if st := ts.extends[x.ID()]; st != nil {
+				agg.add(*st)
+			}
+		case *rpe.Sequence:
+			for _, part := range x.Parts {
+				walk(part)
+			}
+		case *rpe.Alternation:
+			for _, alt := range x.Alts {
+				walk(alt)
+			}
+		case *rpe.Repetition:
+			walk(x.Body)
+		}
+	}
+	walk(e)
+	return agg
+}
+
+// ExplainAnalyze renders the plan's operator DAG annotated with the
+// measured per-operator statistics of a traced evaluation — wall time,
+// rows in/out, backend probe counts, and EdgesScanned — in the style of
+// EXPLAIN ANALYZE. root is a span returned by EvalTraced (or any ancestor
+// span containing one or more such evaluations, whose stats aggregate).
+func (p *Plan) ExplainAnalyze(root *obs.Span) string {
+	ts := collectTraceStats(root)
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "RPE: %s\n", p.Checked.Expr)
+	if p.Seeded {
+		fmt.Fprintf(&sb, "Select: imported anchor (join seed at %s end)\n", seedEnd(p.SeedDir))
+	} else {
+		fmt.Fprintf(&sb, "Select: %s\n", p.Anchor)
+	}
+	fmt.Fprintf(&sb, "MaxLen: %d elements\n", p.MaxLen)
+	anchors := p.anchorIDs()
+	sb.WriteString(explainOps(p.Checked.Expr, anchors, func(e rpe.Expr) string {
+		switch x := e.(type) {
+		case *rpe.Atom:
+			var agg opStats
+			if anchors[x.ID()] {
+				if st := ts.selects[x.ID()]; st != nil {
+					agg.add(*st)
+				}
+			}
+			if st := ts.extends[x.ID()]; st != nil {
+				agg.add(*st)
+			}
+			return agg.annotation()
+		default:
+			return ts.subtreeStats(e).annotation()
+		}
+	}))
+	if ts.unpruned.seen {
+		sb.WriteString("  Extend (unpruned, all edge classes)" + ts.unpruned.annotation() + "\n")
+	}
+	if ts.union.seen {
+		sb.WriteString("  Union (assemble pathways)" + ts.union.annotation() + "\n")
+	}
+	fmt.Fprintf(&sb, "Eval: time=%s evals=%d paths=%d\n",
+		obs.FormatDuration(ts.evalDur), ts.evals, ts.paths)
+	return sb.String()
+}

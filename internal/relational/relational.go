@@ -15,8 +15,10 @@ package relational
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/plan"
 	"repro/internal/rpe"
 	"repro/internal/schema"
@@ -36,6 +38,20 @@ type Backend struct {
 	// indexedThrough is the highest UID already folded into the indexes;
 	// endpoints are immutable so edges never need reindexing.
 	indexedThrough graph.UID
+
+	obs atomic.Pointer[backendObs]
+}
+
+// backendObs caches the registry counters an instrumented backend
+// records; nil (the default) disables recording. The hinted/unpruned
+// split makes the §6 ablation's physical difference directly readable
+// from the metrics dump: hinted probes touch only one class subtree's
+// hash indexes, unpruned probes join every edge table.
+type backendObs struct {
+	anchorProbes  *obs.Counter
+	uniqueLookups *obs.Counter
+	hintedProbes  *obs.Counter
+	unprunedProbe *obs.Counter
 }
 
 // New returns a backend over the store.
@@ -52,6 +68,22 @@ func (b *Backend) Name() string { return "relational" }
 
 // Store implements plan.Accessor.
 func (b *Backend) Store() *graph.Store { return b.store }
+
+// Instrument attaches a metrics registry: anchor probes, unique-index
+// lookups, and hinted vs unpruned adjacency probes are then counted under
+// "backend.relational.*". A nil registry detaches.
+func (b *Backend) Instrument(r *obs.Registry) {
+	if r == nil {
+		b.obs.Store(nil)
+		return
+	}
+	b.obs.Store(&backendObs{
+		anchorProbes:  r.Counter("backend.relational.anchor_probes"),
+		uniqueLookups: r.Counter("backend.relational.unique_lookups"),
+		hintedProbes:  r.Counter("backend.relational.hinted_probes"),
+		unprunedProbe: r.Counter("backend.relational.unpruned_probes"),
+	})
+}
 
 // refresh folds edges inserted since the last call into the per-class
 // indexes. History rows stay indexed (the __history tables share the
@@ -89,8 +121,15 @@ func (b *Backend) refresh() {
 // unique-field equality, otherwise a scan of each concrete class table in
 // the atom's subtree (SELECT ... FROM <class>__historical WHERE ...).
 func (b *Backend) AnchorElements(view graph.View, c *rpe.Checked, a *rpe.Atom) []graph.UID {
+	o := b.obs.Load()
+	if o != nil {
+		o.anchorProbes.Add(1)
+	}
 	cls := c.ClassOf(a)
 	if uid, ok := uniqueLookup(b.store, cls, a); ok {
+		if o != nil {
+			o.uniqueLookups.Add(1)
+		}
 		obj := b.store.Object(uid)
 		if obj != nil && obj.Class.IsSubclassOf(cls) {
 			return []graph.UID{uid}
@@ -113,6 +152,9 @@ func (b *Backend) IncidentEdges(view graph.View, node graph.UID, dir plan.Direct
 		idx = b.byDst
 	}
 	if atom != nil {
+		if o := b.obs.Load(); o != nil {
+			o.hintedProbes.Add(1)
+		}
 		cls := c.ClassOf(atom)
 		var out []graph.UID
 		for _, name := range cls.SubtreeNames() {
@@ -121,6 +163,9 @@ func (b *Backend) IncidentEdges(view graph.View, node graph.UID, dir plan.Direct
 			}
 		}
 		return out
+	}
+	if o := b.obs.Load(); o != nil {
+		o.unprunedProbe.Add(1)
 	}
 	var out []graph.UID
 	for _, name := range schema.SortedNames(idx) {
