@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-race bench
+.PHONY: all build vet test test-race bench chaos
 
 all: build vet test
 
@@ -22,3 +22,11 @@ test-race:
 
 bench:
 	$(GO) test -bench=. -benchmem .
+
+# Fault-injection suite: chaos-backed retry/breaker/degradation tests plus
+# the governance (cancellation, deadline, limit) tests, run twice under the
+# race detector to shake out scheduling-dependent failures.
+chaos:
+	$(GO) test -race -count=2 ./internal/chaos/
+	$(GO) test -race -count=2 -run 'Chaos|Routed|Govern|Cancel|Deadline|Limit|Degrade|Breaker|Retry|Panic' \
+		./internal/plan/ ./internal/exec/ ./internal/core/

@@ -13,8 +13,10 @@ package repro
 // shape; scale it up via cmd/nepalbench -services.
 
 import (
+	"context"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/bench"
 	"repro/internal/graph"
@@ -280,6 +282,65 @@ func BenchmarkObsOverhead(b *testing.B) {
 		eng := f.Engine("relational")
 		run(b, eng, func(p *plan.Plan) error {
 			_, _, _, err := eng.EvalTraced(view, p, nil)
+			return err
+		})
+	})
+}
+
+// ---- Governance overhead: ungoverned vs governed evaluation ----
+
+// BenchmarkGovernanceOverhead compares the Table 1 top-down mix with the
+// query-governance layer off and on:
+//
+//	Ungoverned — plain Eval; the governor is nil and every checkpoint is a
+//	             single nil check (the default path when no context
+//	             deadline and no Limits are set)
+//	Governed   — EvalWith under a cancellable context and generous Limits,
+//	             so every checkpoint, edge charge, and path charge runs
+//	             for real but nothing trips
+//
+// The acceptance bar is Ungoverned within noise of the pre-governance
+// baseline (the nil fast path adds no measurable cost to the hot loops);
+// Governed is expected to cost a few percent and is reported for scale.
+func BenchmarkGovernanceOverhead(b *testing.B) {
+	f := serviceFx(b)
+	s := workload.NewServiceSampler(f.Store, f.Service, 4004)
+	view := graph.CurrentView(f.Store)
+	plans := make([]*plan.Plan, 16)
+	for i := range plans {
+		c, err := rpe.CheckString(s.TopDown(i), f.Store.Schema())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if plans[i], err = plan.Build(c, f.Store.Stats()); err != nil {
+			b.Fatal(err)
+		}
+	}
+	run := func(b *testing.B, eng *plan.Engine, eval func(*plan.Plan) error) {
+		if err := eval(plans[0]); err != nil { // warm backend indexes
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := eval(plans[i%len(plans)]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("Ungoverned", func(b *testing.B) {
+		eng := f.Engine("relational")
+		run(b, eng, func(p *plan.Plan) error {
+			_, err := eng.Eval(view, p)
+			return err
+		})
+	})
+	b.Run("Governed", func(b *testing.B) {
+		eng := f.Engine("relational")
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		lim := plan.Limits{MaxPaths: 1 << 30, MaxEdgesScanned: 1 << 30, MaxDuration: time.Hour}
+		run(b, eng, func(p *plan.Plan) error {
+			_, _, _, err := eng.EvalWith(view, p, plan.EvalOpts{Gov: plan.NewGovernor(ctx, lim)})
 			return err
 		})
 	})

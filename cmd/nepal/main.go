@@ -40,6 +40,7 @@ import (
 
 	"repro/internal/codegen"
 	"repro/internal/core"
+	"repro/internal/exec"
 	"repro/internal/graph"
 	"repro/internal/netmodel"
 	"repro/internal/obs"
@@ -68,6 +69,12 @@ type options struct {
 	// slowQuery, when positive, logs queries at least this slow with
 	// their plan and metrics.
 	slowQuery time.Duration
+	// timeout, maxPaths, and maxEdges are per-query guardrails: a query
+	// that crosses one aborts with a one-line typed error instead of
+	// hanging the process on a pathological expansion.
+	timeout  time.Duration
+	maxPaths int
+	maxEdges int
 	// pprofAddr, when set, serves net/http/pprof (and expvar under
 	// /debug/vars) on the address for the life of the process.
 	pprofAddr string
@@ -90,6 +97,9 @@ func main() {
 	flag.StringVar(&opt.gen, "codegen", "", "also print generated target code: sql, gremlin, script, or ddl")
 	flag.BoolVar(&opt.metrics, "metrics", false, "dump the engine metrics registry after the queries")
 	flag.DurationVar(&opt.slowQuery, "slow-query", 0, "log queries at least this slow with plan and metrics (0 disables)")
+	flag.DurationVar(&opt.timeout, "timeout", 0, "abort queries running longer than this (0 disables)")
+	flag.IntVar(&opt.maxPaths, "max-paths", 0, "abort queries emitting more than this many pathways (0 disables)")
+	flag.IntVar(&opt.maxEdges, "max-edges", 0, "abort queries scanning more than this many edges (0 disables)")
 	flag.StringVar(&opt.pprofAddr, "pprof", "", "serve net/http/pprof and /debug/vars on this address (e.g. localhost:6060)")
 	flag.Parse()
 
@@ -121,6 +131,11 @@ func run(opt options) error {
 	if opt.slowQuery > 0 {
 		db.SetSlowLog(obs.NewSlowLog(opt.slowQuery, out))
 	}
+	db.SetLimits(exec.Limits{
+		MaxDuration:     opt.timeout,
+		MaxPaths:        opt.maxPaths,
+		MaxEdgesScanned: opt.maxEdges,
+	})
 	if opt.pprofAddr != "" {
 		publishOnce.Do(func() { reg.Publish("nepal") })
 		go func() {

@@ -2,11 +2,15 @@ package main
 
 import (
 	"bytes"
+	"errors"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 	"time"
+
+	"repro/internal/exec"
 )
 
 func TestRunDemoQuery(t *testing.T) {
@@ -138,5 +142,31 @@ func TestRunWithSchemaFile(t *testing.T) {
 	var out bytes.Buffer
 	if err := run(options{schemaPath: path, backend: "gremlin", q: q, out: &out}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestRunGuardrailFlags(t *testing.T) {
+	q := "Retrieve P From PATHS P Where P MATCHES VNF()->[Vertical()]{1,6}->Host()"
+	// A crossed limit surfaces as a single run error (main prints it as
+	// one line and exits 1).
+	var out bytes.Buffer
+	err := run(options{model: "netmodel", demo: true, backend: "gremlin", q: q, maxPaths: 1, out: &out})
+	if err == nil {
+		t.Fatal("max-paths=1 query succeeded")
+	}
+	if !errors.Is(err, exec.ErrLimitExceeded) {
+		t.Errorf("limit error = %v, want exec.ErrLimitExceeded", err)
+	}
+	if strings.Contains(fmt.Sprintf("%v", err), "\n") {
+		t.Errorf("limit error is not one line: %q", err)
+	}
+	// Generous guardrails leave the query untouched.
+	out.Reset()
+	if err := run(options{model: "netmodel", demo: true, backend: "gremlin", q: q,
+		timeout: time.Minute, maxPaths: 1 << 20, maxEdges: 1 << 20, out: &out}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "(3 rows)") {
+		t.Errorf("guarded query output = %q, want 3 rows", out.String())
 	}
 }

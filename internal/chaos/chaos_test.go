@@ -1,0 +1,136 @@
+package chaos_test
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/graph"
+	"repro/internal/gremlin"
+	"repro/internal/netmodel"
+	"repro/internal/plan"
+	"repro/internal/rpe"
+	"repro/internal/temporal"
+)
+
+var t0 = time.Date(2017, 2, 15, 0, 0, 0, 0, time.UTC)
+
+func demoStore(t *testing.T) *graph.Store {
+	t.Helper()
+	st := graph.NewStore(netmodel.MustSchema(), temporal.NewManualClock(t0))
+	if _, err := netmodel.BuildDemo(st, 1000); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func demoPlan(t *testing.T, st *graph.Store) *plan.Plan {
+	t.Helper()
+	c, err := rpe.CheckString("VNF()->[Vertical()]{1,6}->Host()", st.Schema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := plan.Build(c, st.Stats())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestFailFirstThenHeals(t *testing.T) {
+	st := demoStore(t)
+	acc := chaos.Wrap(gremlin.New(st), chaos.WithFailFirst(2))
+	eng := plan.NewEngine(acc)
+	view := graph.CurrentView(st)
+	p := demoPlan(t, st)
+
+	for i := 0; i < 2; i++ {
+		_, err := eng.Eval(view, p)
+		if err == nil {
+			t.Fatalf("probe %d: injected fault did not surface", i+1)
+		}
+		var f *chaos.Fault
+		if !errors.As(err, &f) {
+			t.Fatalf("probe %d: error %v is not a *chaos.Fault", i+1, err)
+		}
+		if !f.Transient() {
+			t.Error("injected fault must classify as transient")
+		}
+	}
+	set, err := eng.Eval(view, p)
+	if err != nil {
+		t.Fatalf("post-outage eval = %v, want recovery", err)
+	}
+	if set.Len() != 3 {
+		t.Errorf("recovered pathway set = %d, want 3 demo chains", set.Len())
+	}
+	if acc.Faults() != 2 {
+		t.Errorf("Faults = %d, want 2", acc.Faults())
+	}
+	if acc.Calls() <= acc.Faults() {
+		t.Errorf("Calls = %d, must exceed the %d faults once healthy", acc.Calls(), acc.Faults())
+	}
+}
+
+func TestFailProbDeterministic(t *testing.T) {
+	// Same seed, same probe sequence: the fault pattern must reproduce.
+	st := demoStore(t)
+	run := func() (int64, int64) {
+		acc := chaos.Wrap(gremlin.New(st), chaos.WithFailProb(0.3, 99))
+		eng := plan.NewEngine(acc)
+		p := demoPlan(t, st)
+		for i := 0; i < 8; i++ {
+			eng.Eval(graph.CurrentView(st), p) // errors expected; only counts matter
+		}
+		return acc.Calls(), acc.Faults()
+	}
+	c1, f1 := run()
+	c2, f2 := run()
+	if c1 != c2 || f1 != f2 {
+		t.Errorf("seeded runs diverged: calls %d/%d, faults %d/%d", c1, c2, f1, f2)
+	}
+	if f1 == 0 {
+		t.Error("p=0.3 over many probes injected no faults")
+	}
+}
+
+func TestHealStopsInjection(t *testing.T) {
+	st := demoStore(t)
+	acc := chaos.Wrap(gremlin.New(st), chaos.WithFailProb(1, 1))
+	eng := plan.NewEngine(acc)
+	p := demoPlan(t, st)
+	if _, err := eng.Eval(graph.CurrentView(st), p); err == nil {
+		t.Fatal("p=1 wrapper did not fail")
+	}
+	acc.Heal()
+	if _, err := eng.Eval(graph.CurrentView(st), p); err != nil {
+		t.Fatalf("healed eval = %v", err)
+	}
+}
+
+func TestWrapperTransparency(t *testing.T) {
+	// A fault-free wrapper must be invisible: same name, store, and
+	// pathway set as the bare backend.
+	st := demoStore(t)
+	bare := gremlin.New(st)
+	acc := chaos.Wrap(bare, chaos.WithLatency(time.Microsecond))
+	if acc.Name() != bare.Name() {
+		t.Errorf("Name = %q, want %q", acc.Name(), bare.Name())
+	}
+	if acc.Store() != st {
+		t.Error("Store must pass through to the wrapped backend")
+	}
+	p := demoPlan(t, st)
+	want, err := plan.NewEngine(bare).Eval(graph.CurrentView(st), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := plan.NewEngine(acc).Eval(graph.CurrentView(st), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != want.Len() {
+		t.Errorf("wrapped eval = %d pathways, bare = %d", got.Len(), want.Len())
+	}
+}

@@ -18,6 +18,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -44,6 +45,7 @@ const (
 type config struct {
 	backend string
 	clock   *temporal.Clock
+	wrap    func(plan.Accessor) plan.Accessor
 }
 
 // Option configures Open.
@@ -59,6 +61,14 @@ func WithBackend(name string) Option {
 // pass a temporal.NewManualClock.
 func WithClock(clock *temporal.Clock) Option {
 	return func(c *config) { c.clock = clock }
+}
+
+// WithAccessorWrapper interposes on the backend's physical access layer:
+// the wrapper receives the backend accessor and returns the accessor the
+// engine drives. Fault-injection tests pass internal/chaos.Wrap here; a
+// nil wrapper is ignored.
+func WithAccessorWrapper(w func(plan.Accessor) plan.Accessor) Option {
+	return func(c *config) { c.wrap = w }
 }
 
 // DB is an open Nepal database.
@@ -88,6 +98,9 @@ func Open(sch *schema.Schema, opts ...Option) (*DB, error) {
 	default:
 		return nil, fmt.Errorf("core: unknown backend %q (use %q or %q)",
 			cfg.backend, BackendGremlin, BackendRelational)
+	}
+	if cfg.wrap != nil {
+		acc = cfg.wrap(acc)
 	}
 	engine := plan.NewEngine(acc)
 	return &DB{store: store, engine: engine, executor: exec.New(engine),
@@ -178,20 +191,39 @@ func (db *DB) SetSlowLog(l *obs.SlowLog) { db.slowLog = l }
 // SlowLog returns the installed slow-query log, if any.
 func (db *DB) SlowLog() *obs.SlowLog { return db.slowLog }
 
+// SetLimits installs per-query resource guardrails: every subsequent
+// Query/QueryContext/QueryTraced on this DB runs under them and aborts
+// with exec.ErrLimitExceeded (or ErrDeadlineExceeded for MaxDuration)
+// when a bound is crossed. The zero Limits removes all guardrails. Call
+// before the database starts serving queries.
+func (db *DB) SetLimits(lim exec.Limits) { db.executor.Limits = lim }
+
+// Limits returns the installed per-query guardrails.
+func (db *DB) Limits() exec.Limits { return db.executor.Limits }
+
 // Query parses, analyzes, and executes a Nepal query. The result carries
 // the evaluation's operator-pipeline metrics; tracing stays off on this
 // path, keeping its overhead to counter increments.
 func (db *DB) Query(src string) (*exec.Result, error) {
+	return db.QueryContext(context.Background(), src)
+}
+
+// QueryContext is Query under a context: the query aborts cooperatively
+// with exec.ErrCanceled/exec.ErrDeadlineExceeded when ctx is canceled or
+// its deadline (or the DB's Limits.MaxDuration, whichever is earlier)
+// passes. Aborts are recorded in the db.queries_aborted counter and, as
+// entries with a non-"ok" Outcome, in the slow-query log.
+func (db *DB) QueryContext(ctx context.Context, src string) (*exec.Result, error) {
 	a, err := db.analyze(src)
 	if err != nil {
 		return nil, err
 	}
 	start := time.Now()
-	res, err := db.executor.Run(a)
+	res, err := db.executor.RunContext(ctx, a)
+	db.observeQuery(src, res, time.Since(start), err)
 	if err != nil {
 		return nil, err
 	}
-	db.observeQuery(src, res, time.Since(start))
 	return res, nil
 }
 
@@ -206,34 +238,48 @@ func (db *DB) QueryTraced(src string) (*exec.Result, error) {
 	}
 	start := time.Now()
 	res, err := db.executor.RunTraced(a, nil)
+	db.observeQuery(src, res, time.Since(start), err)
 	if err != nil {
 		return nil, err
 	}
-	db.observeQuery(src, res, time.Since(start))
 	return res, nil
 }
 
 // observeQuery records one finished query into the registry and the slow
-// log.
-func (db *DB) observeQuery(src string, res *exec.Result, dur time.Duration) {
+// log. Aborted queries (err != nil) count into db.queries_aborted and
+// are always logged — regardless of duration — with their termination
+// outcome, since a query that died 1ms into its deadline is exactly the
+// one an operator wants to see.
+func (db *DB) observeQuery(src string, res *exec.Result, dur time.Duration, err error) {
 	if db.reg != nil {
 		db.reg.Counter("db.queries").Add(1)
+		if err != nil {
+			db.reg.Counter("db.queries_aborted").Add(1)
+		}
 		db.reg.Histogram("db.query_latency_ms").Observe(float64(dur) / 1e6)
 	}
-	if db.slowLog != nil && dur >= db.slowLog.Threshold() {
+	if db.slowLog == nil {
+		return
+	}
+	if err == nil && dur < db.slowLog.Threshold() {
+		return
+	}
+	entry := obs.SlowLogEntry{
+		When:     time.Now(),
+		Query:    src,
+		Duration: dur,
+		Outcome:  exec.Outcome(err),
+	}
+	if res != nil {
 		var planText strings.Builder
 		for _, name := range schema.SortedNames(planKeys(res.Plans)) {
 			fmt.Fprintf(&planText, "-- variable %s --\n%s", name, res.Plans[name].Explain())
 		}
-		db.slowLog.Observe(obs.SlowLogEntry{
-			When:     time.Now(),
-			Query:    src,
-			Duration: dur,
-			Plan:     planText.String(),
-			Metrics:  res.Metrics.String(),
-			Trace:    res.Trace,
-		})
+		entry.Plan = planText.String()
+		entry.Metrics = res.Metrics.String()
+		entry.Trace = res.Trace
 	}
+	db.slowLog.Observe(entry)
 }
 
 func planKeys(m map[string]*plan.Plan) map[string]bool {
@@ -248,16 +294,79 @@ func planKeys(m map[string]*plan.Plan) map[string]bool {
 // other databases: routes maps a variable name to the DB serving it.
 // Pathways from the routed stores are joined in the executor, with node
 // identity crossing store boundaries via the schema-unique id field.
+//
+// Each call builds a one-shot Router with the DB's limits and no
+// retry/breaker policy; long-lived routed workloads should hold a
+// NewRouter so breaker state and retry accounting persist across
+// queries.
 func (db *DB) QueryRouted(src string, routes map[string]*DB) (*exec.Result, error) {
-	a, err := db.analyze(src)
-	if err != nil {
-		return nil, err
-	}
+	return db.NewRouter(routes, RoutedOptions{Limits: db.executor.Limits}).Query(src)
+}
+
+// RoutedOptions configures a Router's governance and fault tolerance.
+type RoutedOptions struct {
+	// Limits bounds every query the router runs; zero is unlimited.
+	Limits exec.Limits
+	// Retry is the per-routed-engine retry policy; zero disables retries.
+	Retry exec.RetryPolicy
+	// BreakerThreshold opens a routed engine's circuit breaker after that
+	// many consecutive failures; 0 disables the breaker.
+	BreakerThreshold int
+	// BreakerCooldown, when positive, admits one half-open probe per
+	// interval; 0 keeps an open breaker latched.
+	BreakerCooldown time.Duration
+	// Degrade selects the fallback behavior for unavailable routed
+	// engines; see exec.DegradeMode.
+	Degrade exec.DegradeMode
+	// Reg, when non-nil, receives the exec.routed_retries and
+	// exec.breaker_open counters.
+	Reg *obs.Registry
+}
+
+// Router executes routed (data-integration) queries over a persistent
+// executor, so circuit-breaker state and retry accounting carry across
+// queries instead of resetting per call. Queries observe into the owning
+// DB's registry and slow log like local queries do.
+type Router struct {
+	db *DB
+	x  *exec.Executor
+}
+
+// NewRouter returns a router joining this DB (the default engine) with
+// the routed databases, under the given governance options.
+func (db *DB) NewRouter(routes map[string]*DB, o RoutedOptions) *Router {
 	x := exec.New(db.engine)
+	x.Limits = o.Limits
+	x.Retry = o.Retry
+	x.BreakerThreshold = o.BreakerThreshold
+	x.BreakerCooldown = o.BreakerCooldown
+	x.Degrade = o.Degrade
+	x.Reg = o.Reg
 	for name, other := range routes {
 		x.Route(name, other.engine)
 	}
-	return x.Run(a)
+	return &Router{db: db, x: x}
+}
+
+// Query executes one routed query.
+func (r *Router) Query(src string) (*exec.Result, error) {
+	return r.QueryContext(context.Background(), src)
+}
+
+// QueryContext is Query under a context; see DB.QueryContext for the
+// cancellation contract.
+func (r *Router) QueryContext(ctx context.Context, src string) (*exec.Result, error) {
+	a, err := r.db.analyze(src)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	res, err := r.x.RunContext(ctx, a)
+	r.db.observeQuery(src, res, time.Since(start), err)
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
 }
 
 func (db *DB) analyze(src string) (*query.Analyzed, error) {
@@ -330,11 +439,11 @@ func (db *DB) ExplainAnalyze(src string) (string, *exec.Result, error) {
 	}
 	start := time.Now()
 	res, err := db.executor.RunTraced(a, nil)
+	dur := time.Since(start)
+	db.observeQuery(src, res, dur, err)
 	if err != nil {
 		return "", nil, err
 	}
-	dur := time.Since(start)
-	db.observeQuery(src, res, dur)
 	var sb strings.Builder
 	for _, rv := range a.Query.Vars {
 		p := res.Plans[rv.Name]

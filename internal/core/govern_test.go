@@ -1,0 +1,192 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/exec"
+	"repro/internal/netmodel"
+	"repro/internal/obs"
+	"repro/internal/plan"
+	"repro/internal/temporal"
+)
+
+// openChaosDemo opens a demo DB whose backend is wrapped for fault and
+// latency injection, returning the wrapper for test control.
+func openChaosDemo(t *testing.T, opts ...chaos.Option) (*DB, *chaos.Accessor) {
+	t.Helper()
+	var ca *chaos.Accessor
+	db, err := Open(netmodel.MustSchema(),
+		WithBackend(BackendGremlin),
+		WithClock(temporal.NewManualClock(t0)),
+		WithAccessorWrapper(func(a plan.Accessor) plan.Accessor {
+			ca = chaos.Wrap(a, opts...)
+			return ca
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := netmodel.BuildDemo(db.Store(), 1000); err != nil {
+		t.Fatal(err)
+	}
+	return db, ca
+}
+
+const demoQuery = "Retrieve P From PATHS P Where P MATCHES VNF()->[Vertical()]{1,6}->Host()"
+
+func TestQueryContextTypedAborts(t *testing.T) {
+	// Slow every probe so the demo query cannot finish inside 1ms.
+	db, _ := openChaosDemo(t, chaos.WithLatency(200*time.Microsecond))
+	before := runtime.NumGoroutine()
+
+	// MaxDuration=1ms aborts promptly with the typed deadline error.
+	db.SetLimits(exec.Limits{MaxDuration: time.Millisecond})
+	start := time.Now()
+	_, err := db.Query(demoQuery)
+	if !errors.Is(err, exec.ErrDeadlineExceeded) {
+		t.Fatalf("MaxDuration query = %v, want ErrDeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Errorf("1ms budget aborted after %v", elapsed)
+	}
+
+	// A pre-canceled context aborts before any real work.
+	db.SetLimits(exec.Limits{})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := db.QueryContext(ctx, demoQuery); !errors.Is(err, exec.ErrCanceled) {
+		t.Fatalf("canceled QueryContext = %v, want ErrCanceled", err)
+	}
+
+	// A context deadline maps to the deadline error, not cancellation.
+	ctx, cancel = context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	if _, err := db.QueryContext(ctx, demoQuery); !errors.Is(err, exec.ErrDeadlineExceeded) {
+		t.Fatalf("deadline QueryContext = %v, want ErrDeadlineExceeded", err)
+	}
+
+	// Cooperative aborts are synchronous: no goroutines may leak. Allow
+	// the runtime a moment to retire timer goroutines.
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if now := runtime.NumGoroutine(); now > before {
+		t.Errorf("goroutines leaked across aborted queries: %d -> %d", before, now)
+	}
+}
+
+func TestAbortObservability(t *testing.T) {
+	db, _, _ := openDemo(t, BackendGremlin)
+	reg := obs.NewRegistry()
+	db.Instrument(reg)
+	// Threshold far above any demo query: only the abort rule can log.
+	db.SetSlowLog(obs.NewSlowLog(time.Hour, nil))
+
+	if _, err := db.Query(demoQuery); err != nil {
+		t.Fatal(err)
+	}
+	db.SetLimits(exec.Limits{MaxPaths: 1})
+	if _, err := db.Query(demoQuery); !errors.Is(err, exec.ErrLimitExceeded) {
+		t.Fatalf("limited query = %v, want ErrLimitExceeded", err)
+	}
+
+	if n := reg.Counter("db.queries").Value(); n != 2 {
+		t.Errorf("db.queries = %d, want 2", n)
+	}
+	if n := reg.Counter("db.queries_aborted").Value(); n != 1 {
+		t.Errorf("db.queries_aborted = %d, want 1", n)
+	}
+	entries := db.SlowLog().Entries()
+	if len(entries) != 1 {
+		t.Fatalf("slow log entries = %d, want only the aborted query", len(entries))
+	}
+	e := entries[0]
+	if e.Outcome != "limit" || !e.Aborted() {
+		t.Errorf("entry outcome = %q (aborted=%v), want limit", e.Outcome, e.Aborted())
+	}
+	if e.Query != demoQuery {
+		t.Errorf("entry query = %q", e.Query)
+	}
+}
+
+func routedDemoQuery(t *testing.T, db *DB, d *netmodel.Demo) string {
+	t.Helper()
+	id := db.Store().Object(d.FirewallVNF).Current().Fields["id"]
+	return fmt.Sprintf(`Retrieve Phys
+		From PATHS D1, PATHS Phys
+		Where D1 MATCHES VNF(id=%v)->[Vertical()]{1,6}->Host()
+		And Phys MATCHES PhysicalLink(){1,4}
+		And source(Phys)=target(D1)`, id)
+}
+
+func TestRouterBreakerAndFallbackPersist(t *testing.T) {
+	db, d, _ := openDemo(t, BackendGremlin)
+	dead, ca := openChaosDemo(t, chaos.WithFailProb(1, 17))
+	reg := obs.NewRegistry()
+	src := routedDemoQuery(t, db, d)
+
+	r := db.NewRouter(map[string]*DB{"Phys": dead}, RoutedOptions{
+		BreakerThreshold: 1,
+		Degrade:          exec.DegradeFallback,
+		Reg:              reg,
+	})
+	// First query: the probe fails, the breaker opens, the fallback serves.
+	res, err := r.Query(src)
+	if err != nil {
+		t.Fatalf("first routed query = %v, want degraded fallback", err)
+	}
+	if !res.Degraded || len(res.Rows) == 0 {
+		t.Fatalf("first query: degraded=%v rows=%d", res.Degraded, len(res.Rows))
+	}
+	if n := reg.Counter("exec.breaker_open").Value(); n != 1 {
+		t.Fatalf("exec.breaker_open = %d, want 1", n)
+	}
+	// Second query on the SAME router: the breaker is still open, so the
+	// dead engine is not probed again — breaker state persists.
+	before := ca.Calls()
+	res, err = r.Query(src)
+	if err != nil || !res.Degraded {
+		t.Fatalf("second routed query = %v (degraded=%v)", err, res.Degraded)
+	}
+	if ca.Calls() != before {
+		t.Errorf("open breaker probed the dead engine again (%d -> %d calls)", before, ca.Calls())
+	}
+	// The degraded answer agrees with a fully healthy routed run.
+	healthy, _, _ := openDemo(t, BackendRelational)
+	want, err := db.QueryRouted(src, map[string]*DB{"Phys": healthy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != len(want.Rows) {
+		t.Errorf("degraded rows = %d, healthy routed rows = %d", len(res.Rows), len(want.Rows))
+	}
+}
+
+func TestRouterRetryRecovers(t *testing.T) {
+	db, d, _ := openDemo(t, BackendGremlin)
+	flaky, ca := openChaosDemo(t, chaos.WithFailFirst(2))
+	reg := obs.NewRegistry()
+	r := db.NewRouter(map[string]*DB{"Phys": flaky}, RoutedOptions{
+		Retry: exec.RetryPolicy{MaxAttempts: 3, BaseDelay: 100 * time.Microsecond},
+		Reg:   reg,
+	})
+	res, err := r.Query(routedDemoQuery(t, db, d))
+	if err != nil {
+		t.Fatalf("flaky routed query = %v, want retried success", err)
+	}
+	if res.Degraded || len(res.Rows) == 0 {
+		t.Fatalf("degraded=%v rows=%d, want healthy retried result", res.Degraded, len(res.Rows))
+	}
+	if ca.Faults() != 2 {
+		t.Errorf("faults = %d, want 2", ca.Faults())
+	}
+	if n := reg.Counter("exec.routed_retries").Value(); n != 2 {
+		t.Errorf("exec.routed_retries = %d, want 2", n)
+	}
+}

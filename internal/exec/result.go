@@ -55,6 +55,13 @@ type Result struct {
 	// Trace is the query's operator-DAG span tree; nil unless the query
 	// ran through RunTraced.
 	Trace *obs.Span
+	// Degraded reports that at least one routed variable was served by a
+	// degraded path (default-engine fallback or empty partial binding)
+	// because its engine stayed unavailable; DegradedVars names them.
+	// Degraded results may be incomplete and must not be treated as an
+	// authoritative inventory answer.
+	Degraded     bool
+	DegradedVars []string
 }
 
 // AggValue is the answer to First/Last/When-Exists.

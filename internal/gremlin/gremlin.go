@@ -75,11 +75,16 @@ func LabelMatches(queryLabel, elemLabel string) bool {
 
 // AnchorElements implements the Select operator: a unique-index hit when
 // the atom pins a unique field with equality (TinkerPop-style id index),
-// otherwise a label-prefix scan over the per-label element lists.
-func (b *Backend) AnchorElements(view graph.View, c *rpe.Checked, a *rpe.Atom) []graph.UID {
+// otherwise a label-prefix scan over the per-label element lists. The
+// label scan checks the governor once per class partition, so a canceled
+// query aborts mid-scan instead of materializing the whole anchor set.
+func (b *Backend) AnchorElements(view graph.View, c *rpe.Checked, a *rpe.Atom, gov *plan.Governor) ([]graph.UID, error) {
 	o := b.obs.Load()
 	if o != nil {
 		o.anchorProbes.Add(1)
+	}
+	if err := gov.CheckNow(); err != nil {
+		return nil, err
 	}
 	cls := c.ClassOf(a)
 	if uid, ok := uniqueLookup(b.store, cls, a); ok {
@@ -88,33 +93,40 @@ func (b *Backend) AnchorElements(view graph.View, c *rpe.Checked, a *rpe.Atom) [
 		}
 		obj := b.store.Object(uid)
 		if obj != nil && obj.Class.IsSubclassOf(cls) {
-			return []graph.UID{uid}
+			return []graph.UID{uid}, nil
 		}
-		return nil
+		return nil, nil
 	}
 	queryLabel := Label(cls)
 	var out []graph.UID
 	for _, cand := range b.store.Schema().Classes() {
+		if err := gov.Check(); err != nil {
+			return nil, err
+		}
 		if cand.Kind != cls.Kind || !LabelMatches(queryLabel, Label(cand)) {
 			continue
 		}
 		out = append(out, b.store.ByClass(cand.Name)...)
 	}
-	return out
+	return out, nil
 }
 
 // IncidentEdges implements the Extend operator's physical access: the full
 // unpartitioned adjacency list. The atom hint is deliberately ignored —
 // a property-graph traversal visits every incident edge and filters by
-// label afterwards.
-func (b *Backend) IncidentEdges(view graph.View, node graph.UID, dir plan.Direction, _ *rpe.Atom, _ *rpe.Checked) []graph.UID {
+// label afterwards. One governor check per probe keeps a canceled query
+// from queueing further adjacency reads.
+func (b *Backend) IncidentEdges(view graph.View, node graph.UID, dir plan.Direction, _ *rpe.Atom, _ *rpe.Checked, gov *plan.Governor) ([]graph.UID, error) {
 	if o := b.obs.Load(); o != nil {
 		o.edgeProbes.Add(1)
 	}
-	if dir == plan.Forward {
-		return b.store.OutEdges(node)
+	if err := gov.CheckNow(); err != nil {
+		return nil, err
 	}
-	return b.store.InEdges(node)
+	if dir == plan.Forward {
+		return b.store.OutEdges(node), nil
+	}
+	return b.store.InEdges(node), nil
 }
 
 // uniqueLookup resolves an equality predicate on a unique field through

@@ -32,6 +32,24 @@ func checked(t *testing.T, b *Backend, src string) *rpe.Checked {
 	return c
 }
 
+func mustAnchor(t *testing.T, b *Backend, view graph.View, c *rpe.Checked) []graph.UID {
+	t.Helper()
+	out, err := b.AnchorElements(view, c, c.Atoms()[0], nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func mustEdges(t *testing.T, b *Backend, view graph.View, node graph.UID, dir plan.Direction, atom *rpe.Atom, c *rpe.Checked) []graph.UID {
+	t.Helper()
+	out, err := b.IncidentEdges(view, node, dir, atom, c, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
 func TestLabelMatches(t *testing.T) {
 	cases := []struct {
 		query, elem string
@@ -66,18 +84,18 @@ func TestAnchorElementsUniqueIndex(t *testing.T) {
 	view := graph.CurrentView(b.Store())
 	// Unique-field equality resolves through the id index: one element.
 	c := checked(t, b, "Host(id=1001)")
-	got := b.AnchorElements(view, c, c.Atoms()[0])
+	got := mustAnchor(t, b, view, c)
 	if len(got) != 1 || got[0] != d.Host1 {
 		t.Fatalf("AnchorElements = %v, want [%d]", got, d.Host1)
 	}
 	// A unique miss is provably empty.
 	c = checked(t, b, "Host(id=424242)")
-	if got := b.AnchorElements(view, c, c.Atoms()[0]); len(got) != 0 {
+	if got := mustAnchor(t, b, view, c); len(got) != 0 {
 		t.Fatalf("missing id returned %v", got)
 	}
 	// An id owned by a class outside the atom's subtree must not match.
 	c = checked(t, b, "VM(id=1001)") // 1001 is host-1
-	if got := b.AnchorElements(view, c, c.Atoms()[0]); len(got) != 0 {
+	if got := mustAnchor(t, b, view, c); len(got) != 0 {
 		t.Fatalf("cross-class id matched: %v", got)
 	}
 }
@@ -88,18 +106,18 @@ func TestAnchorElementsLabelScan(t *testing.T) {
 	// VM() must cover all VM subclasses (vm-1, vm-2 VMWare; vm-3 KVMGuest)
 	// but no Docker containers.
 	c := checked(t, b, "VM(status='Green')")
-	got := b.AnchorElements(view, c, c.Atoms()[0])
+	got := mustAnchor(t, b, view, c)
 	if len(got) != 3 {
 		t.Fatalf("VM label scan = %d elements, want 3", len(got))
 	}
 	// Container() covers VMs and Dockers alike.
 	c = checked(t, b, "Container()")
-	if got := b.AnchorElements(view, c, c.Atoms()[0]); len(got) != 3 {
+	if got := mustAnchor(t, b, view, c); len(got) != 3 {
 		t.Fatalf("Container label scan = %d elements", len(got))
 	}
 	// Edge-class scan.
 	c = checked(t, b, "OnServer()")
-	if got := b.AnchorElements(view, c, c.Atoms()[0]); len(got) != 3 {
+	if got := mustAnchor(t, b, view, c); len(got) != 3 {
 		t.Fatalf("OnServer scan = %d elements", len(got))
 	}
 }
@@ -109,11 +127,11 @@ func TestIncidentEdgesUnpartitioned(t *testing.T) {
 	view := graph.CurrentView(b.Store())
 	// The property-graph adjacency is unpartitioned: the hint is ignored
 	// and every incident edge comes back (vm-1: OnServer + VirtualLink).
-	out := b.IncidentEdges(view, d.VM1, plan.Forward, nil, nil)
+	out := mustEdges(t, b, view, d.VM1, plan.Forward, nil, nil)
 	if len(out) != 2 {
 		t.Fatalf("out edges of vm-1 = %d, want 2", len(out))
 	}
-	in := b.IncidentEdges(view, d.VM1, plan.Backward, nil, nil)
+	in := mustEdges(t, b, view, d.VM1, plan.Backward, nil, nil)
 	if len(in) != 2 { // OnVM from fw-vfc-1 + VirtualLink from tenant-net
 		t.Fatalf("in edges of vm-1 = %d, want 2", len(in))
 	}

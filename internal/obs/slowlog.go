@@ -9,15 +9,24 @@ import (
 )
 
 // SlowLogEntry is one captured slow evaluation: the query text, how long
-// it took, the plan it ran, its engine counters, and — when the query was
-// traced — the full operator span tree.
+// it took, how it terminated, the plan it ran, its engine counters, and
+// — when the query was traced — the full operator span tree.
 type SlowLogEntry struct {
 	When     time.Time
 	Query    string
 	Duration time.Duration
-	Plan     string
-	Metrics  string
-	Trace    *Span
+	// Outcome records how the query terminated: "ok", "canceled",
+	// "deadline", "limit", "panic", or "error". Empty is treated as "ok"
+	// (entries from callers that predate outcome tracking).
+	Outcome string
+	Plan    string
+	Metrics string
+	Trace   *Span
+}
+
+// Aborted reports whether the entry's query terminated abnormally.
+func (e SlowLogEntry) Aborted() bool {
+	return e.Outcome != "" && e.Outcome != "ok"
 }
 
 // Format renders the entry as a multi-line text block.
@@ -26,6 +35,9 @@ func (e SlowLogEntry) Format() string {
 	fmt.Fprintf(&sb, "SLOW QUERY (%s) at %s\n", FormatDuration(e.Duration),
 		e.When.UTC().Format("2006-01-02 15:04:05.000"))
 	fmt.Fprintf(&sb, "  query: %s\n", e.Query)
+	if e.Outcome != "" {
+		fmt.Fprintf(&sb, "  outcome: %s\n", e.Outcome)
+	}
 	if e.Metrics != "" {
 		fmt.Fprintf(&sb, "  metrics: %s\n", e.Metrics)
 	}
@@ -79,9 +91,14 @@ func (l *SlowLog) Threshold() time.Duration {
 }
 
 // Observe records the evaluation if it meets the threshold, returning
-// whether it was captured. Safe on a nil receiver.
+// whether it was captured. Aborted entries (Outcome other than "ok") are
+// captured regardless of duration — a query canceled 1ms in is exactly
+// what the log exists to explain. Safe on a nil receiver.
 func (l *SlowLog) Observe(e SlowLogEntry) bool {
-	if l == nil || e.Duration < l.threshold {
+	if l == nil {
+		return false
+	}
+	if e.Duration < l.threshold && !e.Aborted() {
 		return false
 	}
 	if e.When.IsZero() {

@@ -1,6 +1,8 @@
 package plan_test
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -65,6 +67,80 @@ func TestDifferentialRandom(t *testing.T) {
 					if emitted["gremlin"] != emitted["relational"] {
 						t.Errorf("%s %q: PathsEmitted gremlin=%d relational=%d",
 							vname, src, emitted["gremlin"], emitted["relational"])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestDifferentialRandomDeadline is the governance half of the
+// differential fuzz: the same random graphs and RPEs evaluated under
+// hostile budgets — pre-canceled contexts, already-expired deadlines,
+// and tiny resource limits. Every run must either complete (and then
+// agree exactly with the reference oracle) or fail with a typed
+// governance error; panics and untyped errors are bugs.
+func TestDifferentialRandomDeadline(t *testing.T) {
+	const trials = 25
+	canceled, cancel := context.WithCancel(context.Background())
+	cancel()
+	budgets := []struct {
+		name string
+		gov  func(rng *rand.Rand) *plan.Governor
+	}{
+		{"canceled", func(*rand.Rand) *plan.Governor {
+			return plan.NewGovernor(canceled, plan.Limits{})
+		}},
+		{"deadline", func(*rand.Rand) *plan.Governor {
+			return plan.NewGovernor(context.Background(), plan.Limits{MaxDuration: time.Nanosecond})
+		}},
+		{"edges", func(rng *rand.Rand) *plan.Governor {
+			return plan.NewGovernor(context.Background(), plan.Limits{MaxEdgesScanned: 1 + rng.Intn(8)})
+		}},
+		{"paths", func(rng *rand.Rand) *plan.Governor {
+			return plan.NewGovernor(context.Background(), plan.Limits{MaxPaths: 1 + rng.Intn(3)})
+		}},
+	}
+	for trial := 0; trial < trials; trial++ {
+		trial := trial
+		t.Run(fmt.Sprintf("trial%02d", trial), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(trial)*104729 + 13))
+			st, clock := randomStore(t, rng)
+			engines := map[string]*plan.Engine{
+				"gremlin":    plan.NewEngine(gremlin.New(st)),
+				"relational": plan.NewEngine(relational.New(st)),
+			}
+			views := map[string]graph.View{
+				"current": graph.CurrentView(st),
+				"range":   graph.RangeView(st, t0.Add(30*time.Minute), clock.Now()),
+			}
+			for q := 0; q < 4; q++ {
+				src := randomRPE(rng)
+				c, err := rpe.CheckString(src, st.Schema())
+				if err != nil {
+					t.Fatalf("random RPE %q failed to check: %v", src, err)
+				}
+				p, err := plan.Build(c, st.Stats())
+				if err != nil {
+					continue // unanchorable under this cost model; skip
+				}
+				for vname, view := range views {
+					for ename, eng := range engines {
+						for _, b := range budgets {
+							label := fmt.Sprintf("%s/%s/%s %q", ename, vname, b.name, src)
+							set, _, _, err := eng.EvalWith(view, p, plan.EvalOpts{Gov: b.gov(rng)})
+							if err != nil {
+								if !errors.Is(err, plan.ErrCanceled) &&
+									!errors.Is(err, plan.ErrDeadlineExceeded) &&
+									!errors.Is(err, plan.ErrLimitExceeded) {
+									t.Errorf("%s: untyped abort %v", label, err)
+								}
+								continue
+							}
+							// Finished inside the budget: the answer must still
+							// be exactly right.
+							compareSets(t, label, st, set, plan.ReferenceEval(view, c))
+						}
 					}
 				}
 			}

@@ -29,6 +29,13 @@ func (d Direction) String() string {
 // engine calls it for anchor retrieval and adjacency expansion; everything
 // else (NFA bookkeeping, temporal intersection, cycle pruning, result
 // assembly) is shared.
+//
+// Both access methods take the query's Governor (nil for ungoverned
+// queries) and must check it cooperatively inside long scan loops, so a
+// canceled or over-budget query aborts even while a single physical probe
+// is still running. They may also fail for backend-specific reasons
+// (e.g. an injected transient fault from internal/chaos); the engine
+// propagates any error to the query boundary.
 type Accessor interface {
 	// Name identifies the backend ("gremlin", "relational").
 	Name() string
@@ -36,13 +43,13 @@ type Accessor interface {
 	Store() *graph.Store
 	// AnchorElements returns the UIDs of elements that satisfy the atom
 	// within the view — the physical realization of the Select operator.
-	AnchorElements(view graph.View, c *rpe.Checked, a *rpe.Atom) []graph.UID
+	AnchorElements(view graph.View, c *rpe.Checked, a *rpe.Atom, gov *Governor) ([]graph.UID, error)
 	// IncidentEdges returns edges leaving (Forward) or entering (Backward)
 	// the node within the view. When atom is non-nil the backend may use it
 	// to prune by class partition; it must return a superset of the edges
 	// satisfying the atom and may ignore the hint entirely. The engine
 	// re-checks every candidate, so pruning is purely physical.
-	IncidentEdges(view graph.View, node graph.UID, dir Direction, atom *rpe.Atom, c *rpe.Checked) []graph.UID
+	IncidentEdges(view graph.View, node graph.UID, dir Direction, atom *rpe.Atom, c *rpe.Checked, gov *Governor) ([]graph.UID, error)
 }
 
 // Plan is an executable query plan: the checked RPE, the selected anchor,

@@ -2,6 +2,7 @@ package plan
 
 import (
 	"fmt"
+	"runtime/debug"
 	"sort"
 	"time"
 
@@ -76,12 +77,81 @@ func (e *Engine) record(m Metrics, d time.Duration) {
 	o.paths.Add(int64(m.PathsEmitted))
 }
 
-// evalState carries one evaluation's instrumentation: optional counters
-// and an optional operator-span trace. The zero value disables both; all
-// sinks are nil-safe so the uninstrumented path costs only nil checks.
+// evalState carries one evaluation's instrumentation and governance: the
+// optional counters, the optional operator-span trace, the query's
+// Governor, and the first failure (governance or backend) that aborts
+// the search. The zero value disables everything; all sinks are nil-safe
+// so the uninstrumented, ungoverned path costs only nil checks.
 type evalState struct {
-	m  *Metrics
-	tr *traceEval
+	m   *Metrics
+	tr  *traceEval
+	gov *Governor
+	err error
+}
+
+// checkpoint is the cooperative cancellation check the search loops run
+// once per expanded partial (and per anchor element). It reports whether
+// the evaluation must stop, latching the governance error into es.err.
+func (es *evalState) checkpoint() bool {
+	if es.err != nil {
+		return true
+	}
+	if err := es.gov.Check(); err != nil {
+		es.err = err
+		return true
+	}
+	return false
+}
+
+// fail latches the first failure; later calls keep the original error.
+func (es *evalState) fail(err error) {
+	if es.err == nil && err != nil {
+		es.err = err
+	}
+}
+
+// EvalOpts configures one evaluation through EvalWith: the query's
+// governor, the seed nodes (for seeded plans), and the tracing sink.
+type EvalOpts struct {
+	// Gov is the query's governor; nil evaluates ungoverned.
+	Gov *Governor
+	// Seeds supplies the imported anchor nodes of a seeded plan.
+	Seeds []graph.UID
+	// Traced enables operator-DAG tracing; TraceParent, when non-nil,
+	// nests the Eval span under it (and implies Traced).
+	Traced      bool
+	TraceParent *obs.Span
+}
+
+// EvalWith is the general evaluation entry point: metered, optionally
+// traced, optionally governed. Seeded plans draw their anchors from
+// o.Seeds; anchored plans ignore them. Engine panics are converted to a
+// *PanicError at this boundary, with the operator span attached when
+// tracing. The returned span is nil unless tracing was enabled.
+func (e *Engine) EvalWith(view graph.View, p *Plan, o EvalOpts) (*PathwaySet, Metrics, *obs.Span, error) {
+	var m Metrics
+	es := &evalState{m: &m, gov: o.Gov}
+	if o.Traced || o.TraceParent != nil {
+		es.tr = newTraceEval(e.acc.Name(), p, o.TraceParent)
+	}
+	start := time.Now()
+	var set *PathwaySet
+	var err error
+	if p.Seeded {
+		set, err = e.evalSeeded(view, p, o.Seeds, es)
+	} else {
+		set, err = e.eval(view, p, es)
+	}
+	if set != nil {
+		m.PathsEmitted = set.Len()
+	}
+	var root *obs.Span
+	if es.tr != nil {
+		es.tr.finish(set, m)
+		root = es.tr.root
+	}
+	e.record(m, time.Since(start))
+	return set, m, root, err
 }
 
 // Eval evaluates the plan within the view and returns all satisfying
@@ -97,13 +167,7 @@ func (e *Engine) Eval(view graph.View, p *Plan) (*PathwaySet, error) {
 // EvalMetered is Eval with instrumentation: it returns the operator
 // pipeline's counters alongside the pathway set.
 func (e *Engine) EvalMetered(view graph.View, p *Plan) (*PathwaySet, Metrics, error) {
-	var m Metrics
-	start := time.Now()
-	set, err := e.eval(view, p, &evalState{m: &m})
-	if set != nil {
-		m.PathsEmitted = set.Len()
-	}
-	e.record(m, time.Since(start))
+	set, m, _, err := e.EvalWith(view, p, EvalOpts{})
 	return set, m, err
 }
 
@@ -112,19 +176,26 @@ func (e *Engine) EvalMetered(view graph.View, p *Plan) (*PathwaySet, Metrics, er
 // operator, accumulating wall time, rows, and probe counts). When parent
 // is non-nil the Eval span nests under it; otherwise it is a root span.
 func (e *Engine) EvalTraced(view graph.View, p *Plan, parent *obs.Span) (*PathwaySet, Metrics, *obs.Span, error) {
-	var m Metrics
-	te := newTraceEval(e.acc.Name(), p, parent)
-	start := time.Now()
-	set, err := e.eval(view, p, &evalState{m: &m, tr: te})
-	if set != nil {
-		m.PathsEmitted = set.Len()
-	}
-	te.finish(set, m)
-	e.record(m, time.Since(start))
-	return set, m, te.root, err
+	return e.EvalWith(view, p, EvalOpts{Traced: true, TraceParent: parent})
 }
 
-func (e *Engine) eval(view graph.View, p *Plan, es *evalState) (*PathwaySet, error) {
+// recovered converts an engine panic into a *PanicError, attaching the
+// evaluation's operator span when the run was traced. Recovery sits at
+// the eval/evalSeeded boundary so every public entry point (and every
+// routed retry in the executor) observes a plain error instead of a
+// process-killing panic.
+func recovered(es *evalState, err *error) {
+	if r := recover(); r != nil {
+		pe := &PanicError{Value: r, Stack: debug.Stack()}
+		if es.tr != nil {
+			pe.Span = es.tr.root
+		}
+		*err = pe
+	}
+}
+
+func (e *Engine) eval(view graph.View, p *Plan, es *evalState) (set *PathwaySet, err error) {
+	defer recovered(es, &err)
 	if p.Seeded {
 		return nil, fmt.Errorf("plan: seeded plan requires EvalSeeded")
 	}
@@ -132,20 +203,31 @@ func (e *Engine) eval(view graph.View, p *Plan, es *evalState) (*PathwaySet, err
 	c := p.Checked
 	nfa := c.NFA()
 	for _, atom := range p.Anchor.Atoms {
+		if es.checkpoint() {
+			break
+		}
 		var elements []graph.UID
+		var aerr error
 		if es.tr != nil {
 			sp := es.tr.selectSpan(atom)
 			t0 := time.Now()
-			elements = e.acc.AnchorElements(view, c, atom)
+			elements, aerr = e.acc.AnchorElements(view, c, atom, es.gov)
 			sp.AddDuration(time.Since(t0))
 			sp.Add("probes", 1)
 			sp.AddRows(0, int64(len(elements)))
 		} else {
-			elements = e.acc.AnchorElements(view, c, atom)
+			elements, aerr = e.acc.AnchorElements(view, c, atom, es.gov)
+		}
+		if aerr != nil {
+			es.fail(aerr)
+			break
 		}
 		es.m.addAnchors(len(elements))
 		transIdxs := nfa.TransWithAtom(atom.ID())
 		for _, uid := range elements {
+			if es.checkpoint() {
+				break
+			}
 			if !e.elementSatisfies(view, c, atom, uid) {
 				continue
 			}
@@ -163,14 +245,17 @@ func (e *Engine) eval(view graph.View, p *Plan, es *evalState) (*PathwaySet, err
 					sp := es.tr.unionSpan()
 					before := out.Len()
 					t0 := time.Now()
-					e.combine(view, c, out, bwd, fwd)
+					e.combine(view, c, out, bwd, fwd, es)
 					sp.AddDuration(time.Since(t0))
 					sp.AddRows(int64(len(bwd)*len(fwd)), int64(out.Len()-before))
 				} else {
-					e.combine(view, c, out, bwd, fwd)
+					e.combine(view, c, out, bwd, fwd, es)
 				}
 			}
 		}
+	}
+	if es.err != nil {
+		return nil, es.err
 	}
 	return out, nil
 }
@@ -188,34 +273,23 @@ func (e *Engine) EvalSeeded(view graph.View, p *Plan, seeds []graph.UID) (*Pathw
 
 // EvalSeededMetered is EvalSeeded with instrumentation.
 func (e *Engine) EvalSeededMetered(view graph.View, p *Plan, seeds []graph.UID) (*PathwaySet, Metrics, error) {
-	var m Metrics
-	start := time.Now()
-	set, err := e.evalSeeded(view, p, seeds, &evalState{m: &m})
-	if set != nil {
-		m.PathsEmitted = set.Len()
-	}
-	e.record(m, time.Since(start))
+	set, m, _, err := e.EvalWith(view, p, EvalOpts{Seeds: seeds})
 	return set, m, err
 }
 
 // EvalSeededTraced is EvalSeeded with operator-DAG tracing.
 func (e *Engine) EvalSeededTraced(view graph.View, p *Plan, seeds []graph.UID, parent *obs.Span) (*PathwaySet, Metrics, *obs.Span, error) {
-	var m Metrics
-	te := newTraceEval(e.acc.Name(), p, parent)
-	start := time.Now()
-	set, err := e.evalSeeded(view, p, seeds, &evalState{m: &m, tr: te})
-	if set != nil {
-		m.PathsEmitted = set.Len()
-	}
-	te.finish(set, m)
-	e.record(m, time.Since(start))
-	return set, m, te.root, err
+	return e.EvalWith(view, p, EvalOpts{Seeds: seeds, Traced: true, TraceParent: parent})
 }
 
-func (e *Engine) evalSeeded(view graph.View, p *Plan, seeds []graph.UID, es *evalState) (*PathwaySet, error) {
+func (e *Engine) evalSeeded(view graph.View, p *Plan, seeds []graph.UID, es *evalState) (set *PathwaySet, err error) {
+	defer recovered(es, &err)
 	out := NewPathwaySet()
 	c := p.Checked
 	for _, seed := range seeds {
+		if es.checkpoint() {
+			break
+		}
 		obj := e.acc.Store().Object(seed)
 		if obj == nil || obj.IsEdge() || !view.Visible(obj) {
 			continue
@@ -233,6 +307,9 @@ func (e *Engine) evalSeeded(view graph.View, p *Plan, seeds []graph.UID, es *eva
 		}
 		es.m.addAnchors(1)
 	}
+	if es.err != nil {
+		return nil, es.err
+	}
 	return out, nil
 }
 
@@ -245,24 +322,24 @@ func (e *Engine) evalSeedOne(view graph.View, c *rpe.Checked, p *Plan, seed grap
 		if consumed, ok := e.consume(view, c, init.states, seed, Forward); ok {
 			sp := search{elems: init.elems, states: consumed, nconsumed: 1}
 			for _, comp := range e.forwardAll(view, c, p, sp, es) {
-				e.finish(view, c, out, comp.elems, comp.tailEdge, false)
+				e.finish(view, c, out, comp.elems, comp.tailEdge, false, es)
 			}
 		}
 		// Branch (b): the seed is the implicit endpoint of a leading
 		// edge match; nothing consumed yet.
 		for _, comp := range e.forwardAll(view, c, p, init, es) {
-			e.finish(view, c, out, comp.elems, comp.tailEdge, false)
+			e.finish(view, c, out, comp.elems, comp.tailEdge, false, es)
 		}
 	} else {
 		init := search{elems: []graph.UID{seed}, states: nfa.ClosureRev(nfa.Accept).Clone()}
 		if consumed, ok := e.consume(view, c, init.states, seed, Backward); ok {
 			sp := search{elems: init.elems, states: consumed, nconsumed: 1}
 			for _, comp := range e.backwardAll(view, c, p, sp, es) {
-				e.finish(view, c, out, reversed(comp.elems), false, comp.tailEdge)
+				e.finish(view, c, out, reversed(comp.elems), false, comp.tailEdge, es)
 			}
 		}
 		for _, comp := range e.backwardAll(view, c, p, init, es) {
-			e.finish(view, c, out, reversed(comp.elems), false, comp.tailEdge)
+			e.finish(view, c, out, reversed(comp.elems), false, comp.tailEdge, es)
 		}
 	}
 }
@@ -294,6 +371,9 @@ func (e *Engine) forwardAll(view graph.View, c *rpe.Checked, p *Plan, init searc
 	var out []completion
 	stack := []search{init}
 	for len(stack) > 0 {
+		if es.checkpoint() {
+			break
+		}
 		cur := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 		es.m.addPartial()
@@ -328,6 +408,9 @@ func (e *Engine) backwardAll(view graph.View, c *rpe.Checked, p *Plan, init sear
 	var out []completion
 	stack := []search{init}
 	for len(stack) > 0 {
+		if es.checkpoint() {
+			break
+		}
 		cur := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 		es.m.addPartial()
@@ -355,8 +438,16 @@ func (e *Engine) backwardAll(view graph.View, c *rpe.Checked, p *Plan, init sear
 // span of the (hint, dir) operator.
 func (e *Engine) expand(view graph.View, c *rpe.Checked, stack *[]search, cur search, node graph.UID, hint *rpe.Atom, dir Direction, es *evalState) {
 	if es.tr == nil {
-		edges := e.acc.IncidentEdges(view, node, dir, hint, c)
+		edges, err := e.acc.IncidentEdges(view, node, dir, hint, c, es.gov)
+		if err != nil {
+			es.fail(err)
+			return
+		}
 		es.m.addEdges(len(edges))
+		if err := es.gov.AddEdges(len(edges)); err != nil {
+			es.fail(err)
+			return
+		}
 		for _, edge := range edges {
 			e.step(view, c, stack, cur, edge, dir, es)
 		}
@@ -364,12 +455,20 @@ func (e *Engine) expand(view graph.View, c *rpe.Checked, stack *[]search, cur se
 	}
 	sp := es.tr.extendSpan(hint, dir)
 	t0 := time.Now()
-	edges := e.acc.IncidentEdges(view, node, dir, hint, c)
+	edges, err := e.acc.IncidentEdges(view, node, dir, hint, c, es.gov)
 	sp.AddDuration(time.Since(t0))
 	sp.Add("probes", 1)
 	sp.Add("edges_scanned", int64(len(edges)))
 	sp.AddRows(1, 0)
+	if err != nil {
+		es.fail(err)
+		return
+	}
 	es.m.addEdges(len(edges))
+	if err := es.gov.AddEdges(len(edges)); err != nil {
+		es.fail(err)
+		return
+	}
 	for _, edge := range edges {
 		if e.step(view, c, stack, cur, edge, dir, es) {
 			sp.AddRows(0, 1)
@@ -532,8 +631,11 @@ func (e *Engine) expandHint(c *rpe.Checked, cur rpe.StateSet, dir Direction) (hi
 
 // combine joins backward and forward completions around the shared anchor
 // element and finalizes each pathway.
-func (e *Engine) combine(view graph.View, c *rpe.Checked, out *PathwaySet, bwd, fwd []completion) {
+func (e *Engine) combine(view graph.View, c *rpe.Checked, out *PathwaySet, bwd, fwd []completion, es *evalState) {
 	for _, b := range bwd {
+		if es.checkpoint() {
+			return
+		}
 		for _, f := range fwd {
 			// b.elems is reversed and both include the anchor; drop the
 			// anchor from the backward half.
@@ -542,7 +644,7 @@ func (e *Engine) combine(view graph.View, c *rpe.Checked, out *PathwaySet, bwd, 
 			if hasDuplicates(full) {
 				continue
 			}
-			e.finish(view, c, out, full, f.tailEdge, b.tailEdge)
+			e.finish(view, c, out, full, f.tailEdge, b.tailEdge, es)
 		}
 	}
 }
@@ -553,7 +655,7 @@ func (e *Engine) combine(view graph.View, c *rpe.Checked, out *PathwaySet, bwd, 
 // through another anchor instance or run) are skipped before the validity
 // computation — ComputeValidity is deterministic per element sequence, so
 // recomputation would be pure waste.
-func (e *Engine) finish(view graph.View, c *rpe.Checked, out *PathwaySet, elems []graph.UID, tailEdge, headEdge bool) {
+func (e *Engine) finish(view graph.View, c *rpe.Checked, out *PathwaySet, elems []graph.UID, tailEdge, headEdge bool, es *evalState) {
 	full := elems
 	st := e.acc.Store()
 	if headEdge || e.isEdge(full[0]) {
@@ -585,6 +687,9 @@ func (e *Engine) finish(view graph.View, c *rpe.Checked, out *PathwaySet, elems 
 		return
 	}
 	out.Add(Pathway{Elems: full, Validity: validity})
+	if err := es.gov.AddPaths(1); err != nil {
+		es.fail(err)
+	}
 }
 
 func (e *Engine) isEdge(uid graph.UID) bool {

@@ -85,10 +85,22 @@ func (b *Backend) Instrument(r *obs.Registry) {
 	})
 }
 
+// refreshCheckStride bounds how many UIDs an index rebuild folds between
+// governor checks: large enough that the check cost vanishes against the
+// map inserts, small enough that a deadline aborts a bulk rebuild within
+// microseconds.
+const refreshCheckStride = 1024
+
 // refresh folds edges inserted since the last call into the per-class
 // indexes. History rows stay indexed (the __history tables share the
 // indexes); temporal visibility is applied at read time.
-func (b *Backend) refresh() {
+//
+// The rebuild checks the governor every refreshCheckStride UIDs. On abort
+// it records the portion already folded (endpoints are immutable, so
+// partial progress is always consistent) and returns the governance
+// error; the next refresh — typically from an ungoverned or fresh query —
+// resumes where the canceled one stopped.
+func (b *Backend) refresh(gov *plan.Governor) error {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	lo, hi := b.store.UIDRange()
@@ -96,6 +108,12 @@ func (b *Backend) refresh() {
 		b.indexedThrough = lo - 1
 	}
 	for uid := b.indexedThrough + 1; uid < hi; uid++ {
+		if uid%refreshCheckStride == 0 {
+			if err := gov.CheckNow(); err != nil {
+				b.indexedThrough = uid - 1
+				return err
+			}
+		}
 		obj := b.store.Object(uid)
 		if obj == nil || !obj.IsEdge() {
 			continue
@@ -115,15 +133,19 @@ func (b *Backend) refresh() {
 		dst[obj.Dst] = append(dst[obj.Dst], uid)
 	}
 	b.indexedThrough = hi - 1
+	return nil
 }
 
 // AnchorElements implements the Select operator: a unique-index probe for
 // unique-field equality, otherwise a scan of each concrete class table in
 // the atom's subtree (SELECT ... FROM <class>__historical WHERE ...).
-func (b *Backend) AnchorElements(view graph.View, c *rpe.Checked, a *rpe.Atom) []graph.UID {
+func (b *Backend) AnchorElements(view graph.View, c *rpe.Checked, a *rpe.Atom, gov *plan.Governor) ([]graph.UID, error) {
 	o := b.obs.Load()
 	if o != nil {
 		o.anchorProbes.Add(1)
+	}
+	if err := gov.CheckNow(); err != nil {
+		return nil, err
 	}
 	cls := c.ClassOf(a)
 	if uid, ok := uniqueLookup(b.store, cls, a); ok {
@@ -132,19 +154,21 @@ func (b *Backend) AnchorElements(view graph.View, c *rpe.Checked, a *rpe.Atom) [
 		}
 		obj := b.store.Object(uid)
 		if obj != nil && obj.Class.IsSubclassOf(cls) {
-			return []graph.UID{uid}
+			return []graph.UID{uid}, nil
 		}
-		return nil
+		return nil, nil
 	}
-	return b.store.BySubtree(cls)
+	return b.store.BySubtree(cls), nil
 }
 
 // IncidentEdges implements the Extend bulk-join access path. With a
 // class-specific atom hint it probes only the hash indexes of the tables
 // in that class subtree; without one it must union every edge table's
 // probe for the node — the join-every-table case the ablation measures.
-func (b *Backend) IncidentEdges(view graph.View, node graph.UID, dir plan.Direction, atom *rpe.Atom, c *rpe.Checked) []graph.UID {
-	b.refresh()
+func (b *Backend) IncidentEdges(view graph.View, node graph.UID, dir plan.Direction, atom *rpe.Atom, c *rpe.Checked, gov *plan.Governor) ([]graph.UID, error) {
+	if err := b.refresh(gov); err != nil {
+		return nil, err
+	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	idx := b.bySrc
@@ -162,7 +186,7 @@ func (b *Backend) IncidentEdges(view graph.View, node graph.UID, dir plan.Direct
 				out = append(out, m[node]...)
 			}
 		}
-		return out
+		return out, nil
 	}
 	if o := b.obs.Load(); o != nil {
 		o.unprunedProbe.Add(1)
@@ -171,7 +195,7 @@ func (b *Backend) IncidentEdges(view graph.View, node graph.UID, dir plan.Direct
 	for _, name := range schema.SortedNames(idx) {
 		out = append(out, idx[name][node]...)
 	}
-	return out
+	return out, nil
 }
 
 // uniqueLookup resolves an equality predicate on a unique field; the

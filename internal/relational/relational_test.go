@@ -32,6 +32,24 @@ func checked(t *testing.T, b *Backend, src string) *rpe.Checked {
 	return c
 }
 
+func mustAnchor(t *testing.T, b *Backend, view graph.View, c *rpe.Checked) []graph.UID {
+	t.Helper()
+	out, err := b.AnchorElements(view, c, c.Atoms()[0], nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func mustEdges(t *testing.T, b *Backend, view graph.View, node graph.UID, dir plan.Direction, atom *rpe.Atom, c *rpe.Checked) []graph.UID {
+	t.Helper()
+	out, err := b.IncidentEdges(view, node, dir, atom, c, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
 func TestIncidentEdgesClassPruning(t *testing.T) {
 	b, d := demoBackend(t)
 	view := graph.CurrentView(b.Store())
@@ -43,7 +61,7 @@ func TestIncidentEdgesClassPruning(t *testing.T) {
 		}
 	}
 	// With the OnServer hint, only the placement edge's table is probed.
-	pruned := b.IncidentEdges(view, d.VM1, plan.Forward, onServerAtom, c)
+	pruned := mustEdges(t, b, view, d.VM1, plan.Forward, onServerAtom, c)
 	if len(pruned) != 1 {
 		t.Fatalf("pruned probe = %d edges, want 1 (OnServer only)", len(pruned))
 	}
@@ -52,7 +70,7 @@ func TestIncidentEdgesClassPruning(t *testing.T) {
 	}
 	// Without a hint, every table is probed: both incident edges return
 	// (OnServer + VirtualLink).
-	all := b.IncidentEdges(view, d.VM1, plan.Forward, nil, c)
+	all := mustEdges(t, b, view, d.VM1, plan.Forward, nil, c)
 	if len(all) != 2 {
 		t.Fatalf("unhinted probe = %d edges, want 2", len(all))
 	}
@@ -70,7 +88,7 @@ func TestIncidentEdgesAbstractClassHint(t *testing.T) {
 			vert = a
 		}
 	}
-	got := b.IncidentEdges(view, d.FirewallVNF, plan.Forward, vert, c)
+	got := mustEdges(t, b, view, d.FirewallVNF, plan.Forward, vert, c)
 	if len(got) != 2 {
 		t.Fatalf("Vertical subtree probe = %d, want 2", len(got))
 	}
@@ -81,7 +99,7 @@ func TestIndexRefreshIsIncremental(t *testing.T) {
 	view := graph.CurrentView(b.Store())
 	c := checked(t, b, "VM()->OnServer()->Host()")
 	// Prime the indexes.
-	before := b.IncidentEdges(view, d.Host1, plan.Backward, nil, c)
+	before := mustEdges(t, b, view, d.Host1, plan.Backward, nil, c)
 	// New edges inserted after the first refresh must appear on the next
 	// access.
 	vm, err := b.Store().InsertNode("VMWare", graph.Fields{"id": int64(5000), "name": "late-vm", "status": "Green"})
@@ -91,7 +109,7 @@ func TestIndexRefreshIsIncremental(t *testing.T) {
 	if _, err := b.Store().InsertEdge(netmodel.OnServer, vm, d.Host1, graph.Fields{"id": int64(5001)}); err != nil {
 		t.Fatal(err)
 	}
-	after := b.IncidentEdges(view, d.Host1, plan.Backward, nil, c)
+	after := mustEdges(t, b, view, d.Host1, plan.Backward, nil, c)
 	if len(after) != len(before)+1 {
 		t.Fatalf("incremental refresh missed the new edge: %d -> %d", len(before), len(after))
 	}
@@ -104,7 +122,7 @@ func TestHistoryRowsStayIndexed(t *testing.T) {
 	// reachable for temporal queries while the current view hides it via
 	// visibility filtering in the engine.
 	cur := graph.CurrentView(b.Store())
-	primed := b.IncidentEdges(cur, d.Host1, plan.Backward, nil, c)
+	primed := mustEdges(t, b, cur, d.Host1, plan.Backward, nil, c)
 	var placement graph.UID
 	for _, e := range primed {
 		if b.Store().Object(e).Class.Name == netmodel.OnServer {
@@ -115,7 +133,7 @@ func TestHistoryRowsStayIndexed(t *testing.T) {
 	if err := b.Store().Delete(placement); err != nil {
 		t.Fatal(err)
 	}
-	again := b.IncidentEdges(graph.CurrentView(b.Store()), d.Host1, plan.Backward, nil, c)
+	again := mustEdges(t, b, graph.CurrentView(b.Store()), d.Host1, plan.Backward, nil, c)
 	found := false
 	for _, e := range again {
 		if e == placement {
@@ -138,11 +156,11 @@ func TestAnchorElementsTableScan(t *testing.T) {
 	view := graph.CurrentView(b.Store())
 	c := checked(t, b, "Switch()")
 	// Switch subtree: two TORs and one spine.
-	if got := b.AnchorElements(view, c, c.Atoms()[0]); len(got) != 3 {
+	if got := mustAnchor(t, b, view, c); len(got) != 3 {
 		t.Fatalf("Switch subtree scan = %d, want 3", len(got))
 	}
 	c = checked(t, b, "TORSwitch(name='tor-1')")
-	got := b.AnchorElements(view, c, c.Atoms()[0])
+	got := mustAnchor(t, b, view, c)
 	if len(got) != 2 { // table scan over TORSwitch, predicate applied later
 		t.Fatalf("TORSwitch table scan = %d, want 2", len(got))
 	}
