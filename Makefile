@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-race bench chaos
+.PHONY: all build vet test test-race bench chaos crash
 
 all: build vet test
 
@@ -18,6 +18,7 @@ test:
 # -race, so the harness packages run in -short mode.
 test-race:
 	$(GO) test -race ./internal/obs/ ./internal/plan/ ./internal/graph/ ./internal/core/ ./internal/exec/
+	$(GO) test -race -short ./internal/wal/ ./internal/chaos/
 	$(GO) test -race -short ./internal/bench/ ./cmd/...
 
 bench:
@@ -30,3 +31,11 @@ chaos:
 	$(GO) test -race -count=2 ./internal/chaos/
 	$(GO) test -race -count=2 -run 'Chaos|Routed|Govern|Cancel|Deadline|Limit|Degrade|Breaker|Retry|Panic' \
 		./internal/plan/ ./internal/exec/ ./internal/core/
+
+# Durability suite: the WAL crash-point property tests, crash-injection
+# recovery, and the store invariant checker, twice under the race
+# detector (-short keeps the full-byte-sweep property test sampled).
+crash:
+	$(GO) test -race -count=2 -short ./internal/wal/ ./internal/chaos/
+	$(GO) test -race -count=2 -run 'WAL|Crash|Recover|Invariant|Fsck|Checkpoint|HistoryChurn|PersistTyped' \
+		./internal/graph/ ./internal/core/ ./cmd/nepal/

@@ -78,6 +78,16 @@ type options struct {
 	// pprofAddr, when set, serves net/http/pprof (and expvar under
 	// /debug/vars) on the address for the life of the process.
 	pprofAddr string
+	// walDir makes the store durable: mutations append to a write-ahead
+	// log in the directory, and startup recovers the store from its
+	// checkpoint and log.
+	walDir string
+	// checkpoint snapshots the recovered store and contracts the log, then
+	// exits (unless a query was also given). Requires walDir.
+	checkpoint bool
+	// fsck verifies the store's structural invariants after loading and
+	// exits nonzero on violations; no queries run.
+	fsck bool
 	// out receives all query output; nil means os.Stdout.
 	out io.Writer
 	// in supplies queries when q is empty; nil means os.Stdin.
@@ -101,6 +111,9 @@ func main() {
 	flag.IntVar(&opt.maxPaths, "max-paths", 0, "abort queries emitting more than this many pathways (0 disables)")
 	flag.IntVar(&opt.maxEdges, "max-edges", 0, "abort queries scanning more than this many edges (0 disables)")
 	flag.StringVar(&opt.pprofAddr, "pprof", "", "serve net/http/pprof and /debug/vars on this address (e.g. localhost:6060)")
+	flag.StringVar(&opt.walDir, "wal-dir", "", "write-ahead log directory: recover the store from it on start and log every mutation durably")
+	flag.BoolVar(&opt.checkpoint, "checkpoint", false, "snapshot the store and contract the write-ahead log, then exit (requires -wal-dir)")
+	flag.BoolVar(&opt.fsck, "fsck", false, "verify store invariants after loading and exit nonzero on violations")
 	flag.Parse()
 
 	if err := run(opt); err != nil {
@@ -122,9 +135,20 @@ func run(opt options) error {
 	if err != nil {
 		return err
 	}
-	db, err := core.Open(sch, core.WithBackend(opt.backend))
+	if opt.checkpoint && opt.walDir == "" {
+		return fmt.Errorf("-checkpoint requires -wal-dir")
+	}
+	dbOpts := []core.Option{core.WithBackend(opt.backend)}
+	if opt.walDir != "" {
+		dbOpts = append(dbOpts, core.WithWAL(opt.walDir))
+	}
+	db, err := core.Open(sch, dbOpts...)
 	if err != nil {
 		return err
+	}
+	defer db.Close()
+	if opt.walDir != "" {
+		fmt.Fprintf(os.Stderr, "wal: recovered %s: %s\n", opt.walDir, db.RecoveryStats())
 	}
 	reg := obs.NewRegistry()
 	db.Instrument(reg)
@@ -169,6 +193,19 @@ func run(opt options) error {
 			opt.dataPath, stats.NodesInserted, stats.EdgesInserted)
 	}
 
+	if opt.fsck {
+		return runFsck(db, out)
+	}
+	if opt.checkpoint {
+		if err := db.Checkpoint(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wal: checkpoint written to %s\n", opt.walDir)
+		if opt.q == "" {
+			return nil
+		}
+	}
+
 	if opt.gen == "ddl" {
 		fmt.Fprintln(out, codegen.DDL(sch))
 		return nil
@@ -199,6 +236,24 @@ func run(opt options) error {
 		return err
 	}
 	return dumpMetrics(reg, out, opt)
+}
+
+// runFsck is the offline store checker: it validates every structural
+// invariant of the (usually WAL-recovered) store and reports violations,
+// failing the process so scripts can gate on a clean exit.
+func runFsck(db *core.DB, out io.Writer) error {
+	live, versions := db.Store().Counts()
+	lo, hi := db.Store().UIDRange()
+	fmt.Fprintf(out, "fsck: %d live objects, %d versions, uids [%d, %d]\n", live, versions, lo, hi)
+	violations := db.Store().CheckInvariants()
+	if len(violations) == 0 {
+		fmt.Fprintln(out, "fsck: ok — no invariant violations")
+		return nil
+	}
+	for _, v := range violations {
+		fmt.Fprintln(out, "fsck:", v.String())
+	}
+	return fmt.Errorf("fsck: %d invariant violations", len(violations))
 }
 
 func dumpMetrics(reg *obs.Registry, out io.Writer, opt options) error {

@@ -1,0 +1,112 @@
+package chaos
+
+import (
+	"errors"
+	"os"
+	"sync"
+)
+
+// ErrCrashed is the failure every file operation returns once a CrashFS
+// has exhausted its write budget — the moment the simulated machine died.
+var ErrCrashed = errors.New("chaos: simulated crash (write budget exhausted)")
+
+// CrashFS simulates a machine that dies after writing a fixed number of
+// bytes. Files opened through it write normally until the shared budget
+// runs out; the write that crosses the budget is torn — its prefix
+// reaches the disk, the rest does not — and everything afterwards
+// (writes, fsyncs, truncates) fails with ErrCrashed. Because the budget
+// is shared across all files, a single byte count addresses every crash
+// point of a multi-file protocol (log append, checkpoint write,
+// rotation).
+//
+// Durability tests sweep the budget across a workload's total byte count
+// and assert that recovery from the surviving files restores exactly the
+// acknowledged prefix. The wrapper is an os.OpenFile lookalike so it can
+// slot into any layer that accepts one (internal/wal's Options.OpenFile).
+type CrashFS struct {
+	mu        sync.Mutex
+	remaining int64
+	crashed   bool
+}
+
+// NewCrashFS returns a filesystem wrapper that tears the write crossing
+// budget bytes and fails everything after it.
+func NewCrashFS(budget int64) *CrashFS {
+	return &CrashFS{remaining: budget}
+}
+
+// Crashed reports whether the budget has been exhausted.
+func (fs *CrashFS) Crashed() bool {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.crashed
+}
+
+// OpenFile opens name like os.OpenFile, wrapped with the shared budget.
+func (fs *CrashFS) OpenFile(name string, flag int, perm os.FileMode) (*CrashFile, error) {
+	fs.mu.Lock()
+	crashed := fs.crashed
+	fs.mu.Unlock()
+	if crashed {
+		return nil, ErrCrashed
+	}
+	f, err := os.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &CrashFile{f: f, fs: fs}, nil
+}
+
+// CrashFile is one file handle draining a CrashFS's budget.
+type CrashFile struct {
+	f  *os.File
+	fs *CrashFS
+}
+
+// Write writes p, tearing it at the budget boundary: the allowed prefix
+// reaches the underlying file, then ErrCrashed is returned with the
+// short count — exactly what a power cut mid-write leaves behind.
+func (c *CrashFile) Write(p []byte) (int, error) {
+	c.fs.mu.Lock()
+	if c.fs.crashed {
+		c.fs.mu.Unlock()
+		return 0, ErrCrashed
+	}
+	allow := int64(len(p))
+	if allow > c.fs.remaining {
+		allow = c.fs.remaining
+		c.fs.crashed = true
+	}
+	c.fs.remaining -= allow
+	c.fs.mu.Unlock()
+
+	n, err := c.f.Write(p[:allow])
+	if err != nil {
+		return n, err
+	}
+	if int64(len(p)) > allow {
+		return n, ErrCrashed
+	}
+	return n, nil
+}
+
+// Sync fails after the crash; the dead machine flushes nothing.
+func (c *CrashFile) Sync() error {
+	if c.fs.Crashed() {
+		return ErrCrashed
+	}
+	return c.f.Sync()
+}
+
+// Truncate fails after the crash, so torn tails cannot be repaired by
+// the dying process — only recovery sees them.
+func (c *CrashFile) Truncate(size int64) error {
+	if c.fs.Crashed() {
+		return ErrCrashed
+	}
+	return c.f.Truncate(size)
+}
+
+// Close releases the handle; it succeeds even post-crash so tests can
+// clean up.
+func (c *CrashFile) Close() error { return c.f.Close() }

@@ -34,6 +34,7 @@ import (
 	"repro/internal/rpe"
 	"repro/internal/schema"
 	"repro/internal/temporal"
+	"repro/internal/wal"
 )
 
 // Backend names accepted by WithBackend.
@@ -46,6 +47,8 @@ type config struct {
 	backend string
 	clock   *temporal.Clock
 	wrap    func(plan.Accessor) plan.Accessor
+	walDir  string
+	walOpts wal.Options
 }
 
 // Option configures Open.
@@ -61,6 +64,23 @@ func WithBackend(name string) Option {
 // pass a temporal.NewManualClock.
 func WithClock(clock *temporal.Clock) Option {
 	return func(c *config) { c.clock = clock }
+}
+
+// WithWAL makes the database durable: every mutation is appended (and
+// fsynced) to a write-ahead log in dir before it is applied, and Open
+// recovers the database from the directory's checkpoint and log — so a
+// crashed process restarts with exactly the acknowledged writes, full
+// temporal history included. Use DB.Checkpoint to contract the log and
+// DB.Close to release it. See internal/wal for the on-disk contract.
+func WithWAL(dir string) Option {
+	return func(c *config) { c.walDir = dir }
+}
+
+// WithWALOptions is WithWAL with explicit log options (e.g. NoSync for
+// workloads that accept page-cache durability in exchange for append
+// throughput).
+func WithWALOptions(dir string, opts wal.Options) Option {
+	return func(c *config) { c.walDir, c.walOpts = dir, opts }
 }
 
 // WithAccessorWrapper interposes on the backend's physical access layer:
@@ -80,6 +100,8 @@ type DB struct {
 	views    query.Views
 	reg      *obs.Registry
 	slowLog  *obs.SlowLog
+	wal      *wal.Manager
+	recovery wal.RecoveryStats
 }
 
 // Open creates an empty database over the finalized schema.
@@ -89,6 +111,16 @@ func Open(sch *schema.Schema, opts ...Option) (*DB, error) {
 		o(&cfg)
 	}
 	store := graph.NewStore(sch, cfg.clock)
+	var mgr *wal.Manager
+	var recovery wal.RecoveryStats
+	if cfg.walDir != "" {
+		var err error
+		mgr, recovery, err = wal.Open(cfg.walDir, store, cfg.walOpts)
+		if err != nil {
+			return nil, fmt.Errorf("core: recovering write-ahead log: %w", err)
+		}
+		store.SetMutationHook(mgr.Append)
+	}
 	var acc plan.Accessor
 	switch cfg.backend {
 	case BackendGremlin:
@@ -104,8 +136,37 @@ func Open(sch *schema.Schema, opts ...Option) (*DB, error) {
 	}
 	engine := plan.NewEngine(acc)
 	return &DB{store: store, engine: engine, executor: exec.New(engine),
-		backend: cfg.backend, views: query.Views{}}, nil
+		backend: cfg.backend, views: query.Views{},
+		wal: mgr, recovery: recovery}, nil
 }
+
+// Checkpoint snapshots the database's full temporal history and contracts
+// the write-ahead log; it requires WithWAL. Mutations continue during the
+// snapshot — the log rotates first, and replay idempotence covers the
+// overlap.
+func (db *DB) Checkpoint() error {
+	if db.wal == nil {
+		return fmt.Errorf("core: no write-ahead log configured (use WithWAL)")
+	}
+	return db.wal.Checkpoint(db.store)
+}
+
+// Close releases the write-ahead log, syncing the active segment. It is a
+// no-op for databases opened without WithWAL, and safe to call twice.
+func (db *DB) Close() error {
+	if db.wal == nil {
+		return nil
+	}
+	return db.wal.Close()
+}
+
+// RecoveryStats reports what Open restored from the write-ahead log
+// directory; the zero value means the database is not WAL-backed or the
+// directory was empty.
+func (db *DB) RecoveryStats() wal.RecoveryStats { return db.recovery }
+
+// WAL exposes the write-ahead log manager (nil without WithWAL).
+func (db *DB) WAL() *wal.Manager { return db.wal }
 
 // DefineView registers a named pathway view: a reusable RPE that supplies
 // the implicit MATCHES predicate for variables ranging over it (§3.4's
@@ -180,6 +241,9 @@ func (db *DB) Instrument(reg *obs.Registry) {
 	db.store.SetRegistry(reg)
 	if in, ok := db.engine.Accessor().(interface{ Instrument(*obs.Registry) }); ok {
 		in.Instrument(reg)
+	}
+	if db.wal != nil {
+		db.wal.Instrument(reg)
 	}
 }
 

@@ -1,0 +1,165 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/temporal"
+)
+
+// buildCheckedStore assembles a small healthy topology: two VMs on a
+// host, one updated, one connection, one deleted VM.
+func buildCheckedStore(t *testing.T) *Store {
+	t.Helper()
+	st, _ := newTestStore(t)
+	vm1 := mustInsertNode(t, st, "VM", Fields{"id": 1, "status": "Green"})
+	vm2 := mustInsertNode(t, st, "VM", Fields{"id": 2, "status": "Green"})
+	host := mustInsertNode(t, st, "Host", Fields{"id": 10})
+	mustInsertEdge(t, st, "HostedOn", vm1, host, Fields{"id": 100})
+	mustInsertEdge(t, st, "HostedOn", vm2, host, Fields{"id": 101})
+	mustInsertEdge(t, st, "ConnectsTo", vm1, vm2, Fields{"id": 102})
+	if err := st.Update(vm1, Fields{"id": 1, "status": "Red"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Delete(vm2); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func mustInsertNode(t *testing.T, st *Store, class string, f Fields) UID {
+	t.Helper()
+	uid, err := st.InsertNode(class, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return uid
+}
+
+func mustInsertEdge(t *testing.T, st *Store, class string, src, dst UID, f Fields) UID {
+	t.Helper()
+	uid, err := st.InsertEdge(class, src, dst, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return uid
+}
+
+func TestCheckInvariantsHealthy(t *testing.T) {
+	if vs := buildCheckedStore(t).CheckInvariants(); len(vs) != 0 {
+		t.Fatalf("healthy store reported violations: %v", vs)
+	}
+	empty, _ := newTestStore(t)
+	if vs := empty.CheckInvariants(); len(vs) != 0 {
+		t.Fatalf("empty store reported violations: %v", vs)
+	}
+}
+
+// TestCheckInvariantsDetectsCorruption corrupts the store's internals one
+// invariant at a time and asserts the checker names each breach.
+func TestCheckInvariantsDetectsCorruption(t *testing.T) {
+	cases := []struct {
+		name    string
+		kind    string
+		corrupt func(t *testing.T, st *Store)
+	}{
+		{"uid above next_uid", "uid-range", func(t *testing.T, st *Store) {
+			st.nextUID = 2
+		}},
+		{"object table key mismatch", "uid-range", func(t *testing.T, st *Store) {
+			obj := st.objects[1]
+			st.objects[99] = obj
+			st.nextUID = 200
+			// Key 99 now holds the object whose UID field says 1.
+		}},
+		{"empty version period", "version-order", func(t *testing.T, st *Store) {
+			v := &st.objects[1].Versions[0]
+			v.Period.End = v.Period.Start
+		}},
+		{"overlapping versions", "version-order", func(t *testing.T, st *Store) {
+			obj := st.objects[1] // vm1: updated, two versions
+			if len(obj.Versions) < 2 {
+				t.Fatal("fixture changed: vm1 needs two versions")
+			}
+			obj.Versions[1].Period.Start = obj.Versions[0].Period.Start
+		}},
+		{"non-final open version", "open-version", func(t *testing.T, st *Store) {
+			obj := st.objects[1]
+			obj.Versions[0].Period.End = temporal.Forever
+		}},
+		{"edge endpoint missing", "endpoint", func(t *testing.T, st *Store) {
+			delete(st.objects, 3) // the host, endpoint of two HostedOn edges
+		}},
+		{"edge outlives endpoint", "edge-lifetime", func(t *testing.T, st *Store) {
+			// Shrink the host's lifetime to end before its edges do.
+			obj := st.objects[3]
+			obj.Versions[0].Period.End = obj.Versions[0].Period.Start.Add(time.Nanosecond)
+		}},
+		{"adjacency entry dropped", "adjacency", func(t *testing.T, st *Store) {
+			st.out[1] = nil // vm1 no longer lists its outgoing edges
+		}},
+		{"adjacency entry forged", "adjacency", func(t *testing.T, st *Store) {
+			st.in[1] = append(st.in[1], 4) // edge 4's Dst is the host, not vm1
+		}},
+		{"unique entry points at dead object", "unique-index", func(t *testing.T, st *Store) {
+			for key, entries := range st.unique {
+				for vk, holder := range entries {
+					obj := st.objects[holder]
+					cur := obj.Current()
+					cur.Period.End = cur.Period.Start.Add(time.Nanosecond)
+					_ = key
+					_ = vk
+					return
+				}
+			}
+			t.Fatal("no unique entries to corrupt")
+		}},
+		{"live value unindexed", "unique-index", func(t *testing.T, st *Store) {
+			for key, entries := range st.unique {
+				for vk := range entries {
+					delete(entries, vk)
+					_ = key
+					return
+				}
+			}
+			t.Fatal("no unique entries to corrupt")
+		}},
+		{"accounting drift", "accounting", func(t *testing.T, st *Store) {
+			st.liveCount += 3
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			st := buildCheckedStore(t)
+			tc.corrupt(t, st)
+			vs := st.CheckInvariants()
+			if len(vs) == 0 {
+				t.Fatalf("corruption went undetected")
+			}
+			found := false
+			for _, v := range vs {
+				if v.Kind == tc.kind {
+					found = true
+				}
+				if v.String() == "" {
+					t.Error("violation renders empty")
+				}
+			}
+			if !found {
+				t.Errorf("no %q violation among: %v", tc.kind, vs)
+			}
+		})
+	}
+}
+
+func TestViolationString(t *testing.T) {
+	v := Violation{UID: 7, Kind: "endpoint", Msg: "endpoint 9 does not exist"}
+	if s := v.String(); !strings.Contains(s, "uid 7") || !strings.Contains(s, "endpoint") {
+		t.Errorf("String() = %q", s)
+	}
+	storeWide := Violation{Kind: "accounting", Msg: "drift"}
+	if s := storeWide.String(); strings.Contains(s, "uid") {
+		t.Errorf("store-wide violation mentions a uid: %q", s)
+	}
+}

@@ -1,0 +1,187 @@
+package graph
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/schema"
+)
+
+// Mutation is the logical write-ahead record of one committed store
+// mutation: the operation, the object it touched, and the transaction
+// timestamp the store stamped it with. Replaying a mutation stream through
+// ApplyMutation on an empty store (or on a checkpoint prefix of the same
+// stream) reproduces the identical temporal version history, because every
+// sys_period bound is derived from At rather than from a live clock.
+//
+// A Delete mutation carries only the deleted UID: the cascade to live
+// incident edges is deterministic (adjacency slices preserve insertion
+// order) and re-derived on replay, all closed at the same timestamp.
+type Mutation struct {
+	Op       MutationOp
+	UID      UID
+	Class    string // concrete class name; inserts only
+	Src, Dst UID    // edge endpoints; InsertEdge only
+	Fields   Fields // full field map; inserts and updates
+	At       time.Time
+}
+
+// MutationOp enumerates the store's write operations.
+type MutationOp uint8
+
+const (
+	OpInsertNode MutationOp = iota + 1
+	OpInsertEdge
+	OpUpdate
+	OpDelete
+)
+
+// String returns the wire name of the operation.
+func (op MutationOp) String() string {
+	switch op {
+	case OpInsertNode:
+		return "insert_node"
+	case OpInsertEdge:
+		return "insert_edge"
+	case OpUpdate:
+		return "update"
+	case OpDelete:
+		return "delete"
+	}
+	return fmt.Sprintf("op(%d)", uint8(op))
+}
+
+// ParseMutationOp is the inverse of MutationOp.String.
+func ParseMutationOp(s string) (MutationOp, error) {
+	switch s {
+	case "insert_node":
+		return OpInsertNode, nil
+	case "insert_edge":
+		return OpInsertEdge, nil
+	case "update":
+		return OpUpdate, nil
+	case "delete":
+		return OpDelete, nil
+	}
+	return 0, fmt.Errorf("graph: unknown mutation op %q", s)
+}
+
+// MutationHook observes every mutation after validation and immediately
+// before it is applied, while the store's write lock is held — so the hook
+// call order is exactly the store's serialization order. A non-nil error
+// aborts the mutation: nothing is applied and the caller sees the error.
+// Durability layers (internal/wal) append and sync here, which makes
+// "hook returned nil" the acknowledgement point: every acknowledged write
+// is on disk before it is visible in memory.
+type MutationHook func(*Mutation) error
+
+// SetMutationHook installs the hook (nil removes it). Install before the
+// store starts serving writes; the hook itself must not call back into the
+// store (the write lock is held).
+func (st *Store) SetMutationHook(h MutationHook) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.hook = h
+}
+
+// ApplyMutation replays one logged mutation at its recorded timestamp,
+// bypassing the clock and the hook. It validates like the live write path
+// and additionally tolerates records the store already reflects — an
+// insert of an existing UID, an update whose version already exists, a
+// delete of an already-closed object — reporting applied=false for them.
+// That idempotence is what lets recovery replay a log whose prefix
+// overlaps the checkpoint it starts from.
+func (st *Store) ApplyMutation(m *Mutation) (applied bool, err error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	defer st.clock.EnsureAfter(m.At)
+
+	switch m.Op {
+	case OpInsertNode, OpInsertEdge:
+		return st.replayInsert(m)
+	case OpUpdate:
+		return st.replayUpdate(m)
+	case OpDelete:
+		return st.replayDelete(m)
+	}
+	return false, fmt.Errorf("graph: replay of unknown mutation op %d", m.Op)
+}
+
+func (st *Store) replayInsert(m *Mutation) (bool, error) {
+	if existing := st.objects[m.UID]; existing != nil {
+		if existing.Class.Name != m.Class {
+			return false, fmt.Errorf("graph: replay insert %d: store has class %s, log says %s",
+				m.UID, existing.Class.Name, m.Class)
+		}
+		return false, nil // already present (checkpoint overlap)
+	}
+	if m.UID <= 0 {
+		return false, fmt.Errorf("graph: replay insert with invalid uid %d", m.UID)
+	}
+	if err := st.schema.ValidateRecord(m.Class, m.Fields); err != nil {
+		return false, fmt.Errorf("graph: replay insert %d: %w", m.UID, err)
+	}
+	c, _ := st.schema.Class(m.Class)
+	kind := schema.NodeKind
+	if m.Op == OpInsertEdge {
+		kind = schema.EdgeKind
+	}
+	if c.Kind != kind {
+		return false, fmt.Errorf("graph: replay insert %d: class %q is a %s class", m.UID, m.Class, c.Kind)
+	}
+	if kind == schema.EdgeKind {
+		srcObj, dstObj := st.objects[m.Src], st.objects[m.Dst]
+		if srcObj == nil || srcObj.Current() == nil || srcObj.IsEdge() {
+			return false, fmt.Errorf("graph: replay edge %d: source %d is not a live node", m.UID, m.Src)
+		}
+		if dstObj == nil || dstObj.Current() == nil || dstObj.IsEdge() {
+			return false, fmt.Errorf("graph: replay edge %d: target %d is not a live node", m.UID, m.Dst)
+		}
+		if !st.schema.EdgeAllowed(c, srcObj.Class, dstObj.Class) {
+			return false, fmt.Errorf("graph: replay edge %d: schema permits no %s edge from %s to %s",
+				m.UID, m.Class, srcObj.Class, dstObj.Class)
+		}
+	}
+	if err := st.claimUnique(c, m.Fields, 0); err != nil {
+		return false, fmt.Errorf("graph: replay insert %d: %w", m.UID, err)
+	}
+	st.installLocked(c, m.UID, m.Src, m.Dst, m.Fields, m.At)
+	return true, nil
+}
+
+func (st *Store) replayUpdate(m *Mutation) (bool, error) {
+	obj := st.objects[m.UID]
+	if obj == nil {
+		return false, fmt.Errorf("graph: replay update of unknown uid %d", m.UID)
+	}
+	for i := range obj.Versions {
+		if obj.Versions[i].Period.Start.Equal(m.At) {
+			return false, nil // version already present (checkpoint overlap)
+		}
+	}
+	cur := obj.Current()
+	if cur == nil {
+		return false, fmt.Errorf("graph: replay update of deleted object %d", m.UID)
+	}
+	if err := st.schema.ValidateRecord(obj.Class.Name, m.Fields); err != nil {
+		return false, fmt.Errorf("graph: replay update %d: %w", m.UID, err)
+	}
+	if err := st.claimUnique(obj.Class, m.Fields, m.UID); err != nil {
+		return false, fmt.Errorf("graph: replay update %d: %w", m.UID, err)
+	}
+	st.updateLocked(obj, cur, m.Fields, m.At)
+	return true, nil
+}
+
+func (st *Store) replayDelete(m *Mutation) (bool, error) {
+	obj := st.objects[m.UID]
+	if obj == nil {
+		return false, fmt.Errorf("graph: replay delete of unknown uid %d", m.UID)
+	}
+	cur := obj.Current()
+	if cur == nil {
+		return false, nil // already closed (checkpoint overlap)
+	}
+	st.deleteAtLocked(obj, cur, m.At)
+	return true, nil
+}

@@ -3,12 +3,33 @@ package graph
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"time"
 
 	"repro/internal/temporal"
 )
+
+// ErrTruncated reports a persisted stream that ended before the declared
+// content was read — the on-disk file lost its tail. Callers distinguish
+// it (via errors.Is) from semantic corruption, which is never recoverable.
+var ErrTruncated = errors.New("graph: truncated stream")
+
+// ErrStoreNotEmpty reports an attempt to load a full history into a store
+// that already holds objects; restores require a fresh store.
+var ErrStoreNotEmpty = errors.New("graph: store is not empty")
+
+// FormatError reports a persisted stream whose format tag is not one this
+// build can read (a future or foreign format version).
+type FormatError struct {
+	Got  string // the format tag found in the stream
+	Want string // the format this build reads
+}
+
+func (e *FormatError) Error() string {
+	return fmt.Sprintf("graph: unsupported stream format %q (this build reads %q)", e.Got, e.Want)
+}
 
 // History persistence: WriteHistory serializes the complete temporal
 // store — every object with its full version history — and LoadHistory
@@ -59,7 +80,7 @@ func (st *Store) WriteHistory(w io.Writer) error {
 		Objects: len(st.objects),
 		NextUID: int64(st.nextUID),
 	}); err != nil {
-		return err
+		return fmt.Errorf("graph: writing history header: %w", err)
 	}
 	for uid := UID(1); uid < st.nextUID; uid++ {
 		obj := st.objects[uid]
@@ -83,7 +104,10 @@ func (st *Store) WriteHistory(w io.Writer) error {
 			return fmt.Errorf("graph: writing history object %d: %w", uid, err)
 		}
 	}
-	return bw.Flush()
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("graph: flushing history stream: %w", err)
+	}
+	return nil
 }
 
 // LoadHistory reconstructs a previously written history stream into st,
@@ -98,22 +122,34 @@ func (st *Store) LoadHistory(r io.Reader) error {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	if len(st.objects) != 0 {
-		return fmt.Errorf("graph: LoadHistory requires an empty store")
+		return fmt.Errorf("%w: LoadHistory requires an empty store, found %d objects",
+			ErrStoreNotEmpty, len(st.objects))
 	}
 
 	dec := json.NewDecoder(bufio.NewReader(r))
 	var hdr historyHeader
 	if err := dec.Decode(&hdr); err != nil {
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			return fmt.Errorf("%w: history ended before the header", ErrTruncated)
+		}
 		return fmt.Errorf("graph: reading history header: %w", err)
 	}
 	if hdr.Format != historyFormat {
-		return fmt.Errorf("graph: unsupported history format %q", hdr.Format)
+		return &FormatError{Got: hdr.Format, Want: historyFormat}
+	}
+	if hdr.Objects < 0 || hdr.NextUID < 0 {
+		return fmt.Errorf("graph: history header has negative counts (objects=%d, next_uid=%d)",
+			hdr.Objects, hdr.NextUID)
 	}
 
 	var latest time.Time
 	for i := 0; i < hdr.Objects; i++ {
 		var doc objectDoc
 		if err := dec.Decode(&doc); err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+				return fmt.Errorf("%w: history declares %d objects but ended after %d",
+					ErrTruncated, hdr.Objects, i)
+			}
 			return fmt.Errorf("graph: reading history object %d/%d: %w", i+1, hdr.Objects, err)
 		}
 		obj, err := st.restoreObject(&doc)
@@ -131,6 +167,9 @@ func (st *Store) LoadHistory(r io.Reader) error {
 	}
 	if UID(hdr.NextUID) > st.nextUID {
 		st.nextUID = UID(hdr.NextUID)
+	}
+	if dec.More() {
+		return fmt.Errorf("graph: trailing data after the %d declared history objects", hdr.Objects)
 	}
 
 	// Endpoint integrity: every edge's endpoints must exist and be nodes,

@@ -2,6 +2,7 @@ package graph
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"reflect"
@@ -226,11 +227,20 @@ func WriteSnapshot(w io.Writer, snap *Snapshot) error {
 	return enc.Encode(snap)
 }
 
-// ReadSnapshot decodes a JSON snapshot from r.
+// ReadSnapshot decodes a JSON snapshot from r, distinguishing a truncated
+// stream (graph.ErrTruncated) from malformed content and rejecting
+// trailing data after the snapshot document.
 func ReadSnapshot(r io.Reader) (*Snapshot, error) {
+	dec := json.NewDecoder(r)
 	var snap Snapshot
-	if err := json.NewDecoder(r).Decode(&snap); err != nil {
+	if err := dec.Decode(&snap); err != nil {
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			return nil, fmt.Errorf("%w: snapshot ended mid-document", ErrTruncated)
+		}
 		return nil, fmt.Errorf("graph: decoding snapshot: %w", err)
+	}
+	if dec.More() {
+		return nil, fmt.Errorf("graph: trailing data after snapshot document")
 	}
 	return &snap, nil
 }

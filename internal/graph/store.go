@@ -131,6 +131,10 @@ type Store struct {
 	// obs holds the optional metrics sink (see SetRegistry); read with a
 	// single atomic load on the probe paths.
 	obs atomic.Pointer[storeObs]
+
+	// hook, when non-nil, observes each mutation after validation and
+	// before application, under the write lock (see SetMutationHook).
+	hook MutationHook
 }
 
 type uniqueKey struct {
@@ -209,25 +213,53 @@ func (st *Store) insert(class string, src, dst UID, fields Fields, kind schema.K
 	}
 
 	uid := st.nextUID
-	st.nextUID++
+	ts := st.clock.Next()
+	op := OpInsertNode
+	if kind == schema.EdgeKind {
+		op = OpInsertEdge
+	}
+	if err := st.logMutation(&Mutation{Op: op, UID: uid, Class: class, Src: src, Dst: dst, Fields: fields, At: ts}); err != nil {
+		return 0, err
+	}
+	st.installLocked(c, uid, src, dst, fields, ts)
+	return uid, nil
+}
+
+// logMutation runs the hook, if any; a hook error aborts the mutation
+// before anything is applied.
+func (st *Store) logMutation(m *Mutation) error {
+	if st.hook == nil {
+		return nil
+	}
+	if err := st.hook(m); err != nil {
+		return fmt.Errorf("graph: mutation rejected by log: %w", err)
+	}
+	return nil
+}
+
+// installLocked installs a fully validated object at a fixed timestamp.
+// It is the shared tail of the live insert path and log replay.
+func (st *Store) installLocked(c *schema.Class, uid UID, src, dst UID, fields Fields, ts time.Time) {
 	obj := &Object{
 		UID:      uid,
 		Class:    c,
 		Src:      src,
 		Dst:      dst,
-		Versions: []Version{{Fields: fields.Clone(), Period: temporal.Current(st.clock.Next())}},
+		Versions: []Version{{Fields: fields.Clone(), Period: temporal.Current(ts)}},
 	}
 	st.objects[uid] = obj
-	st.byClass[class] = append(st.byClass[class], uid)
-	st.classCount[class]++
+	st.byClass[c.Name] = append(st.byClass[c.Name], uid)
+	st.classCount[c.Name]++
 	st.versionCount++
 	st.liveCount++
 	st.recordUnique(c, fields, uid)
-	if kind == schema.EdgeKind {
+	if c.IsEdge() {
 		st.out[src] = append(st.out[src], uid)
 		st.in[dst] = append(st.in[dst], uid)
 	}
-	return uid, nil
+	if uid >= st.nextUID {
+		st.nextUID = uid + 1
+	}
 }
 
 // Update closes the object's current version and opens a new one with the
@@ -250,13 +282,22 @@ func (st *Store) Update(uid UID, fields Fields) error {
 	if err := st.claimUnique(obj.Class, fields, uid); err != nil {
 		return err
 	}
-	st.releaseUnique(obj.Class, cur.Fields, uid)
-	st.recordUnique(obj.Class, fields, uid)
 	t := st.clock.Next()
+	if err := st.logMutation(&Mutation{Op: OpUpdate, UID: uid, Fields: fields, At: t}); err != nil {
+		return err
+	}
+	st.updateLocked(obj, cur, fields, t)
+	return nil
+}
+
+// updateLocked closes cur and opens a new version at a fixed timestamp.
+// Shared by the live update path and log replay.
+func (st *Store) updateLocked(obj *Object, cur *Version, fields Fields, t time.Time) {
+	st.releaseUnique(obj.Class, cur.Fields, obj.UID)
+	st.recordUnique(obj.Class, fields, obj.UID)
 	cur.Period.End = t
 	obj.Versions = append(obj.Versions, Version{Fields: fields.Clone(), Period: temporal.Current(t)})
 	st.versionCount++
-	return nil
 }
 
 // Delete closes the object's current version. Deleting a node also deletes
@@ -277,28 +318,39 @@ func (st *Store) deleteLocked(uid UID) error {
 	if cur == nil {
 		return nil
 	}
-	if !obj.IsEdge() {
-		for _, eid := range st.out[uid] {
-			st.closeIfLive(eid)
-		}
-		for _, eid := range st.in[uid] {
-			st.closeIfLive(eid)
-		}
+	t := st.clock.Next()
+	if err := st.logMutation(&Mutation{Op: OpDelete, UID: uid, At: t}); err != nil {
+		return err
 	}
-	st.closeObject(obj, cur)
+	st.deleteAtLocked(obj, cur, t)
 	return nil
 }
 
-func (st *Store) closeIfLive(uid UID) {
+// deleteAtLocked closes the object — and, for a node, its live incident
+// edges — at one shared timestamp t, so the whole cascade is a single
+// atomic transaction-time event that log replay reproduces exactly.
+func (st *Store) deleteAtLocked(obj *Object, cur *Version, t time.Time) {
+	if !obj.IsEdge() {
+		for _, eid := range st.out[obj.UID] {
+			st.closeIfLive(eid, t)
+		}
+		for _, eid := range st.in[obj.UID] {
+			st.closeIfLive(eid, t)
+		}
+	}
+	st.closeObject(obj, cur, t)
+}
+
+func (st *Store) closeIfLive(uid UID, t time.Time) {
 	if obj := st.objects[uid]; obj != nil {
 		if cur := obj.Current(); cur != nil {
-			st.closeObject(obj, cur)
+			st.closeObject(obj, cur, t)
 		}
 	}
 }
 
-func (st *Store) closeObject(obj *Object, cur *Version) {
-	cur.Period.End = st.clock.Next()
+func (st *Store) closeObject(obj *Object, cur *Version, t time.Time) {
+	cur.Period.End = t
 	st.releaseUnique(obj.Class, cur.Fields, obj.UID)
 	st.classCount[obj.Class.Name]--
 	st.liveCount--

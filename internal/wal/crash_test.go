@@ -1,0 +1,436 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/chaos"
+	"repro/internal/graph"
+	"repro/internal/temporal"
+)
+
+// copyDir copies every regular file of src into a fresh temp dir.
+func copyDir(t testing.TB, src string) string {
+	t.Helper()
+	dst := t.TempDir()
+	entries, err := os.ReadDir(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		data, err := os.ReadFile(filepath.Join(src, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dst, e.Name()), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dst
+}
+
+// runGolden executes a deterministic workload against a WAL-backed store,
+// optionally checkpointing at mutation checkpointAt, and returns the live
+// store plus the acknowledgement ledger: every acknowledged mutation with
+// the segment and offset its record ends at.
+func runGolden(t testing.TB, dir string, seed int64, n, checkpointAt int) (*graph.Store, []ackedMutation) {
+	t.Helper()
+	st := newTestStore(t)
+	mgr, _, err := Open(dir, st, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var acked []ackedMutation
+	seg := func() uint64 {
+		seqs, err := listSegments(dir)
+		if err != nil || len(seqs) == 0 {
+			t.Fatalf("listSegments: %v %v", seqs, err)
+		}
+		return seqs[len(seqs)-1]
+	}
+	captureAcked(st, mgr, seg, &acked)
+	if checkpointAt > 0 {
+		if got := workload(t, st, st.Clock(), seed, checkpointAt); got != checkpointAt {
+			t.Fatalf("golden workload acked %d/%d before checkpoint", got, checkpointAt)
+		}
+		if err := mgr.Checkpoint(st); err != nil {
+			t.Fatal(err)
+		}
+		n -= checkpointAt
+		seed++
+	}
+	if got := workload(t, st, st.Clock(), seed, n); got != n {
+		t.Fatalf("golden workload acked %d/%d", got, n)
+	}
+	if err := mgr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return st, acked
+}
+
+// referenceStore incrementally replays acked[:k] mutations, reusing the
+// store across successively larger prefixes.
+type referenceStore struct {
+	t     testing.TB
+	st    *graph.Store
+	next  int
+	bytes []byte
+}
+
+func newReferenceStore(t testing.TB) *referenceStore {
+	r := &referenceStore{t: t, st: newTestStore(t)}
+	r.bytes = historyBytes(t, r.st)
+	return r
+}
+
+// historyAt returns the serialized history of the store holding exactly
+// the first k acknowledged mutations. k must not decrease across calls.
+func (r *referenceStore) historyAt(acked []ackedMutation, k int) []byte {
+	if k < r.next {
+		r.t.Fatalf("reference store cannot rewind: at %d, asked for %d", r.next, k)
+	}
+	for ; r.next < k; r.next++ {
+		m := acked[r.next].m
+		if _, err := r.st.ApplyMutation(&m); err != nil {
+			r.t.Fatalf("reference replay of mutation %d (%s uid %d): %v", r.next, m.Op, m.UID, err)
+		}
+		r.bytes = nil
+	}
+	if r.bytes == nil {
+		r.bytes = historyBytes(r.t, r.st)
+	}
+	return r.bytes
+}
+
+// TestCrashPointProperty is the headline durability property: for every
+// byte offset at which the active log can be cut — every possible crash
+// point of a randomized mutation workload — recovery produces a store
+// whose full temporal history equals the reference store holding exactly
+// the acknowledged prefix of mutations whose records made it to disk. No
+// acknowledged write is lost, no torn record surfaces.
+func TestCrashPointProperty(t *testing.T) {
+	golden := t.TempDir()
+	_, acked := runGolden(t, golden, 42, 30, 0)
+	data, err := os.ReadFile(segmentPath(golden, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := int64(len(data))
+	if want := acked[len(acked)-1].end; total != want {
+		t.Fatalf("segment size %d != last acked end %d", total, want)
+	}
+
+	stride := int64(1)
+	if testing.Short() {
+		stride = 13
+	}
+	offsets := make([]int64, 0, total/stride+2)
+	for off := int64(0); off < total; off += stride {
+		offsets = append(offsets, off)
+	}
+	offsets = append(offsets, total)
+	ref := newReferenceStore(t)
+	ends := make(map[int64]bool, len(acked))
+	for _, a := range acked {
+		ends[a.end] = true
+	}
+	k := 0
+	for _, off := range offsets {
+		// Acknowledged prefix that fully fits in off bytes.
+		for k < len(acked) && acked[k].end <= off {
+			k++
+		}
+		dir := t.TempDir()
+		if err := os.WriteFile(segmentPath(dir, 1), data[:off], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		st := newTestStore(t)
+		mgr, stats, err := Open(dir, st, Options{NoSync: true})
+		if err != nil {
+			t.Fatalf("offset %d: recovery failed: %v", off, err)
+		}
+		if stats.RecordsApplied != k {
+			t.Fatalf("offset %d: applied %d records, want %d", off, stats.RecordsApplied, k)
+		}
+		wantTorn := off != 0 && !ends[off]
+		if stats.TailTruncated != wantTorn {
+			t.Fatalf("offset %d: TailTruncated = %v, want %v (%+v)", off, stats.TailTruncated, wantTorn, stats)
+		}
+		if got, want := historyBytes(t, st), ref.historyAt(acked, k); !bytes.Equal(got, want) {
+			t.Fatalf("offset %d: recovered history (%d records) differs from acknowledged prefix", off, k)
+		}
+		if vs := st.CheckInvariants(); len(vs) != 0 {
+			t.Fatalf("offset %d: recovered store violates invariants: %v", off, vs)
+		}
+		mgr.Close()
+	}
+	if k != len(acked) {
+		t.Fatalf("sweep never reached the full prefix: %d/%d", k, len(acked))
+	}
+}
+
+// TestCrashPointPropertyAcrossCheckpoint sweeps crash offsets over the
+// active segment of a log that has already been checkpointed, so recovery
+// exercises checkpoint load + overlapping-segment replay at every cut.
+func TestCrashPointPropertyAcrossCheckpoint(t *testing.T) {
+	golden := t.TempDir()
+	_, acked := runGolden(t, golden, 99, 120, 60)
+	active := acked[len(acked)-1].seg
+	if active < 2 {
+		t.Fatalf("checkpoint did not rotate: active segment %d", active)
+	}
+	data, err := os.ReadFile(segmentPath(golden, active))
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := int64(len(data))
+
+	// Offsets to test: every record boundary in the active segment, its
+	// immediate neighbors, and offset zero (crash right after rotation).
+	offsets := map[int64]bool{0: true, 1: true, total: true}
+	ends := map[int64]bool{0: true}
+	for _, a := range acked {
+		if a.seg != active {
+			continue
+		}
+		ends[a.end] = true
+		offsets[a.end] = true
+		if a.end > 0 {
+			offsets[a.end-1] = true
+		}
+		if a.end < total {
+			offsets[a.end+1] = true
+		}
+	}
+	sorted := make([]int64, 0, len(offsets))
+	for off := range offsets {
+		sorted = append(sorted, off)
+	}
+	for i := range sorted {
+		for j := i + 1; j < len(sorted); j++ {
+			if sorted[j] < sorted[i] {
+				sorted[i], sorted[j] = sorted[j], sorted[i]
+			}
+		}
+	}
+
+	ref := newReferenceStore(t)
+	base := 0
+	for _, a := range acked {
+		if a.seg != active {
+			base++
+		}
+	}
+	k := base
+	for _, off := range sorted {
+		for k < len(acked) && acked[k].seg == active && acked[k].end <= off {
+			k++
+		}
+		dir := copyDir(t, golden)
+		if err := os.Truncate(segmentPath(dir, active), off); err != nil {
+			t.Fatal(err)
+		}
+		st := newTestStore(t)
+		mgr, stats, err := Open(dir, st, Options{NoSync: true})
+		if err != nil {
+			t.Fatalf("offset %d: recovery failed: %v", off, err)
+		}
+		if !stats.CheckpointLoaded {
+			t.Fatalf("offset %d: checkpoint not loaded", off)
+		}
+		if wantTorn := !ends[off]; stats.TailTruncated != wantTorn {
+			t.Fatalf("offset %d: TailTruncated = %v, want %v", off, stats.TailTruncated, wantTorn)
+		}
+		if got, want := historyBytes(t, st), ref.historyAt(acked, k); !bytes.Equal(got, want) {
+			t.Fatalf("offset %d: recovered history (%d records) differs from acknowledged prefix", off, k)
+		}
+		if vs := st.CheckInvariants(); len(vs) != 0 {
+			t.Fatalf("offset %d: recovered store violates invariants: %v", off, vs)
+		}
+		mgr.Close()
+	}
+	if k != len(acked) {
+		t.Fatalf("sweep never reached the full prefix: %d/%d", k, len(acked))
+	}
+}
+
+// TestChaosCrashRecovery runs the workload against a WAL on a crash-
+// injected filesystem: after a fixed byte budget, the write in flight is
+// torn and every later write, fsync, and truncate fails — including the
+// manager's own rollback repair. Recovery with a healthy filesystem must
+// restore exactly the acknowledged prefix.
+func TestChaosCrashRecovery(t *testing.T) {
+	budgets := []int64{0, 1, 37, 256, 900, 2000, 5000}
+	for _, budget := range budgets {
+		fs := chaos.NewCrashFS(budget)
+		dir := t.TempDir()
+		st := newTestStore(t)
+		mgr, _, err := Open(dir, st, Options{
+			NoSync: true,
+			OpenFile: func(name string, flag int, perm os.FileMode) (File, error) {
+				return fs.OpenFile(name, flag, perm)
+			},
+		})
+		if err != nil {
+			t.Fatalf("budget %d: open: %v", budget, err)
+		}
+		var acked []ackedMutation
+		captureAcked(st, mgr, func() uint64 { return 1 }, &acked)
+		n := workload(t, st, st.Clock(), budget, 400)
+		if n == 400 && budget < 5000 {
+			t.Fatalf("budget %d: workload survived the crash budget", budget)
+		}
+		if n != len(acked) {
+			t.Fatalf("budget %d: %d acked hooks vs %d acked mutations", budget, len(acked), n)
+		}
+		mgr.Close()
+
+		// The dying process could not repair its torn tail (truncate fails
+		// post-crash), so recovery must cope with whatever is on disk.
+		st2 := newTestStore(t)
+		mgr2, stats, err := Open(dir, st2, Options{NoSync: true})
+		if err != nil {
+			t.Fatalf("budget %d: recovery: %v", budget, err)
+		}
+		if fs.Crashed() && stats.RecordsApplied < len(acked) {
+			t.Fatalf("budget %d: lost acknowledged writes: applied %d < acked %d",
+				budget, stats.RecordsApplied, len(acked))
+		}
+		ref := newReferenceStore(t)
+		if !bytes.Equal(historyBytes(t, st2), ref.historyAt(acked, len(acked))) {
+			t.Fatalf("budget %d: recovered history differs from acknowledged prefix", budget)
+		}
+		if vs := st2.CheckInvariants(); len(vs) != 0 {
+			t.Fatalf("budget %d: recovered store violates invariants: %v", budget, vs)
+		}
+		mgr2.Close()
+	}
+}
+
+// TestChaosAppendFailureLatches verifies that once an append cannot be
+// rolled back (the crash also breaks Truncate), the manager refuses all
+// further appends instead of risking interleaved garbage.
+func TestChaosAppendFailureLatches(t *testing.T) {
+	fs := chaos.NewCrashFS(64)
+	dir := t.TempDir()
+	st := newTestStore(t)
+	mgr, _, err := Open(dir, st, Options{
+		NoSync: true,
+		OpenFile: func(name string, flag int, perm os.FileMode) (File, error) {
+			return fs.OpenFile(name, flag, perm)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.SetMutationHook(mgr.Append)
+	var firstErr error
+	for i := 0; i < 50 && firstErr == nil; i++ {
+		_, firstErr = st.InsertNode("Host", graph.Fields{"id": i})
+	}
+	if firstErr == nil {
+		t.Fatal("no append failed within budget")
+	}
+	if !errors.Is(firstErr, chaos.ErrCrashed) {
+		t.Fatalf("first failure = %v, want ErrCrashed in chain", firstErr)
+	}
+	// The store must have rejected the mutation, not half-applied it.
+	mustNoViolations(t, st)
+	if _, err := st.InsertNode("Host", graph.Fields{"id": 10_000}); err == nil {
+		t.Fatal("append after unrepairable failure succeeded")
+	}
+}
+
+// TestCrashDuringCheckpoint cuts the crash budget so the machine dies
+// while writing checkpoint.tmp; the half-written temp must be discarded
+// and the sealed segments must still recover the full history.
+func TestCrashDuringCheckpoint(t *testing.T) {
+	// First measure a healthy run to find the byte cost of the log phase.
+	probeDir := t.TempDir()
+	probeStore := newTestStore(t)
+	probeMgr, _, err := Open(probeDir, probeStore, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	probeStore.SetMutationHook(probeMgr.Append)
+	workload(t, probeStore, probeStore.Clock(), 5, 80)
+	logBytes := probeMgr.Size()
+	probeMgr.Close()
+
+	// Now rerun with a budget that survives the log writes but dies inside
+	// the checkpoint snapshot.
+	fs := chaos.NewCrashFS(logBytes + 100)
+	dir := t.TempDir()
+	st := newTestStore(t)
+	mgr, _, err := Open(dir, st, Options{
+		NoSync: true,
+		OpenFile: func(name string, flag int, perm os.FileMode) (File, error) {
+			return fs.OpenFile(name, flag, perm)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.SetMutationHook(mgr.Append)
+	if n := workload(t, st, st.Clock(), 5, 80); n != 80 {
+		t.Fatalf("workload acked %d/80 before checkpoint", n)
+	}
+	if err := mgr.Checkpoint(st); err == nil {
+		t.Fatal("checkpoint survived the crash budget")
+	}
+	mgr.Close()
+
+	st2 := newTestStore(t)
+	mgr2, stats, err := Open(dir, st2, Options{NoSync: true})
+	if err != nil {
+		t.Fatalf("recovery after mid-checkpoint crash: %v", err)
+	}
+	defer mgr2.Close()
+	if stats.CheckpointLoaded {
+		t.Error("half-written checkpoint was trusted")
+	}
+	if !bytes.Equal(historyBytes(t, st), historyBytes(t, st2)) {
+		t.Error("recovery after mid-checkpoint crash lost history")
+	}
+	mustNoViolations(t, st2)
+}
+
+func BenchmarkWALAppend(b *testing.B) {
+	for _, bc := range []struct {
+		name   string
+		noSync bool
+	}{{"sync", false}, {"nosync", true}} {
+		b.Run(bc.name, func(b *testing.B) {
+			st := graph.NewStore(testSchema(b), temporal.NewManualClock(t0))
+			mgr, _, err := Open(b.TempDir(), st, Options{NoSync: bc.noSync})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer mgr.Close()
+			st.SetMutationHook(mgr.Append)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := st.InsertNode("Host", graph.Fields{"id": i}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(mgr.Size())/float64(b.N), "bytes/record")
+		})
+	}
+}
+
+// BenchmarkMutateNoWAL measures the plain mutation path with no hook
+// installed — the baseline the WAL-off path must stay within noise of.
+func BenchmarkMutateNoWAL(b *testing.B) {
+	st := graph.NewStore(testSchema(b), temporal.NewManualClock(t0))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := st.InsertNode("Host", graph.Fields{"id": i}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

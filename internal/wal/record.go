@@ -1,0 +1,121 @@
+package wal
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"time"
+
+	"repro/internal/graph"
+)
+
+// Wire format: every record is a length-prefixed, checksummed frame
+//
+//	[4 bytes little-endian payload length]
+//	[4 bytes little-endian CRC-32C of the payload]
+//	[payload: one JSON mutation document]
+//
+// The CRC covers only the payload; the length prefix is validated by
+// bounds (a frame can never exceed maxRecordSize), so any bit flip in
+// either field is caught before a byte of the payload is trusted. A
+// record that does not fully fit in the remaining bytes is a torn tail —
+// the crash left a partial write — and is distinguished from checksum
+// corruption so recovery can report what it truncated.
+
+const (
+	frameHeaderSize = 8
+	// maxRecordSize bounds one mutation document; a length prefix above it
+	// is treated as corruption, not as an instruction to allocate.
+	maxRecordSize = 16 << 20
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// errTorn marks an incomplete final frame (crash mid-append).
+var errTorn = errors.New("wal: torn record")
+
+// errCorrupt marks a frame whose length or checksum is invalid.
+var errCorrupt = errors.New("wal: corrupt record")
+
+// recordDoc is the JSON payload of one logged mutation.
+type recordDoc struct {
+	Op     string       `json:"op"`
+	UID    int64        `json:"uid"`
+	Class  string       `json:"class,omitempty"`
+	Src    int64        `json:"src,omitempty"`
+	Dst    int64        `json:"dst,omitempty"`
+	Fields graph.Fields `json:"fields,omitempty"`
+	At     string       `json:"at"`
+}
+
+const recordTimeLayout = time.RFC3339Nano
+
+// encodeRecord renders one mutation as a full wire frame.
+func encodeRecord(m *graph.Mutation) ([]byte, error) {
+	payload, err := json.Marshal(recordDoc{
+		Op:     m.Op.String(),
+		UID:    int64(m.UID),
+		Class:  m.Class,
+		Src:    int64(m.Src),
+		Dst:    int64(m.Dst),
+		Fields: m.Fields,
+		At:     m.At.Format(recordTimeLayout),
+	})
+	if err != nil {
+		return nil, fmt.Errorf("wal: encoding mutation %s uid %d: %w", m.Op, m.UID, err)
+	}
+	if len(payload) > maxRecordSize {
+		return nil, fmt.Errorf("wal: mutation %s uid %d encodes to %d bytes (max %d)",
+			m.Op, m.UID, len(payload), maxRecordSize)
+	}
+	frame := make([]byte, frameHeaderSize+len(payload))
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.Checksum(payload, castagnoli))
+	copy(frame[frameHeaderSize:], payload)
+	return frame, nil
+}
+
+// decodeRecord reads one frame from the front of b, returning the decoded
+// mutation and the number of bytes consumed. It returns errTorn when b
+// ends before the frame does and errCorrupt when the length bound, the
+// checksum, or the payload document is invalid.
+func decodeRecord(b []byte) (*graph.Mutation, int, error) {
+	if len(b) < frameHeaderSize {
+		return nil, 0, errTorn
+	}
+	n := binary.LittleEndian.Uint32(b[0:4])
+	if n == 0 || n > maxRecordSize {
+		return nil, 0, fmt.Errorf("%w: implausible length prefix %d", errCorrupt, n)
+	}
+	if len(b) < frameHeaderSize+int(n) {
+		return nil, 0, errTorn
+	}
+	payload := b[frameHeaderSize : frameHeaderSize+int(n)]
+	want := binary.LittleEndian.Uint32(b[4:8])
+	if got := crc32.Checksum(payload, castagnoli); got != want {
+		return nil, 0, fmt.Errorf("%w: checksum mismatch (stored %08x, computed %08x)", errCorrupt, want, got)
+	}
+	var doc recordDoc
+	if err := json.Unmarshal(payload, &doc); err != nil {
+		return nil, 0, fmt.Errorf("%w: undecodable payload: %v", errCorrupt, err)
+	}
+	op, err := graph.ParseMutationOp(doc.Op)
+	if err != nil {
+		return nil, 0, fmt.Errorf("%w: %v", errCorrupt, err)
+	}
+	at, err := time.Parse(recordTimeLayout, doc.At)
+	if err != nil {
+		return nil, 0, fmt.Errorf("%w: bad timestamp %q: %v", errCorrupt, doc.At, err)
+	}
+	return &graph.Mutation{
+		Op:     op,
+		UID:    graph.UID(doc.UID),
+		Class:  doc.Class,
+		Src:    graph.UID(doc.Src),
+		Dst:    graph.UID(doc.Dst),
+		Fields: doc.Fields,
+		At:     at,
+	}, frameHeaderSize + int(n), nil
+}

@@ -1,0 +1,494 @@
+// Package wal gives the temporal graph store durability: an append-only,
+// CRC-checksummed, length-prefixed log of every store mutation, periodic
+// checkpoints in the existing history format, and crash recovery that
+// replays the log on top of the latest checkpoint.
+//
+// The durability contract is write-ahead: a Manager installed as the
+// store's mutation hook appends (and, by default, fsyncs) each record
+// while the store's write lock is held, before the mutation becomes
+// visible in memory — so the log order is exactly the store's
+// serialization order and an acknowledged write is always on disk.
+// Because every record carries its transaction timestamp, replay through
+// graph.ApplyMutation reproduces the identical temporal version history,
+// not merely the same live state.
+//
+// Checkpoints rotate the log instead of blocking it: the active segment
+// is sealed, a new one opened, and the store's full history is snapshotted
+// while writes continue into the new segment. Replay is idempotent (the
+// store skips records it already reflects), which makes the
+// checkpoint/segment overlap window harmless and keeps every crash point
+// of the checkpoint protocol itself recoverable. Recovery tolerates a
+// torn or corrupt tail — the signature of a crash mid-append — by
+// truncating the log at the first bad record; corruption anywhere else is
+// an error, never silently skipped.
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/obs"
+)
+
+const (
+	segmentPrefix  = "wal-"
+	segmentSuffix  = ".log"
+	checkpointName = "checkpoint"
+	checkpointTemp = "checkpoint.tmp"
+)
+
+// File is the write handle the Manager appends through. *os.File satisfies
+// it; fault-injection tests substitute wrappers that fail or tear writes
+// (see internal/chaos).
+type File interface {
+	io.Writer
+	Sync() error
+	Truncate(size int64) error
+	Close() error
+}
+
+// Options configures a Manager.
+type Options struct {
+	// NoSync disables the fsync after every append. The log is then only
+	// as durable as the OS page cache, but appends are dramatically
+	// cheaper; Checkpoint still syncs everything it writes. Tests use it
+	// to keep randomized workloads fast.
+	NoSync bool
+
+	// OpenFile overrides how the Manager opens files it writes (segments
+	// and checkpoint temporaries), mirroring os.OpenFile. nil uses the
+	// real filesystem. Recovery reads and renames always use the real
+	// filesystem: fault injection models a crashing writer, not a lying
+	// reader.
+	OpenFile func(name string, flag int, perm os.FileMode) (File, error)
+}
+
+func (o Options) open(name string, flag int) (File, error) {
+	if o.OpenFile != nil {
+		return o.OpenFile(name, flag, 0o644)
+	}
+	return os.OpenFile(name, flag, 0o644)
+}
+
+// RecoveryStats reports what Open found and did while recovering.
+type RecoveryStats struct {
+	// CheckpointLoaded is true when a checkpoint file was restored.
+	CheckpointLoaded bool
+	// Segments is the number of log segments scanned.
+	Segments int
+	// RecordsApplied counts replayed mutations the store applied.
+	RecordsApplied int
+	// RecordsSkipped counts records the store already reflected (the
+	// checkpoint/segment overlap window).
+	RecordsSkipped int
+	// TailTruncated is true when a torn or corrupt tail was cut off.
+	TailTruncated bool
+	// DroppedBytes is the number of tail bytes discarded by truncation.
+	DroppedBytes int64
+	// StaleTempRemoved is true when a leftover checkpoint temporary from
+	// a crashed checkpoint was deleted.
+	StaleTempRemoved bool
+}
+
+func (s RecoveryStats) String() string {
+	msg := fmt.Sprintf("replayed %d records (%d already in checkpoint) from %d segments",
+		s.RecordsApplied, s.RecordsSkipped, s.Segments)
+	if s.CheckpointLoaded {
+		msg = "loaded checkpoint, " + msg
+	}
+	if s.TailTruncated {
+		msg += fmt.Sprintf(", truncated %d-byte torn tail", s.DroppedBytes)
+	}
+	return msg
+}
+
+// walObs caches the registry metrics the hot append path records.
+type walObs struct {
+	appends      *obs.Counter
+	appendBytes  *obs.Counter
+	appendErrors *obs.Counter
+	fsyncs       *obs.Counter
+	checkpoints  *obs.Counter
+	checkpointMS *obs.Histogram
+}
+
+// Manager is an open write-ahead log bound to one directory. Its Append
+// method is installed as the store's mutation hook; Checkpoint and Close
+// are safe to call concurrently with appends.
+type Manager struct {
+	dir  string
+	opts Options
+
+	// cpMu serializes checkpoints against each other.
+	cpMu sync.Mutex
+
+	mu     sync.Mutex
+	f      File
+	seq    uint64
+	size   int64 // bytes in the active segment
+	broken error // set when the log can no longer accept appends
+	o      *walObs
+
+	stats RecoveryStats
+}
+
+// Open recovers the log directory into st (which must be empty) and
+// returns a Manager appending to it: load the checkpoint if one exists,
+// replay every segment in order, truncate a torn tail, and open the
+// newest segment for appending. The caller wires durability up with
+// st.SetMutationHook(mgr.Append).
+func Open(dir string, st *graph.Store, opts Options) (*Manager, RecoveryStats, error) {
+	var stats RecoveryStats
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, stats, fmt.Errorf("wal: creating directory: %w", err)
+	}
+
+	// A checkpoint temporary is a checkpoint that never committed: the
+	// rename is the commit point, so the temp is garbage.
+	tmp := filepath.Join(dir, checkpointTemp)
+	if _, err := os.Stat(tmp); err == nil {
+		if err := os.Remove(tmp); err != nil {
+			return nil, stats, fmt.Errorf("wal: removing stale checkpoint temp: %w", err)
+		}
+		stats.StaleTempRemoved = true
+	}
+
+	cp := filepath.Join(dir, checkpointName)
+	if f, err := os.Open(cp); err == nil {
+		err = st.LoadHistory(f)
+		f.Close()
+		if err != nil {
+			return nil, stats, fmt.Errorf("wal: loading checkpoint: %w", err)
+		}
+		stats.CheckpointLoaded = true
+	} else if !errors.Is(err, os.ErrNotExist) {
+		return nil, stats, fmt.Errorf("wal: opening checkpoint: %w", err)
+	}
+
+	seqs, err := listSegments(dir)
+	if err != nil {
+		return nil, stats, err
+	}
+	stats.Segments = len(seqs)
+	for i, seq := range seqs {
+		if err := replaySegment(dir, seq, i == len(seqs)-1, st, &stats); err != nil {
+			return nil, stats, err
+		}
+	}
+
+	seq := uint64(1)
+	if n := len(seqs); n > 0 {
+		seq = seqs[n-1]
+	}
+	path := segmentPath(dir, seq)
+	f, err := opts.open(path, os.O_WRONLY|os.O_CREATE|os.O_APPEND)
+	if err != nil {
+		return nil, stats, fmt.Errorf("wal: opening active segment: %w", err)
+	}
+	size := int64(0)
+	if fi, err := os.Stat(path); err == nil {
+		size = fi.Size()
+	}
+	return &Manager{dir: dir, opts: opts, f: f, seq: seq, size: size, stats: stats}, stats, nil
+}
+
+func segmentPath(dir string, seq uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("%s%08d%s", segmentPrefix, seq, segmentSuffix))
+}
+
+// listSegments returns the sequence numbers of every segment in dir, in
+// ascending order.
+func listSegments(dir string) ([]uint64, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("wal: listing directory: %w", err)
+	}
+	var seqs []uint64
+	for _, e := range entries {
+		name := e.Name()
+		var seq uint64
+		if _, err := fmt.Sscanf(name, segmentPrefix+"%d"+segmentSuffix, &seq); err == nil && segmentPath(dir, seq) == filepath.Join(dir, name) {
+			seqs = append(seqs, seq)
+		}
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	return seqs, nil
+}
+
+// replaySegment applies one segment's records to the store. A torn or
+// corrupt record in the final segment is the crash tail: the file is
+// truncated at the first bad record and replay stops there. The same
+// damage in an earlier segment cannot be a crash artifact (segments are
+// synced before rotation) and is reported as an error.
+func replaySegment(dir string, seq uint64, last bool, st *graph.Store, stats *RecoveryStats) error {
+	path := segmentPath(dir, seq)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("wal: reading segment %d: %w", seq, err)
+	}
+	off := 0
+	for off < len(data) {
+		m, n, err := decodeRecord(data[off:])
+		if err != nil {
+			if !last || !(errors.Is(err, errTorn) || errors.Is(err, errCorrupt)) {
+				return fmt.Errorf("wal: segment %d offset %d: %w", seq, off, err)
+			}
+			if terr := os.Truncate(path, int64(off)); terr != nil {
+				return fmt.Errorf("wal: truncating torn tail of segment %d at %d: %w", seq, off, terr)
+			}
+			stats.TailTruncated = true
+			stats.DroppedBytes = int64(len(data) - off)
+			return nil
+		}
+		applied, err := st.ApplyMutation(m)
+		if err != nil {
+			return fmt.Errorf("wal: replaying segment %d offset %d: %w", seq, off, err)
+		}
+		if applied {
+			stats.RecordsApplied++
+		} else {
+			stats.RecordsSkipped++
+		}
+		off += n
+	}
+	return nil
+}
+
+// Append logs one mutation, making it durable before the store applies
+// it. It is installed as the store's MutationHook, so it runs under the
+// store's write lock; an error aborts the mutation. A partial write is
+// rolled back by truncating the segment; if that rollback fails the log
+// is latched broken and every later append fails fast, because an
+// unrepaired torn middle would corrupt all subsequent records.
+func (mgr *Manager) Append(m *graph.Mutation) error {
+	frame, err := encodeRecord(m)
+	if err != nil {
+		return err
+	}
+	mgr.mu.Lock()
+	defer mgr.mu.Unlock()
+	if mgr.broken != nil {
+		return fmt.Errorf("wal: log is broken: %w", mgr.broken)
+	}
+	o := mgr.o.load()
+	n, err := mgr.f.Write(frame)
+	if err != nil {
+		o.appendErrors.Add(1)
+		if n > 0 {
+			if terr := mgr.f.Truncate(mgr.size); terr != nil {
+				mgr.broken = fmt.Errorf("torn append could not be rolled back: %v (append: %w)", terr, err)
+			}
+		}
+		return fmt.Errorf("wal: appending %s uid %d: %w", m.Op, m.UID, err)
+	}
+	mgr.size += int64(n)
+	if !mgr.opts.NoSync {
+		if err := mgr.f.Sync(); err != nil {
+			// The record is written but not durably: the safe reading is
+			// "not acknowledged", so fail the mutation and roll back.
+			o.appendErrors.Add(1)
+			if terr := mgr.f.Truncate(mgr.size - int64(n)); terr != nil {
+				mgr.broken = fmt.Errorf("unsynced append could not be rolled back: %v (sync: %w)", terr, err)
+			} else {
+				mgr.size -= int64(n)
+			}
+			return fmt.Errorf("wal: syncing %s uid %d: %w", m.Op, m.UID, err)
+		}
+		o.fsyncs.Add(1)
+	}
+	o.appends.Add(1)
+	o.appendBytes.Add(int64(n))
+	return nil
+}
+
+// Checkpoint snapshots the store's full history and contracts the log:
+// the active segment is sealed and a fresh one opened (appends continue
+// immediately), the snapshot is written and atomically renamed over the
+// previous checkpoint, and sealed segments are deleted. Every crash point
+// is safe: until the rename commits, recovery uses the old checkpoint
+// plus all segments; after it, replay of any leftover segment records is
+// idempotent.
+func (mgr *Manager) Checkpoint(st *graph.Store) error {
+	mgr.cpMu.Lock()
+	defer mgr.cpMu.Unlock()
+	start := time.Now()
+
+	// Seal the active segment and rotate. From here on, concurrent
+	// mutations land in the new segment.
+	mgr.mu.Lock()
+	if mgr.broken != nil {
+		mgr.mu.Unlock()
+		return fmt.Errorf("wal: log is broken: %w", mgr.broken)
+	}
+	if err := mgr.f.Sync(); err != nil {
+		mgr.mu.Unlock()
+		return fmt.Errorf("wal: syncing segment before rotation: %w", err)
+	}
+	if err := mgr.f.Close(); err != nil {
+		mgr.broken = fmt.Errorf("sealed segment close failed: %w", err)
+		mgr.mu.Unlock()
+		return fmt.Errorf("wal: closing sealed segment: %w", err)
+	}
+	sealed := mgr.seq
+	mgr.seq++
+	f, err := mgr.opts.open(segmentPath(mgr.dir, mgr.seq), os.O_WRONLY|os.O_CREATE|os.O_APPEND)
+	if err != nil {
+		mgr.broken = fmt.Errorf("rotation failed: %w", err)
+		mgr.mu.Unlock()
+		return fmt.Errorf("wal: opening rotated segment: %w", err)
+	}
+	mgr.f = f
+	mgr.size = 0
+	mgr.mu.Unlock()
+
+	// Snapshot outside the log lock; WriteHistory holds the store's read
+	// lock, so the image contains everything up to rotation and possibly
+	// a prefix of the new segment — replay idempotence absorbs that.
+	if err := mgr.writeCheckpoint(st); err != nil {
+		return err
+	}
+
+	// The sealed segments are now fully contained in the checkpoint.
+	for _, seq := range mustListSegments(mgr.dir) {
+		if seq <= sealed {
+			if err := os.Remove(segmentPath(mgr.dir, seq)); err != nil {
+				return fmt.Errorf("wal: removing sealed segment %d: %w", seq, err)
+			}
+		}
+	}
+	o := mgr.metrics()
+	o.checkpoints.Add(1)
+	o.checkpointMS.Observe(float64(time.Since(start)) / 1e6)
+	return nil
+}
+
+// metrics returns the attached sink under the log lock (no-op when none).
+func (mgr *Manager) metrics() *walObs {
+	mgr.mu.Lock()
+	defer mgr.mu.Unlock()
+	return mgr.o.load()
+}
+
+// writeCheckpoint writes, syncs, and atomically installs the snapshot.
+func (mgr *Manager) writeCheckpoint(st *graph.Store) error {
+	tmp := filepath.Join(mgr.dir, checkpointTemp)
+	f, err := mgr.opts.open(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC)
+	if err != nil {
+		return fmt.Errorf("wal: creating checkpoint temp: %w", err)
+	}
+	if err := st.WriteHistory(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("wal: writing checkpoint: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("wal: syncing checkpoint: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("wal: closing checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(mgr.dir, checkpointName)); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("wal: installing checkpoint: %w", err)
+	}
+	syncDir(mgr.dir)
+	return nil
+}
+
+// syncDir flushes directory metadata (the rename) to disk, best-effort:
+// not every filesystem supports fsync on a directory handle.
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+}
+
+// mustListSegments is listSegments for paths already proven readable.
+func mustListSegments(dir string) []uint64 {
+	seqs, _ := listSegments(dir)
+	return seqs
+}
+
+// Close syncs and closes the active segment. The Manager must not be
+// used afterwards.
+func (mgr *Manager) Close() error {
+	mgr.mu.Lock()
+	defer mgr.mu.Unlock()
+	if mgr.f == nil {
+		return nil
+	}
+	f := mgr.f
+	mgr.f = nil
+	mgr.broken = errors.New("wal: manager closed")
+	if !mgr.opts.NoSync {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return fmt.Errorf("wal: syncing on close: %w", err)
+		}
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("wal: closing active segment: %w", err)
+	}
+	return nil
+}
+
+// Dir returns the log directory.
+func (mgr *Manager) Dir() string { return mgr.dir }
+
+// Size reports the byte size of the active segment — the durable log
+// bytes appended since the last rotation.
+func (mgr *Manager) Size() int64 {
+	mgr.mu.Lock()
+	defer mgr.mu.Unlock()
+	return mgr.size
+}
+
+// RecoveryStats returns what Open recovered.
+func (mgr *Manager) RecoveryStats() RecoveryStats { return mgr.stats }
+
+// Instrument attaches a metrics registry: appends, appended bytes, fsyncs,
+// append errors, checkpoints, and checkpoint duration are recorded under
+// "wal.*" names, and the recovery outcome counters are published once at
+// attach time. A nil registry detaches.
+func (mgr *Manager) Instrument(reg *obs.Registry) {
+	mgr.mu.Lock()
+	defer mgr.mu.Unlock()
+	if reg == nil {
+		mgr.o = nil
+		return
+	}
+	mgr.o = &walObs{
+		appends:      reg.Counter("wal.appends"),
+		appendBytes:  reg.Counter("wal.append_bytes"),
+		appendErrors: reg.Counter("wal.append_errors"),
+		fsyncs:       reg.Counter("wal.fsyncs"),
+		checkpoints:  reg.Counter("wal.checkpoints"),
+		checkpointMS: reg.Histogram("wal.checkpoint_ms"),
+	}
+	reg.Counter("wal.recoveries").Add(1)
+	reg.Counter("wal.recovered_records").Add(int64(mgr.stats.RecordsApplied))
+	reg.Counter("wal.recovery_skipped_records").Add(int64(mgr.stats.RecordsSkipped))
+	if mgr.stats.TailTruncated {
+		reg.Counter("wal.tail_truncations").Add(1)
+	}
+}
+
+// load returns the metrics sink, never nil field-wise: a nil *walObs
+// yields nil metrics whose methods are no-ops (see internal/obs).
+func (o *walObs) load() *walObs {
+	if o == nil {
+		return &walObs{}
+	}
+	return o
+}
