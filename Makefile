@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-race bench chaos crash
+.PHONY: all build vet test test-race bench chaos crash serve-smoke
 
 all: build vet test
 
@@ -18,6 +18,7 @@ test:
 # -race, so the harness packages run in -short mode.
 test-race:
 	$(GO) test -race ./internal/obs/ ./internal/plan/ ./internal/graph/ ./internal/core/ ./internal/exec/
+	$(GO) test -race ./internal/server/ ./internal/client/
 	$(GO) test -race -short ./internal/wal/ ./internal/chaos/
 	$(GO) test -race -short ./internal/bench/ ./cmd/...
 
@@ -38,4 +39,10 @@ chaos:
 crash:
 	$(GO) test -race -count=2 -short ./internal/wal/ ./internal/chaos/
 	$(GO) test -race -count=2 -run 'WAL|Crash|Recover|Invariant|Fsck|Checkpoint|HistoryChurn|PersistTyped' \
-		./internal/graph/ ./internal/core/ ./cmd/nepal/
+		./internal/graph/ ./internal/core/ ./internal/server/ ./cmd/nepal/
+
+# End-to-end serving smoke: start a server over the demo topology, wait
+# for /healthz through the Go client, run one query over the wire, shut
+# the server down gracefully.
+serve-smoke:
+	./scripts/serve_smoke.sh

@@ -88,10 +88,28 @@ type options struct {
 	// fsck verifies the store's structural invariants after loading and
 	// exits nonzero on violations; no queries run.
 	fsck bool
+	// serveAddr, when set, serves the loaded store over the HTTP/JSON
+	// query API on the address until SIGINT/SIGTERM, instead of running
+	// local queries.
+	serveAddr string
+	// maxInFlight, maxQueue, and planCache size the server's admission
+	// control and compiled-plan cache (0 = server defaults).
+	maxInFlight int
+	maxQueue    int
+	planCache   int
+	// connectURL, when set, turns nepal into a thin client of a running
+	// server: no store is opened; queries go over the wire.
+	connectURL string
 	// out receives all query output; nil means os.Stdout.
 	out io.Writer
 	// in supplies queries when q is empty; nil means os.Stdin.
 	in io.Reader
+	// ready, when non-nil, is called with the bound listen address once
+	// the server accepts connections (tests bind ":0").
+	ready func(addr string)
+	// stop, when non-nil, triggers graceful server shutdown like a
+	// signal would (tests cannot deliver SIGTERM portably).
+	stop chan struct{}
 }
 
 func main() {
@@ -114,6 +132,11 @@ func main() {
 	flag.StringVar(&opt.walDir, "wal-dir", "", "write-ahead log directory: recover the store from it on start and log every mutation durably")
 	flag.BoolVar(&opt.checkpoint, "checkpoint", false, "snapshot the store and contract the write-ahead log, then exit (requires -wal-dir)")
 	flag.BoolVar(&opt.fsck, "fsck", false, "verify store invariants after loading and exit nonzero on violations")
+	flag.StringVar(&opt.serveAddr, "serve", "", "serve the loaded store over the HTTP/JSON query API on this address (e.g. :7474)")
+	flag.IntVar(&opt.maxInFlight, "max-inflight", 0, "serve: max concurrently executing requests (0 = default 64)")
+	flag.IntVar(&opt.maxQueue, "max-queue", 0, "serve: max requests waiting for a slot before 429 (0 = 2x max-inflight)")
+	flag.IntVar(&opt.planCache, "plan-cache", 0, "serve: compiled-plan cache entries (0 = default 256)")
+	flag.StringVar(&opt.connectURL, "connect", "", "act as a client of a running server at this URL (e.g. http://127.0.0.1:7474)")
 	flag.Parse()
 
 	if err := run(opt); err != nil {
@@ -130,6 +153,9 @@ func run(opt options) error {
 	out := opt.out
 	if out == nil {
 		out = os.Stdout
+	}
+	if opt.connectURL != "" {
+		return runConnect(opt)
 	}
 	sch, err := loadSchema(opt.model, opt.schemaPath)
 	if err != nil {
@@ -211,6 +237,10 @@ func run(opt options) error {
 		return nil
 	}
 
+	if opt.serveAddr != "" {
+		return runServe(db, reg, opt)
+	}
+
 	if opt.q != "" {
 		if err := execute(db, out, opt.q, opt); err != nil {
 			return err
@@ -221,6 +251,19 @@ func run(opt options) error {
 	if in == nil {
 		in = os.Stdin
 	}
+	if err := eachQueryLine(in, func(line string) {
+		if err := execute(db, out, line, opt); err != nil {
+			fmt.Fprintln(os.Stderr, "nepal:", err)
+		}
+	}); err != nil {
+		return err
+	}
+	return dumpMetrics(reg, out, opt)
+}
+
+// eachQueryLine feeds each non-empty, non-comment line of in to fn —
+// the shared REPL loop for local and remote execution.
+func eachQueryLine(in io.Reader, fn func(line string)) error {
 	scanner := bufio.NewScanner(in)
 	scanner.Buffer(make([]byte, 1<<20), 1<<20)
 	for scanner.Scan() {
@@ -228,14 +271,9 @@ func run(opt options) error {
 		if line == "" || strings.HasPrefix(line, "--") {
 			continue
 		}
-		if err := execute(db, out, line, opt); err != nil {
-			fmt.Fprintln(os.Stderr, "nepal:", err)
-		}
+		fn(line)
 	}
-	if err := scanner.Err(); err != nil {
-		return err
-	}
-	return dumpMetrics(reg, out, opt)
+	return scanner.Err()
 }
 
 // runFsck is the offline store checker: it validates every structural

@@ -1,0 +1,174 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/server"
+)
+
+// runServe turns the process into a network query server: the loaded
+// (and possibly WAL-recovered) store is served on opt.serveAddr until
+// SIGINT/SIGTERM, then shut down gracefully — the listener stops,
+// in-flight queries drain, and the DB closes so the WAL syncs its final
+// segment.
+func runServe(db *core.DB, reg *obs.Registry, opt options) error {
+	s := server.New(db, server.Config{
+		MaxInFlight:   opt.maxInFlight,
+		MaxQueue:      opt.maxQueue,
+		PlanCacheSize: opt.planCache,
+		DefaultLimits: db.Limits(),
+		MaxTimeout:    opt.timeout,
+		Registry:      reg,
+	})
+	ln, err := net.Listen("tcp", opt.serveAddr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "nepal: serving on http://%s (POST /v1/query, /v1/prepare, /v1/execute; GET /healthz, /metrics)\n",
+		ln.Addr())
+	if opt.ready != nil {
+		opt.ready(ln.Addr().String())
+	}
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- s.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	defer signal.Stop(sig)
+
+	select {
+	case err := <-errCh:
+		// Listener died on its own; nothing left to drain.
+		return err
+	case <-sig:
+	case <-opt.stop:
+	}
+	fmt.Fprintln(os.Stderr, "nepal: shutting down (draining in-flight queries)...")
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	fmt.Fprintln(os.Stderr, "nepal: store closed, WAL synced")
+	return nil
+}
+
+// runConnect is the thin remote mode: instead of opening a store, the
+// process talks to a running nepal server through internal/client. It
+// checks /healthz first, then executes -q (or stdin lines) over the API.
+func runConnect(opt options) error {
+	out := opt.out
+	if out == nil {
+		out = os.Stdout
+	}
+	c := client.New(opt.connectURL)
+	ctx := context.Background()
+	if opt.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, opt.timeout)
+		defer cancel()
+	}
+
+	h, err := c.Health(ctx)
+	if err != nil {
+		return fmt.Errorf("health check against %s: %w", opt.connectURL, err)
+	}
+	fmt.Fprintf(os.Stderr, "nepal: connected to %s: status=%s backend=%s in_flight=%d\n",
+		opt.connectURL, h.Status, h.Backend, h.InFlight)
+
+	qopts := &client.QueryOptions{}
+	if opt.maxPaths > 0 || opt.maxEdges > 0 {
+		qopts.Limits = &server.Limits{MaxPaths: opt.maxPaths, MaxEdgesScanned: opt.maxEdges}
+	}
+	if opt.timeout > 0 {
+		qopts.TimeoutMS = opt.timeout.Milliseconds()
+	}
+
+	if opt.q != "" {
+		return executeRemote(ctx, c, out, opt.q, qopts, opt)
+	}
+	in := opt.in
+	if in == nil {
+		in = os.Stdin
+	}
+	return eachQueryLine(in, func(line string) {
+		if err := executeRemote(ctx, c, out, line, qopts, opt); err != nil {
+			fmt.Fprintln(os.Stderr, "nepal:", err)
+		}
+	})
+}
+
+// executeRemote runs one statement over the API, honoring the same
+// -explain/-explain-analyze flags as local execution.
+func executeRemote(ctx context.Context, c *client.Client, out io.Writer, src string, qopts *client.QueryOptions, opt options) error {
+	if opt.explain {
+		text, err := c.Explain(ctx, src)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(out, text)
+		return nil
+	}
+	if opt.explainAnalyze {
+		text, res, err := c.ExplainAnalyze(ctx, src)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(out, text)
+		fmt.Fprintf(out, "(%d rows)\n", len(res.Rows))
+		return nil
+	}
+	res, err := c.Query(ctx, src, qopts)
+	if err != nil {
+		return err
+	}
+	printRemoteResult(out, res)
+	return nil
+}
+
+// printRemoteResult renders a decoded API result in the same shape as
+// local execution output: header, one line per row, row count. Pathways
+// use the server-side rendering; other values print as JSON scalars.
+func printRemoteResult(out io.Writer, res *client.Result) {
+	if len(res.Columns) > 0 {
+		fmt.Fprintln(out, strings.Join(res.Columns, " | "))
+	}
+	for _, row := range res.Rows {
+		vals := make([]string, len(row.Values))
+		for i, v := range row.Values {
+			if p, ok := v.(*client.Pathway); ok {
+				vals[i] = p.Rendered
+			} else {
+				vals[i] = fmt.Sprint(v)
+			}
+		}
+		fmt.Fprintln(out, strings.Join(vals, " | "))
+	}
+	if res.Agg != nil {
+		switch {
+		case res.Agg.Time != nil:
+			fmt.Fprintf(out, "exists = %v at %s\n", res.Agg.Exists, res.Agg.Time.Format("2006-01-02 15:04:05"))
+		case res.Agg.Current:
+			fmt.Fprintf(out, "exists = %v (current)\n", res.Agg.Exists)
+		default:
+			fmt.Fprintf(out, "exists = %v over %d intervals\n", res.Agg.Exists, len(res.Agg.Set))
+		}
+	}
+	suffix := ""
+	if res.Cached {
+		suffix = ", plan cached"
+	}
+	fmt.Fprintf(out, "(%d rows%s)\n", len(res.Rows), suffix)
+}

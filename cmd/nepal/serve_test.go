@@ -1,0 +1,79 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestServeAndConnect is the end-to-end CLI exercise: one run() serves
+// the demo topology on a loopback port, a second run() connects as a
+// thin client — health check, query over the wire, rendered output —
+// and the stop channel shuts the server down gracefully.
+func TestServeAndConnect(t *testing.T) {
+	ready := make(chan string, 1)
+	stop := make(chan struct{})
+	serveErr := make(chan error, 1)
+	go func() {
+		serveErr <- run(options{
+			model: "netmodel", demo: true, backend: "gremlin",
+			serveAddr: "127.0.0.1:0",
+			ready:     func(addr string) { ready <- addr },
+			stop:      stop,
+		})
+	}()
+
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-serveErr:
+		t.Fatalf("server exited before ready: %v", err)
+	case <-time.After(30 * time.Second):
+		t.Fatal("server never became ready")
+	}
+
+	q := "Retrieve P From PATHS P Where P MATCHES VNF()->[Vertical()]{1,6}->Host(id=1001)"
+	var out bytes.Buffer
+	if err := run(options{connectURL: "http://" + addr, q: q, out: &out}); err != nil {
+		t.Fatalf("connect mode: %v", err)
+	}
+	text := out.String()
+	if !strings.Contains(text, "rows)") {
+		t.Errorf("remote query output missing row count: %q", text)
+	}
+	if !strings.Contains(text, "ComputeHost") {
+		t.Errorf("remote query output missing rendered pathway: %q", text)
+	}
+
+	// -explain over the wire returns the plan without executing.
+	out.Reset()
+	if err := run(options{connectURL: "http://" + addr, q: q, explain: true, out: &out}); err != nil {
+		t.Fatalf("remote explain: %v", err)
+	}
+	if !strings.Contains(out.String(), "-- variable P --") {
+		t.Errorf("remote explain output missing plan header: %q", out.String())
+	}
+
+	close(stop)
+	select {
+	case err := <-serveErr:
+		if err != nil {
+			t.Fatalf("graceful shutdown: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("server never shut down")
+	}
+}
+
+// TestConnectRefused pins the failure mode of pointing -connect at a
+// dead address: a typed error from the health check, not a hang.
+func TestConnectRefused(t *testing.T) {
+	err := run(options{connectURL: "http://127.0.0.1:1", q: "x", out: &bytes.Buffer{}})
+	if err == nil {
+		t.Fatal("connect to dead address succeeded")
+	}
+	if !strings.Contains(err.Error(), "health check") {
+		t.Errorf("error does not mention the health check: %v", err)
+	}
+}

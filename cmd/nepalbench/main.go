@@ -45,6 +45,12 @@ type options struct {
 	// pprofAddr, when set, serves net/http/pprof (and the registry under
 	// /debug/vars) on the address for the life of the process.
 	pprofAddr string
+	// servingMode runs the network-serving closed-loop bench instead of
+	// the paper tables: a self-hosted HTTP server driven by
+	// servingClients concurrent clients issuing servingRequests each.
+	servingMode     bool
+	servingClients  int
+	servingRequests int
 	// out receives all table output; nil means os.Stdout.
 	out io.Writer
 }
@@ -57,10 +63,14 @@ func main() {
 	quick := flag.Bool("quick", false, "small quick run (8 instances, 2500 services)")
 	flag.StringVar(&opt.jsonPath, "json", "BENCH_results.json", "write the machine-readable report here (empty disables)")
 	flag.StringVar(&opt.pprofAddr, "pprof", "", "serve net/http/pprof and /debug/vars on this address")
+	flag.BoolVar(&opt.servingMode, "server", false, "run the network-serving closed-loop bench instead of the paper tables")
+	flag.IntVar(&opt.servingClients, "clients", 8, "server mode: concurrent closed-loop clients")
+	flag.IntVar(&opt.servingRequests, "requests", 50, "server mode: requests per client")
 	flag.Parse()
 	if *quick {
 		opt.instances = 8
 		opt.services = 2500
+		opt.servingRequests = 20
 	}
 
 	if err := run(opt); err != nil {
@@ -95,6 +105,22 @@ func run(opt options) error {
 		StartedAt: time.Now(),
 	}
 	runStart := time.Now()
+
+	if opt.servingMode {
+		if err := runServing(opt, reg, report, out); err != nil {
+			return err
+		}
+		report.Elapsed = time.Since(runStart).Round(time.Millisecond).String()
+		report.Metrics = reg.Snapshot()
+		if opt.jsonPath != "" {
+			if err := writeReport(report, opt.jsonPath); err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "\nwrote %s\n", opt.jsonPath)
+		}
+		return nil
+	}
+
 	fmt.Fprintf(out, "nepalbench: backend=%s instances=%d legacy-services=%d\n",
 		opt.backend, opt.instances, opt.services)
 

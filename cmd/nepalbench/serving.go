@@ -1,0 +1,150 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"sort"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/client"
+	"repro/internal/core"
+	"repro/internal/netmodel"
+	"repro/internal/obs"
+	"repro/internal/server"
+)
+
+// servingQueries is the mixed workload each client cycles through: a
+// pathway retrieval, a projected select, and a temporal form — three
+// distinct statements, so the compiled-plan cache sees both its hit
+// path (every repeat) and capacity above one entry.
+var servingQueries = []string{
+	"Retrieve P From PATHS P Where P MATCHES VNF()->[Vertical()]{1,6}->Host()",
+	"Select source(P).name From PATHS P Where P MATCHES VNF()->[Vertical()]{1,6}->Host(id=1001)",
+	"Retrieve P From PATHS P Where P MATCHES Firewall()->[Vertical()]{1,6}->Host(id=1001)",
+}
+
+// runServing is the -server mode: it self-hosts the HTTP query server
+// on a loopback port over the demo topology, drives it with
+// opt.servingClients concurrent closed-loop clients (each issues its
+// next request the moment the previous answer lands), and reports
+// client-observed latency percentiles, sustained throughput, and the
+// server's plan-cache effectiveness — the serving-path analogue of the
+// paper's embedded-engine tables.
+func runServing(opt options, reg *obs.Registry, report *bench.Report, out io.Writer) error {
+	db, err := core.Open(netmodel.MustSchema(), core.WithBackend(opt.backend))
+	if err != nil {
+		return err
+	}
+	if _, err := netmodel.BuildDemo(db.Store(), 1000); err != nil {
+		return err
+	}
+	s := server.New(db, server.Config{Registry: reg})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	go s.Serve(ln)
+	base := "http://" + ln.Addr().String()
+	fmt.Fprintf(out, "\nserving bench: %d closed-loop clients x %d requests against %s (backend=%s)\n",
+		opt.servingClients, opt.servingRequests, base, opt.backend)
+
+	ctx := context.Background()
+	type clientOut struct {
+		lat  []time.Duration
+		errs int
+	}
+	results := make([]clientOut, opt.servingClients)
+	start := time.Now()
+	done := make(chan int, opt.servingClients)
+	for i := 0; i < opt.servingClients; i++ {
+		go func(i int) {
+			defer func() { done <- i }()
+			// One client.Client per goroutine models N distinct clients;
+			// each still reuses its own connections across requests.
+			c := client.New(base)
+			co := &results[i]
+			// Each client prepares one statement and alternates it with
+			// ad-hoc queries — both paths land in the shared plan cache.
+			stmt, err := c.Prepare(ctx, servingQueries[i%len(servingQueries)])
+			if err != nil {
+				co.errs = opt.servingRequests
+				return
+			}
+			for j := 0; j < opt.servingRequests; j++ {
+				t0 := time.Now()
+				if j%2 == 0 {
+					_, err = stmt.Exec(ctx, nil)
+				} else {
+					_, err = c.Query(ctx, servingQueries[(i+j)%len(servingQueries)], nil)
+				}
+				if err != nil {
+					co.errs++
+					continue
+				}
+				co.lat = append(co.lat, time.Since(t0))
+			}
+		}(i)
+	}
+	for i := 0; i < opt.servingClients; i++ {
+		<-done
+	}
+	elapsed := time.Since(start)
+
+	var lat []time.Duration
+	errs := 0
+	for _, co := range results {
+		lat = append(lat, co.lat...)
+		errs += co.errs
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	hits := reg.Counter("server.plan_cache_hits").Value()
+	misses := reg.Counter("server.plan_cache_misses").Value()
+	sr := &bench.ServingResult{
+		Clients:           opt.servingClients,
+		RequestsPerClient: opt.servingRequests,
+		Requests:          len(lat),
+		Errors:            errs,
+		ElapsedMS:         float64(elapsed) / 1e6,
+		P50MS:             percentileMS(lat, 0.50),
+		P95MS:             percentileMS(lat, 0.95),
+		P99MS:             percentileMS(lat, 0.99),
+		PlanCacheHits:     hits,
+		PlanCacheMisses:   misses,
+	}
+	if elapsed > 0 {
+		sr.QPS = float64(len(lat)) / elapsed.Seconds()
+	}
+	if hits+misses > 0 {
+		sr.PlanCacheHitRate = float64(hits) / float64(hits+misses)
+	}
+	report.Serving = sr
+
+	fmt.Fprintf(out, "  %d requests in %.2fs (%d errors)\n", sr.Requests, elapsed.Seconds(), errs)
+	fmt.Fprintf(out, "  throughput  %.0f qps\n", sr.QPS)
+	fmt.Fprintf(out, "  latency     p50 %.2f ms   p95 %.2f ms   p99 %.2f ms\n", sr.P50MS, sr.P95MS, sr.P99MS)
+	fmt.Fprintf(out, "  plan cache  %d hits / %d misses (%.1f%% hit rate)\n",
+		hits, misses, sr.PlanCacheHitRate*100)
+
+	sctx, cancel := context.WithTimeout(ctx, 10*time.Second)
+	defer cancel()
+	return s.Shutdown(sctx)
+}
+
+// percentileMS returns the p-quantile of the sorted latencies in
+// milliseconds (nearest-rank).
+func percentileMS(sorted []time.Duration, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(p*float64(len(sorted))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return float64(sorted[idx]) / 1e6
+}

@@ -1,0 +1,65 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+)
+
+// TestRunServingBench exercises -server mode end to end: a self-hosted
+// HTTP server, 8 concurrent closed-loop clients, and a report whose
+// serving section carries latency percentiles, throughput, and a
+// non-zero plan-cache hit rate — the acceptance shape for the
+// network-serving path.
+func TestRunServingBench(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_results.json")
+	var out bytes.Buffer
+	err := run(options{backend: "gremlin", servingMode: true,
+		servingClients: 8, servingRequests: 10, jsonPath: path, out: &out})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"serving bench:", "throughput", "plan cache", "wrote " + path} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q in %q", want, out.String())
+		}
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report bench.Report
+	if err := json.Unmarshal(data, &report); err != nil {
+		t.Fatalf("report does not parse: %v", err)
+	}
+	sr := report.Serving
+	if sr == nil {
+		t.Fatal("report has no serving section")
+	}
+	if sr.Clients != 8 || sr.Errors != 0 || sr.Requests != 8*10 {
+		t.Errorf("serving run: clients=%d requests=%d errors=%d", sr.Clients, sr.Requests, sr.Errors)
+	}
+	if sr.P50MS <= 0 || sr.P95MS < sr.P50MS || sr.P99MS < sr.P95MS {
+		t.Errorf("latency percentiles not ordered: p50=%.3f p95=%.3f p99=%.3f", sr.P50MS, sr.P95MS, sr.P99MS)
+	}
+	if sr.QPS <= 0 {
+		t.Errorf("qps = %.1f", sr.QPS)
+	}
+	if sr.PlanCacheHitRate <= 0 {
+		t.Errorf("plan cache hit rate = %.3f (hits=%d misses=%d)",
+			sr.PlanCacheHitRate, sr.PlanCacheHits, sr.PlanCacheMisses)
+	}
+	// The serving path publishes server metrics into the shared registry.
+	for _, key := range []string{"server.requests", "server.plan_cache_hits", "db.queries"} {
+		if _, ok := report.Metrics[key]; !ok {
+			t.Errorf("report metrics missing %q", key)
+		}
+	}
+}

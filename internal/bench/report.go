@@ -21,9 +21,32 @@ type Report struct {
 	Ablation  []AblationRow    `json:"ablation,omitempty"`
 	Overheads []OverheadResult `json:"overheads,omitempty"`
 
+	// Serving holds the network-serving closed-loop results when the run
+	// used -server mode (N concurrent clients against the HTTP API).
+	Serving *ServingResult `json:"serving,omitempty"`
+
 	// Metrics is the engine metrics registry snapshot at the end of the
 	// run (counters and gauges by value, histograms expanded).
 	Metrics map[string]any `json:"metrics,omitempty"`
+}
+
+// ServingResult summarizes a closed-loop load run against the HTTP
+// query server: N clients issuing back-to-back requests, client-side
+// latency percentiles, sustained throughput, and the server's
+// compiled-plan cache effectiveness over the run.
+type ServingResult struct {
+	Clients           int     `json:"clients"`
+	RequestsPerClient int     `json:"requests_per_client"`
+	Requests          int     `json:"requests"`
+	Errors            int     `json:"errors"`
+	ElapsedMS         float64 `json:"elapsed_ms"`
+	QPS               float64 `json:"qps"`
+	P50MS             float64 `json:"p50_ms"`
+	P95MS             float64 `json:"p95_ms"`
+	P99MS             float64 `json:"p99_ms"`
+	PlanCacheHits     int64   `json:"plan_cache_hits"`
+	PlanCacheMisses   int64   `json:"plan_cache_misses"`
+	PlanCacheHitRate  float64 `json:"plan_cache_hit_rate"`
 }
 
 // WriteJSON writes the report, indented for human diffing but fully

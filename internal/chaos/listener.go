@@ -1,0 +1,102 @@
+package chaos
+
+import (
+	"net"
+	"sync"
+	"sync/atomic"
+)
+
+// FlakyListener wraps a net.Listener with connection-level fault
+// injection: every accepted connection may only write a budget of
+// response bytes before the connection is severed abruptly (the socket
+// is closed mid-write, so the peer sees a response cut off — unexpected
+// EOF or connection reset, not a clean close). It models a server dying
+// or a middlebox cutting connections mid-response, the failure shape
+// network clients must surface as a typed transport error rather than a
+// truncated "success".
+//
+// A zero budget leaves writes unlimited (accept-only wrapping); Heal
+// ends an outage at an exact point, like Accessor.Heal. skipConns lets
+// the first N connections through untouched, so a test can establish a
+// healthy exchange before the fault fires. All knobs are safe to adjust
+// while the listener serves.
+type FlakyListener struct {
+	net.Listener
+
+	budget   atomic.Int64 // per-connection response byte budget; 0 = off
+	skip     atomic.Int64 // connections exempted from injection
+	accepted atomic.Int64
+	severed  atomic.Int64
+}
+
+// NewFlakyListener wraps inner: each accepted connection past the first
+// skipConns may write at most writeBudget response bytes before being
+// severed (0 disables injection).
+func NewFlakyListener(inner net.Listener, writeBudget, skipConns int64) *FlakyListener {
+	l := &FlakyListener{Listener: inner}
+	l.budget.Store(writeBudget)
+	l.skip.Store(skipConns)
+	return l
+}
+
+// SetWriteBudget replaces the per-connection budget for future accepts.
+func (l *FlakyListener) SetWriteBudget(n int64) { l.budget.Store(n) }
+
+// Heal ends the outage: future connections are untouched.
+func (l *FlakyListener) Heal() { l.budget.Store(0) }
+
+// Accept implements net.Listener.
+func (l *FlakyListener) Accept() (net.Conn, error) {
+	conn, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	n := l.accepted.Add(1)
+	budget := l.budget.Load()
+	if budget <= 0 || n <= l.skip.Load() {
+		return conn, nil
+	}
+	return &flakyConn{Conn: conn, budget: budget, onSever: func() { l.severed.Add(1) }}, nil
+}
+
+// Severed reports how many connections were cut mid-response.
+func (l *FlakyListener) Severed() int64 { return l.severed.Load() }
+
+// flakyConn cuts the connection once its write budget is spent. The
+// budget is only charged for writes (responses); reads are untouched, so
+// the request always arrives intact — the fault is a dying responder.
+type flakyConn struct {
+	net.Conn
+	mu      sync.Mutex
+	budget  int64
+	dead    bool
+	onSever func()
+}
+
+func (c *flakyConn) Write(p []byte) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.dead {
+		return 0, net.ErrClosed
+	}
+	if int64(len(p)) <= c.budget {
+		c.budget -= int64(len(p))
+		return c.Conn.Write(p)
+	}
+	// Spend what remains, then sever abruptly: SetLinger(0) makes the
+	// close a TCP RST where supported, the hardest version of the fault.
+	n := 0
+	if c.budget > 0 {
+		n, _ = c.Conn.Write(p[:c.budget])
+		c.budget = 0
+	}
+	c.dead = true
+	if tc, ok := c.Conn.(*net.TCPConn); ok {
+		_ = tc.SetLinger(0)
+	}
+	_ = c.Conn.Close()
+	if c.onSever != nil {
+		c.onSever()
+	}
+	return n, net.ErrClosed
+}

@@ -1,0 +1,357 @@
+// Package client is the Go client for Nepal's HTTP/JSON query server
+// (internal/server): typed request/response structs shared with the
+// server so the wire contract cannot drift, connection reuse through one
+// http.Client, context propagation onto the server's cooperative
+// cancellation, prepared statements that transparently re-prepare after
+// a server-side cache eviction, and result decoding back into
+// plan.Pathway values.
+//
+// Errors are typed: server-side rejections surface as *APIError (match
+// the overload/deadline/limit classes with errors.Is against
+// ErrOverloaded, ErrDeadline, ErrLimit, ErrUnprepared), while network
+// failures — connection refused, connections dropped mid-response —
+// surface as *TransportError, which self-classifies as transient via
+// Transient() (the same convention internal/exec retries on).
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/plan"
+	"repro/internal/server"
+	"repro/internal/temporal"
+)
+
+// Sentinel errors for errors.Is against *APIError.
+var (
+	// ErrOverloaded matches 429: the server's admission queue is full.
+	// Back off and retry.
+	ErrOverloaded = errors.New("client: server overloaded")
+	// ErrDeadline matches 504: the query hit its deadline server-side.
+	ErrDeadline = errors.New("client: query deadline exceeded")
+	// ErrLimit matches 422: the query crossed a resource limit.
+	ErrLimit = errors.New("client: query resource limit exceeded")
+	// ErrUnprepared matches 410: the prepared handle was evicted.
+	ErrUnprepared = errors.New("client: statement not prepared")
+)
+
+// APIError is a structured server rejection: the HTTP status plus the
+// stable machine-readable code from the error envelope.
+type APIError struct {
+	Status  int
+	Code    string
+	Message string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("server: %s (%s, http %d)", e.Message, e.Code, e.Status)
+}
+
+// Is maps the typed codes onto the package sentinels.
+func (e *APIError) Is(target error) bool {
+	switch target {
+	case ErrOverloaded:
+		return e.Code == "overloaded"
+	case ErrDeadline:
+		return e.Code == "deadline"
+	case ErrLimit:
+		return e.Code == "limit"
+	case ErrUnprepared:
+		return e.Code == "unprepared"
+	}
+	return false
+}
+
+// TransportError is a network-level failure: the request may or may not
+// have reached the server (send errors) or the response was cut off
+// mid-body (a dropped connection). It classifies as transient.
+type TransportError struct {
+	Op  string // "send" or "decode"
+	Err error
+}
+
+func (e *TransportError) Error() string {
+	return fmt.Sprintf("client: transport failure during %s: %v", e.Op, e.Err)
+}
+func (e *TransportError) Unwrap() error   { return e.Err }
+func (e *TransportError) Transient() bool { return true }
+
+// Client talks to one Nepal server. It is safe for concurrent use; the
+// underlying http.Client pools and reuses connections across requests
+// and goroutines.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// Option configures New.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the transport (custom timeouts, test
+// instrumentation). The default client has a 30s overall timeout.
+func WithHTTPClient(hc *http.Client) Option {
+	return func(c *Client) { c.hc = hc }
+}
+
+// New returns a client for the server at baseURL (e.g.
+// "http://127.0.0.1:7474").
+func New(baseURL string, opts ...Option) *Client {
+	c := &Client{
+		base: strings.TrimRight(baseURL, "/"),
+		hc:   &http.Client{Timeout: 30 * time.Second},
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// Pathway is a decoded result pathway: the engine's element-UID form
+// plus the server-side rendering.
+type Pathway struct {
+	plan.Pathway
+	Rendered string
+}
+
+// Row is one decoded result tuple: Values holds *Pathway for pathway
+// projections and JSON scalars (string, float64, bool) otherwise.
+type Row struct {
+	Values  []any
+	Coexist temporal.Set
+}
+
+// Result is a decoded query answer.
+type Result struct {
+	Columns      []string
+	Rows         []Row
+	Agg          *server.Agg
+	Explain      string
+	Metrics      server.Metrics
+	Degraded     bool
+	DegradedVars []string
+	// Cached reports the server answered from its compiled-plan cache.
+	Cached bool
+	// ElapsedMS is the server-measured execution time.
+	ElapsedMS float64
+}
+
+// QueryOptions carries the optional per-request fields of /v1/query.
+type QueryOptions struct {
+	// At runs the query at a point in time ("2006-01-02 15:04:05").
+	At string
+	// TimeoutMS bounds the server-side execution.
+	TimeoutMS int64
+	// Limits are per-request resource guardrails.
+	Limits *server.Limits
+}
+
+// Query executes one NPQL statement.
+func (c *Client) Query(ctx context.Context, query string, o *QueryOptions) (*Result, error) {
+	req := server.QueryRequest{Query: query}
+	if o != nil {
+		req.At, req.TimeoutMS, req.Limits = o.At, o.TimeoutMS, o.Limits
+	}
+	var resp server.QueryResponse
+	if err := c.post(ctx, "/v1/query", req, &resp); err != nil {
+		return nil, err
+	}
+	return decodeResult(&resp), nil
+}
+
+// Explain returns the statement's textual plan without executing it.
+func (c *Client) Explain(ctx context.Context, query string) (string, error) {
+	var resp server.QueryResponse
+	err := c.post(ctx, "/v1/query", server.QueryRequest{Query: query, Explain: server.ExplainPlan}, &resp)
+	if err != nil {
+		return "", err
+	}
+	return resp.Explain, nil
+}
+
+// ExplainAnalyze executes the statement with operator tracing and
+// returns the annotated plan rendering alongside the decoded result.
+func (c *Client) ExplainAnalyze(ctx context.Context, query string) (string, *Result, error) {
+	var resp server.QueryResponse
+	err := c.post(ctx, "/v1/query", server.QueryRequest{Query: query, Explain: server.ExplainAnalyze}, &resp)
+	if err != nil {
+		return "", nil, err
+	}
+	return resp.Explain, decodeResult(&resp), nil
+}
+
+// Stmt is a prepared statement handle. Exec transparently re-prepares
+// once when the server answers "unprepared" (the plan was evicted), so
+// long-lived statements survive cache churn.
+type Stmt struct {
+	c      *Client
+	query  string
+	handle string
+}
+
+// Prepare compiles the statement server-side and returns its handle.
+func (c *Client) Prepare(ctx context.Context, query string) (*Stmt, error) {
+	var resp server.PrepareResponse
+	if err := c.post(ctx, "/v1/prepare", server.PrepareRequest{Query: query}, &resp); err != nil {
+		return nil, err
+	}
+	return &Stmt{c: c, query: query, handle: resp.Handle}, nil
+}
+
+// Text returns the statement's query text.
+func (s *Stmt) Text() string { return s.query }
+
+// Exec executes the prepared statement.
+func (s *Stmt) Exec(ctx context.Context, o *QueryOptions) (*Result, error) {
+	req := server.ExecuteRequest{Handle: s.handle}
+	if o != nil {
+		req.TimeoutMS, req.Limits = o.TimeoutMS, o.Limits
+	}
+	var resp server.QueryResponse
+	err := s.c.post(ctx, "/v1/execute", req, &resp)
+	if errors.Is(err, ErrUnprepared) {
+		if _, rerr := s.c.Prepare(ctx, s.query); rerr != nil {
+			return nil, rerr
+		}
+		err = s.c.post(ctx, "/v1/execute", req, &resp)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return decodeResult(&resp), nil
+}
+
+// Ingest applies a batch of mutations in order. A nil error means every
+// op is applied — durably, when the server's store is WAL-backed.
+func (c *Client) Ingest(ctx context.Context, ops []server.IngestOp) (*server.IngestResponse, error) {
+	var resp server.IngestResponse
+	if err := c.post(ctx, "/v1/ingest", server.IngestRequest{Ops: ops}, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Checkpoint snapshots the server's store and contracts its WAL.
+func (c *Client) Checkpoint(ctx context.Context) error {
+	var resp server.CheckpointResponse
+	return c.post(ctx, "/v1/checkpoint", struct{}{}, &resp)
+}
+
+// Health fetches /healthz.
+func (c *Client) Health(ctx context.Context) (*server.HealthResponse, error) {
+	var resp server.HealthResponse
+	if err := c.get(ctx, "/healthz", &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Metrics fetches the /metrics text dump.
+func (c *Client) Metrics(ctx context.Context) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/metrics", nil)
+	if err != nil {
+		return "", err
+	}
+	hresp, err := c.hc.Do(req)
+	if err != nil {
+		return "", &TransportError{Op: "send", Err: err}
+	}
+	defer hresp.Body.Close()
+	body, err := io.ReadAll(hresp.Body)
+	if err != nil {
+		return "", &TransportError{Op: "decode", Err: err}
+	}
+	if hresp.StatusCode != http.StatusOK {
+		return "", &APIError{Status: hresp.StatusCode, Code: "internal", Message: string(body)}
+	}
+	return string(body), nil
+}
+
+// ---- transport ----
+
+func (c *Client) post(ctx context.Context, path string, body, into any) error {
+	payload, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(payload))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return c.do(req, into)
+}
+
+func (c *Client) get(ctx context.Context, path string, into any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return err
+	}
+	return c.do(req, into)
+}
+
+func (c *Client) do(req *http.Request, into any) error {
+	hresp, err := c.hc.Do(req)
+	if err != nil {
+		// The caller's own context expiring is a deliberate abort, not a
+		// transient transport fault — surface it as-is.
+		if ctxErr := req.Context().Err(); ctxErr != nil {
+			return ctxErr
+		}
+		return &TransportError{Op: "send", Err: err}
+	}
+	defer hresp.Body.Close()
+	raw, err := io.ReadAll(hresp.Body)
+	if err != nil {
+		// The connection died mid-response: the body is incomplete.
+		return &TransportError{Op: "decode", Err: err}
+	}
+	if hresp.StatusCode < 200 || hresp.StatusCode > 299 {
+		var eb server.ErrorBody
+		if jerr := json.Unmarshal(raw, &eb); jerr == nil && eb.Error.Code != "" {
+			return &APIError{Status: hresp.StatusCode, Code: eb.Error.Code, Message: eb.Error.Message}
+		}
+		return &APIError{Status: hresp.StatusCode, Code: "internal",
+			Message: strings.TrimSpace(string(raw))}
+	}
+	if err := json.Unmarshal(raw, into); err != nil {
+		// 200 with an undecodable body: almost always a connection cut
+		// mid-response by a proxy or a dying server.
+		return &TransportError{Op: "decode", Err: err}
+	}
+	return nil
+}
+
+// ---- decoding ----
+
+func decodeResult(resp *server.QueryResponse) *Result {
+	out := &Result{
+		Columns:      resp.Columns,
+		Agg:          resp.Agg,
+		Explain:      resp.Explain,
+		Metrics:      resp.Metrics,
+		Degraded:     resp.Degraded,
+		DegradedVars: resp.DegradedVars,
+		Cached:       resp.Cached,
+		ElapsedMS:    resp.ElapsedMS,
+	}
+	for _, row := range resp.Rows {
+		r := Row{Values: make([]any, len(row.Values)), Coexist: server.IntervalsIn(row.Coexist)}
+		for i, v := range row.Values {
+			if v.Pathway != nil {
+				r.Values[i] = &Pathway{Pathway: v.Pathway.Plan(), Rendered: v.Pathway.Rendered}
+			} else {
+				r.Values[i] = v.Scalar
+			}
+		}
+		out.Rows = append(out.Rows, r)
+	}
+	return out
+}

@@ -1,0 +1,56 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/netmodel"
+)
+
+// TestCloseIdempotentConcurrent pins the Close contract server shutdown
+// depends on: any number of Close calls, from any number of goroutines,
+// all return nil, and the WAL is closed exactly once (a second close of
+// the underlying segment would error).
+func TestCloseIdempotentConcurrent(t *testing.T) {
+	db, err := Open(netmodel.MustSchema(), WithWAL(t.TempDir()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.InsertNode("ComputeHost", graph.Fields{"id": int64(1), "name": "h1", "rack": "r1", "status": "Active"}); err != nil {
+		t.Fatal(err)
+	}
+	const closers = 16
+	var wg sync.WaitGroup
+	errs := make([]error, closers)
+	for i := 0; i < closers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = db.Close()
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Errorf("concurrent Close %d: %v", i, err)
+		}
+	}
+	if err := db.Close(); err != nil {
+		t.Errorf("Close after Close: %v", err)
+	}
+}
+
+// TestCloseNoWAL asserts Close stays a nil no-op without WithWAL.
+func TestCloseNoWAL(t *testing.T) {
+	db, err := Open(netmodel.MustSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/exec"
@@ -102,6 +103,7 @@ type DB struct {
 	slowLog  *obs.SlowLog
 	wal      *wal.Manager
 	recovery wal.RecoveryStats
+	closed   atomic.Bool
 }
 
 // Open creates an empty database over the finalized schema.
@@ -151,10 +153,13 @@ func (db *DB) Checkpoint() error {
 	return db.wal.Checkpoint(db.store)
 }
 
-// Close releases the write-ahead log, syncing the active segment. It is a
-// no-op for databases opened without WithWAL, and safe to call twice.
+// Close releases the write-ahead log, syncing the active segment. It is
+// a no-op for databases opened without WithWAL, idempotent (every call
+// after the first returns nil), and safe for concurrent use — server
+// shutdown paths race a signal-handler Close against a deferred one, and
+// exactly one of them closes the WAL.
 func (db *DB) Close() error {
-	if db.wal == nil {
+	if db.wal == nil || !db.closed.CompareAndSwap(false, true) {
 		return nil
 	}
 	return db.wal.Close()

@@ -1,0 +1,58 @@
+package core
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/exec"
+	"repro/internal/query"
+)
+
+// Prepared is a query parsed and semantically analyzed once, ready to
+// execute many times — the parse/compile-once half of a prepared
+// statement. A Prepared is immutable after Prepare returns and safe for
+// concurrent Exec calls: every execution builds its own governor and
+// physical plans, so prepared statements can be shared across server
+// request handlers (internal/server keeps them in its plan cache).
+//
+// A Prepared is bound to the DB (schema, views, backend) it was prepared
+// on; executing it after the schema's store contents changed is fine —
+// the anchor choice is re-costed per execution from live statistics.
+type Prepared struct {
+	db  *DB
+	src string
+	a   *query.Analyzed
+}
+
+// Prepare parses and analyzes src against the database's schema and
+// views, returning a reusable statement. Parse or analysis errors are
+// returned exactly as Query would return them.
+func (db *DB) Prepare(src string) (*Prepared, error) {
+	a, err := db.analyze(src)
+	if err != nil {
+		return nil, err
+	}
+	return &Prepared{db: db, src: src, a: a}, nil
+}
+
+// Text returns the statement's original query text.
+func (p *Prepared) Text() string { return p.src }
+
+// Exec executes the prepared statement under ctx and the DB's installed
+// limits, observing into the DB's registry and slow log like Query does.
+func (p *Prepared) Exec(ctx context.Context) (*exec.Result, error) {
+	return p.ExecLimits(ctx, p.db.executor.Limits)
+}
+
+// ExecLimits is Exec under explicit per-call resource limits, the entry
+// point for per-request guardrails: the statement's compiled form is
+// reused, only the governor differs per call.
+func (p *Prepared) ExecLimits(ctx context.Context, lim exec.Limits) (*exec.Result, error) {
+	start := time.Now()
+	res, err := p.db.executor.RunContextLimits(ctx, p.a, lim)
+	p.db.observeQuery(p.src, res, time.Since(start), err)
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}

@@ -126,7 +126,16 @@ func (x *Executor) Run(a *query.Analyzed) (*Result, error) {
 // ErrCanceled/ErrDeadlineExceeded when ctx is canceled or its deadline
 // (or the executor's Limits.MaxDuration, whichever is earlier) passes.
 func (x *Executor) RunContext(ctx context.Context, a *query.Analyzed) (*Result, error) {
-	rc := &runCtx{plans: map[string]*plan.Plan{}, gov: plan.NewGovernor(ctx, x.Limits)}
+	return x.RunContextLimits(ctx, a, x.Limits)
+}
+
+// RunContextLimits is RunContext under explicit per-call limits instead
+// of the executor-wide Limits — the entry point for servers that carry
+// per-request guardrails (each request's governor is built fresh, so
+// concurrent calls with different limits never interfere). The zero
+// Limits is unlimited.
+func (x *Executor) RunContextLimits(ctx context.Context, a *query.Analyzed, lim Limits) (*Result, error) {
+	rc := &runCtx{plans: map[string]*plan.Plan{}, gov: plan.NewGovernor(ctx, lim)}
 	return x.runGuarded(a, rc)
 }
 

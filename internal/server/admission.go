@@ -1,0 +1,110 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+
+	"repro/internal/obs"
+)
+
+// ErrOverloaded is returned by the admission governor when the server is
+// at its in-flight limit and the wait queue is full — the typed overload
+// signal the HTTP layer maps to 429 and clients back off on. It is
+// deliberately not queue-forever: an unbounded queue converts overload
+// into unbounded latency, which a network inventory dashboard experiences
+// as an outage anyway (Granite's admission-control argument).
+var ErrOverloaded = errors.New("server: overloaded (in-flight limit reached, wait queue full)")
+
+// admission is the two-stage admission governor: at most maxInFlight
+// requests execute concurrently, at most maxQueue more wait for a slot,
+// and everything beyond that is rejected immediately with ErrOverloaded.
+// Waiters are admitted in arrival order (channel semantics) and give up
+// when their request context is done.
+type admission struct {
+	slots chan struct{} // buffered; one token per executing request
+
+	mu     sync.Mutex
+	queued int64
+	maxQ   int64
+
+	admitted *obs.Counter
+	rejected *obs.Counter
+	inflight *obs.Gauge
+	queuedG  *obs.Gauge
+}
+
+// newAdmission sizes the governor; maxInFlight < 1 means 1, maxQueue < 0
+// means 0 (reject as soon as the in-flight limit is hit). The registry
+// (nil ok) receives server.admitted / server.rejected counters and the
+// server.in_flight / server.queued gauges.
+func newAdmission(maxInFlight, maxQueue int, reg *obs.Registry) *admission {
+	if maxInFlight < 1 {
+		maxInFlight = 1
+	}
+	if maxQueue < 0 {
+		maxQueue = 0
+	}
+	return &admission{
+		slots:    make(chan struct{}, maxInFlight),
+		maxQ:     int64(maxQueue),
+		admitted: reg.Counter("server.admitted"),
+		rejected: reg.Counter("server.rejected"),
+		inflight: reg.Gauge("server.in_flight"),
+		queuedG:  reg.Gauge("server.queued"),
+	}
+}
+
+// acquire admits the request or fails with ErrOverloaded (queue full) or
+// the context's error (caller gave up while queued). On success the
+// caller must release().
+func (a *admission) acquire(ctx context.Context) error {
+	// Fast path: a free slot admits without queueing.
+	select {
+	case a.slots <- struct{}{}:
+		a.admitted.Add(1)
+		a.inflight.Add(1)
+		return nil
+	default:
+	}
+	a.mu.Lock()
+	if a.queued >= a.maxQ {
+		a.mu.Unlock()
+		a.rejected.Add(1)
+		return ErrOverloaded
+	}
+	a.queued++
+	a.mu.Unlock()
+	a.queuedG.Add(1)
+	defer func() {
+		a.mu.Lock()
+		a.queued--
+		a.mu.Unlock()
+		a.queuedG.Add(-1)
+	}()
+	select {
+	case a.slots <- struct{}{}:
+		a.admitted.Add(1)
+		a.inflight.Add(1)
+		return nil
+	case <-ctx.Done():
+		a.rejected.Add(1)
+		return ctx.Err()
+	}
+}
+
+// release returns the request's slot.
+func (a *admission) release() {
+	<-a.slots
+	a.inflight.Add(-1)
+}
+
+// inFlight reports the executing request count.
+func (a *admission) inFlight() int64 { return int64(len(a.slots)) }
+
+// queuedNow reports the waiting request count.
+func (a *admission) queuedNow() int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.queued
+}

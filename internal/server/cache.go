@@ -1,0 +1,131 @@
+package server
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+)
+
+// PlanCache is a bounded LRU of compiled statements: query text is
+// parsed and analyzed once (core.DB.Prepare) and the resulting
+// *core.Prepared is reused by every later request with the same text —
+// /v1/prepare fills it explicitly, /v1/query consults it on the ad-hoc
+// path too, so repeated dashboard queries stop paying parse/analyze.
+//
+// Entries are addressed two ways: by query text (Get) and by the text's
+// SHA-256 handle (GetHandle), which is what /v1/execute round-trips.
+// Eviction is strict LRU; an evicted handle answers "unprepared" and the
+// client re-prepares. All methods are safe for concurrent use.
+type PlanCache struct {
+	mu    sync.Mutex
+	cap   int
+	order *list.List               // front = most recent; values are *cacheEntry
+	byKey map[string]*list.Element // query text -> element
+	byH   map[string]*list.Element // handle -> element
+
+	hits      *obs.Counter
+	misses    *obs.Counter
+	evictions *obs.Counter
+	size      *obs.Gauge
+}
+
+type cacheEntry struct {
+	key    string
+	handle string
+	stmt   *core.Prepared
+}
+
+// NewPlanCache returns a cache holding at most capacity statements
+// (minimum 1). The registry (nil ok) receives server.plan_cache_hits,
+// _misses, _evictions counters and the server.plan_cache_size gauge.
+func NewPlanCache(capacity int, reg *obs.Registry) *PlanCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &PlanCache{
+		cap:       capacity,
+		order:     list.New(),
+		byKey:     make(map[string]*list.Element),
+		byH:       make(map[string]*list.Element),
+		hits:      reg.Counter("server.plan_cache_hits"),
+		misses:    reg.Counter("server.plan_cache_misses"),
+		evictions: reg.Counter("server.plan_cache_evictions"),
+		size:      reg.Gauge("server.plan_cache_size"),
+	}
+}
+
+// Handle is the stable statement handle of a query text.
+func Handle(query string) string {
+	sum := sha256.Sum256([]byte(query))
+	return hex.EncodeToString(sum[:16])
+}
+
+// Get returns the compiled statement for the query text, preparing and
+// inserting it on a miss. The bool reports a hit. Concurrent misses on
+// the same text may both prepare; the second insert wins harmlessly
+// (statements are immutable).
+func (c *PlanCache) Get(db *core.DB, query string) (*core.Prepared, bool, error) {
+	c.mu.Lock()
+	if el, ok := c.byKey[query]; ok {
+		c.order.MoveToFront(el)
+		c.mu.Unlock()
+		c.hits.Add(1)
+		return el.Value.(*cacheEntry).stmt, true, nil
+	}
+	c.mu.Unlock()
+	c.misses.Add(1)
+	stmt, err := db.Prepare(query)
+	if err != nil {
+		return nil, false, err
+	}
+	c.put(query, stmt)
+	return stmt, false, nil
+}
+
+// GetHandle returns the statement a handle names, or false if it was
+// never prepared or has been evicted.
+func (c *PlanCache) GetHandle(handle string) (*core.Prepared, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byH[handle]
+	if !ok {
+		c.misses.Add(1)
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	c.hits.Add(1)
+	return el.Value.(*cacheEntry).stmt, true
+}
+
+// put inserts a compiled statement, evicting the LRU tail past capacity.
+func (c *PlanCache) put(query string, stmt *core.Prepared) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[query]; ok { // lost a concurrent-miss race
+		c.order.MoveToFront(el)
+		return
+	}
+	e := &cacheEntry{key: query, handle: Handle(query), stmt: stmt}
+	c.byKey[query] = c.order.PushFront(e)
+	c.byH[e.handle] = c.byKey[query]
+	for c.order.Len() > c.cap {
+		tail := c.order.Back()
+		old := tail.Value.(*cacheEntry)
+		c.order.Remove(tail)
+		delete(c.byKey, old.key)
+		delete(c.byH, old.handle)
+		c.evictions.Add(1)
+	}
+	c.size.Set(int64(c.order.Len()))
+}
+
+// Len reports the resident statement count.
+func (c *PlanCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

@@ -1,0 +1,496 @@
+// Package server is Nepal's network front end: a concurrent HTTP/JSON
+// API over a core.DB that makes the whole query surface — NPQL with
+// temporal AT forms, per-request resource limits and deadlines, EXPLAIN
+// and EXPLAIN ANALYZE, prepared statements, mutations, checkpointing,
+// health and metrics — reachable by remote clients (internal/client is
+// the matching Go client).
+//
+// Request lifecycle: decode → admission governor (bounded in-flight +
+// bounded wait queue; beyond both the request is rejected immediately
+// with 429/ErrOverloaded instead of queueing unboundedly) → plan cache
+// (parse/analyze once per distinct statement text) → executor under the
+// request context (client disconnect and timeout_ms both cancel the
+// query cooperatively) → JSON encoding. Every stage publishes counters
+// into the obs registry, so /metrics exposes cache hit rates, admission
+// rejections, and in-flight gauges next to the engine's own metrics.
+//
+// Shutdown is graceful: Shutdown stops accepting connections, drains
+// in-flight requests, then closes the DB so a WAL-backed store syncs its
+// final segment — no acknowledged mutation is lost.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/graph"
+	"repro/internal/obs"
+	"repro/internal/plan"
+)
+
+// Config sizes the server. The zero value serves with the defaults
+// documented per field.
+type Config struct {
+	// MaxInFlight caps concurrently executing requests; 0 means 64.
+	MaxInFlight int
+	// MaxQueue caps requests waiting for an execution slot; past it the
+	// server answers 429. 0 means 2×MaxInFlight; negative means no queue.
+	MaxQueue int
+	// PlanCacheSize bounds the compiled-statement LRU; 0 means 256.
+	PlanCacheSize int
+	// DefaultLimits are the per-request resource guardrails applied when
+	// a request carries none; requests may tighten or (when a field is
+	// zero here) set their own.
+	DefaultLimits exec.Limits
+	// DefaultTimeout bounds requests that carry no timeout_ms; 0 leaves
+	// them unbounded.
+	DefaultTimeout time.Duration
+	// MaxTimeout caps any requested timeout_ms; 0 leaves requests free.
+	MaxTimeout time.Duration
+	// Registry receives the server's metrics and backs /metrics; nil
+	// creates a private registry.
+	Registry *obs.Registry
+}
+
+// Server serves one core.DB over HTTP. Create with New, attach with
+// Handler (tests) or Serve/ListenAndServe (production), stop with
+// Shutdown.
+type Server struct {
+	db    *core.DB
+	cfg   Config
+	reg   *obs.Registry
+	cache *PlanCache
+	adm   *admission
+	mux   *http.ServeMux
+	hs    *http.Server
+}
+
+// New returns a server over db. The server instruments the db and its
+// own components into cfg.Registry (or a private registry when nil), so
+// /metrics exposes engine, store, WAL, cache, and admission metrics in
+// one dump.
+func New(db *core.DB, cfg Config) *Server {
+	if cfg.MaxInFlight <= 0 {
+		cfg.MaxInFlight = 64
+	}
+	if cfg.MaxQueue == 0 {
+		cfg.MaxQueue = 2 * cfg.MaxInFlight
+	}
+	if cfg.MaxQueue < 0 {
+		cfg.MaxQueue = 0
+	}
+	if cfg.PlanCacheSize <= 0 {
+		cfg.PlanCacheSize = 256
+	}
+	reg := cfg.Registry
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	db.Instrument(reg)
+	s := &Server{
+		db:    db,
+		cfg:   cfg,
+		reg:   reg,
+		cache: NewPlanCache(cfg.PlanCacheSize, reg),
+		adm:   newAdmission(cfg.MaxInFlight, cfg.MaxQueue, reg),
+		mux:   http.NewServeMux(),
+	}
+	s.mux.HandleFunc("POST /v1/query", s.handleQuery)
+	s.mux.HandleFunc("POST /v1/prepare", s.handlePrepare)
+	s.mux.HandleFunc("POST /v1/execute", s.handleExecute)
+	s.mux.HandleFunc("POST /v1/ingest", s.handleIngest)
+	s.mux.HandleFunc("POST /v1/checkpoint", s.handleCheckpoint)
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.hs = &http.Server{Handler: s.instrumented()}
+	return s
+}
+
+// Registry returns the registry the server publishes into.
+func (s *Server) Registry() *obs.Registry { return s.reg }
+
+// Cache returns the compiled-plan cache (tests and the bench harness
+// inspect hit rates through it).
+func (s *Server) Cache() *PlanCache { return s.cache }
+
+// Handler returns the server's full HTTP handler, for httptest harnesses
+// and custom listeners.
+func (s *Server) Handler() http.Handler { return s.instrumented() }
+
+// instrumented wraps the mux with request counting and latency.
+func (s *Server) instrumented() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		s.reg.Counter("server.requests").Add(1)
+		s.mux.ServeHTTP(w, r)
+		s.reg.Histogram("server.request_latency_ms").Observe(float64(time.Since(start)) / 1e6)
+	})
+}
+
+// Serve accepts connections on ln until Shutdown (or a fatal listener
+// error). It returns http.ErrServerClosed after a clean Shutdown, like
+// net/http.
+func (s *Server) Serve(ln net.Listener) error { return s.hs.Serve(ln) }
+
+// ListenAndServe listens on addr and serves; see Serve.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// Shutdown gracefully stops the server: no new connections, in-flight
+// requests drain until ctx expires, then the DB closes so a WAL-backed
+// store syncs its final segment. Safe to call more than once.
+func (s *Server) Shutdown(ctx context.Context) error {
+	err := s.hs.Shutdown(ctx)
+	if cerr := s.db.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// ---- request plumbing ----
+
+// maxBodyBytes bounds request bodies; inventories ship big ingest
+// batches, queries are small.
+const maxBodyBytes = 16 << 20
+
+func decode[T any](w http.ResponseWriter, r *http.Request, into *T) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(into); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad_request", "decoding request body: "+err.Error())
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(body)
+}
+
+func writeErr(w http.ResponseWriter, status int, code, msg string) {
+	writeJSON(w, status, ErrorBody{Error: ErrorDetail{Code: code, Message: msg}})
+}
+
+// writeQueryErr maps an execution error onto the HTTP status and typed
+// code contract clients program against.
+func writeQueryErr(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, ErrOverloaded):
+		writeErr(w, http.StatusTooManyRequests, "overloaded", err.Error())
+	case errors.Is(err, exec.ErrDeadlineExceeded):
+		writeErr(w, http.StatusGatewayTimeout, "deadline", err.Error())
+	case errors.Is(err, exec.ErrCanceled), errors.Is(err, context.Canceled):
+		// 499 (client closed request): the peer is usually gone, but the
+		// status still lands in access logs and tests.
+		writeErr(w, 499, "canceled", err.Error())
+	case errors.Is(err, exec.ErrLimitExceeded):
+		writeErr(w, http.StatusUnprocessableEntity, "limit", err.Error())
+	default:
+		writeErr(w, http.StatusInternalServerError, "internal", err.Error())
+	}
+}
+
+// admit runs the admission governor for one request. It returns false
+// with the response already written when the request is not admitted.
+func (s *Server) admit(w http.ResponseWriter, r *http.Request) bool {
+	err := s.adm.acquire(r.Context())
+	switch {
+	case err == nil:
+		return true
+	case errors.Is(err, ErrOverloaded):
+		w.Header().Set("Retry-After", "1")
+		writeErr(w, http.StatusTooManyRequests, "overloaded", err.Error())
+	default: // client gave up while queued
+		writeErr(w, 499, "canceled", err.Error())
+	}
+	return false
+}
+
+// requestContext applies the effective timeout to the request context:
+// the request's timeout_ms, defaulted and capped by the config.
+func (s *Server) requestContext(r *http.Request, timeoutMS int64) (context.Context, context.CancelFunc) {
+	d := time.Duration(timeoutMS) * time.Millisecond
+	if d <= 0 {
+		d = s.cfg.DefaultTimeout
+	}
+	if s.cfg.MaxTimeout > 0 && (d <= 0 || d > s.cfg.MaxTimeout) {
+		d = s.cfg.MaxTimeout
+	}
+	if d <= 0 {
+		return r.Context(), func() {}
+	}
+	return context.WithTimeout(r.Context(), d)
+}
+
+// effectiveLimits folds per-request limits over the server defaults.
+func (s *Server) effectiveLimits(l *Limits) exec.Limits {
+	out := s.cfg.DefaultLimits
+	if l == nil {
+		return out
+	}
+	if l.MaxPaths > 0 {
+		out.MaxPaths = l.MaxPaths
+	}
+	if l.MaxEdgesScanned > 0 {
+		out.MaxEdgesScanned = l.MaxEdgesScanned
+	}
+	if l.TimeoutMS > 0 {
+		out.MaxDuration = time.Duration(l.TimeoutMS) * time.Millisecond
+	}
+	return out
+}
+
+// ---- handlers ----
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req QueryRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	if strings.TrimSpace(req.Query) == "" {
+		writeErr(w, http.StatusBadRequest, "bad_request", "empty query")
+		return
+	}
+	src := req.Query
+	if req.At != "" {
+		if strings.HasPrefix(strings.ToUpper(strings.TrimSpace(src)), "AT ") {
+			writeErr(w, http.StatusBadRequest, "bad_request",
+				`request "at" conflicts with the statement's own AT clause`)
+			return
+		}
+		src = fmt.Sprintf("AT '%s' %s", req.At, src)
+	}
+	if !s.admit(w, r) {
+		return
+	}
+	defer s.adm.release()
+	ctx, cancel := s.requestContext(r, req.TimeoutMS)
+	defer cancel()
+
+	start := time.Now()
+	switch req.Explain {
+	case ExplainPlan:
+		text, err := s.db.Explain(src)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "parse_error", err.Error())
+			return
+		}
+		writeJSON(w, http.StatusOK, QueryResponse{
+			Explain:   text,
+			ElapsedMS: float64(time.Since(start)) / 1e6,
+		})
+		return
+	case ExplainAnalyze:
+		text, res, err := s.db.ExplainAnalyze(src)
+		if err != nil {
+			s.writeStatementErr(w, src, err)
+			return
+		}
+		resp := s.resultOut(res, false, time.Since(start))
+		resp.Explain = text
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+
+	stmt, hit, err := s.cache.Get(s.db, src)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "parse_error", err.Error())
+		return
+	}
+	res, err := stmt.ExecLimits(ctx, s.effectiveLimits(req.Limits))
+	if err != nil {
+		writeQueryErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.resultOut(res, hit, time.Since(start)))
+}
+
+// writeStatementErr distinguishes compile-time statement errors (400)
+// from execution errors on paths that report both through one error.
+func (s *Server) writeStatementErr(w http.ResponseWriter, src string, err error) {
+	if _, perr := s.db.Prepare(src); perr != nil {
+		writeErr(w, http.StatusBadRequest, "parse_error", err.Error())
+		return
+	}
+	writeQueryErr(w, err)
+}
+
+func (s *Server) handlePrepare(w http.ResponseWriter, r *http.Request) {
+	var req PrepareRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	if strings.TrimSpace(req.Query) == "" {
+		writeErr(w, http.StatusBadRequest, "bad_request", "empty query")
+		return
+	}
+	_, hit, err := s.cache.Get(s.db, req.Query)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "parse_error", err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, PrepareResponse{Handle: Handle(req.Query), Cached: hit})
+}
+
+func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request) {
+	var req ExecuteRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	stmt, ok := s.cache.GetHandle(req.Handle)
+	if !ok {
+		writeErr(w, http.StatusGone, "unprepared",
+			fmt.Sprintf("handle %q is not prepared (evicted or never prepared); re-prepare", req.Handle))
+		return
+	}
+	if !s.admit(w, r) {
+		return
+	}
+	defer s.adm.release()
+	ctx, cancel := s.requestContext(r, req.TimeoutMS)
+	defer cancel()
+	start := time.Now()
+	res, err := stmt.ExecLimits(ctx, s.effectiveLimits(req.Limits))
+	if err != nil {
+		writeQueryErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.resultOut(res, true, time.Since(start)))
+}
+
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	var req IngestRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	if len(req.Ops) == 0 {
+		writeErr(w, http.StatusBadRequest, "bad_request", "empty ops")
+		return
+	}
+	if !s.admit(w, r) {
+		return
+	}
+	defer s.adm.release()
+	resp := IngestResponse{UIDs: make([]int64, 0, len(req.Ops))}
+	for i, op := range req.Ops {
+		uid, err := s.applyOp(op)
+		if err != nil {
+			// Ops apply in order and are not transactional: everything
+			// before i is applied (and durably logged under a WAL); the
+			// error names the failing op so the client can resume.
+			writeErr(w, http.StatusBadRequest, "bad_request",
+				fmt.Sprintf("op %d (%s): %v (%d ops applied)", i, op.Op, err, resp.Applied))
+			return
+		}
+		resp.UIDs = append(resp.UIDs, int64(uid))
+		resp.Applied++
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) applyOp(op IngestOp) (graph.UID, error) {
+	switch op.Op {
+	case "insert-node":
+		return s.db.InsertNode(op.Class, graph.Fields(op.Fields))
+	case "insert-edge":
+		return s.db.InsertEdge(op.Class, graph.UID(op.Src), graph.UID(op.Dst), graph.Fields(op.Fields))
+	case "update":
+		return 0, s.db.Update(graph.UID(op.UID), graph.Fields(op.Fields))
+	case "delete":
+		return 0, s.db.Delete(graph.UID(op.UID))
+	}
+	return 0, fmt.Errorf("unknown op %q (use insert-node, insert-edge, update, delete)", op.Op)
+}
+
+func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	if err := s.db.Checkpoint(); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad_request", err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, CheckpointResponse{
+		OK:        true,
+		ElapsedMS: float64(time.Since(start)) / 1e6,
+	})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, HealthResponse{
+		Status:   "ok",
+		Backend:  s.db.Backend(),
+		InFlight: s.adm.inFlight(),
+		Queued:   s.adm.queuedNow(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	s.reg.Dump(w)
+}
+
+// ---- result conversion ----
+
+func (s *Server) resultOut(res *exec.Result, cached bool, elapsed time.Duration) QueryResponse {
+	out := QueryResponse{
+		Columns: res.Columns,
+		Metrics: Metrics{
+			AnchorRecords:    res.Metrics.AnchorRecords,
+			EdgesScanned:     res.Metrics.EdgesScanned,
+			ElementsConsumed: res.Metrics.ElementsConsumed,
+			ElementsRejected: res.Metrics.ElementsRejected,
+			PartialsExplored: res.Metrics.PartialsExplored,
+			PathsEmitted:     res.Metrics.PathsEmitted,
+		},
+		Degraded:     res.Degraded,
+		DegradedVars: res.DegradedVars,
+		Cached:       cached,
+		ElapsedMS:    float64(elapsed) / 1e6,
+	}
+	if res.Agg != nil {
+		agg := &Agg{Exists: res.Agg.Exists, Current: res.Agg.Current, Set: intervalsOut(res.Agg.Set)}
+		if !res.Agg.Time.IsZero() {
+			t := res.Agg.Time
+			agg.Time = &t
+		}
+		out.Agg = agg
+	}
+	for _, row := range res.Rows {
+		wr := Row{Values: make([]Value, len(row.Values)), Coexist: intervalsOut(row.Coexist)}
+		for i, v := range row.Values {
+			wr.Values[i] = s.valueOut(v)
+		}
+		out.Rows = append(out.Rows, wr)
+	}
+	return out
+}
+
+func (s *Server) valueOut(v any) Value {
+	if p, ok := v.(plan.Pathway); ok {
+		elems := make([]int64, len(p.Elems))
+		for i, e := range p.Elems {
+			elems[i] = int64(e)
+		}
+		return Value{Pathway: &Pathway{
+			Elems:    elems,
+			Validity: intervalsOut(p.Validity),
+			Rendered: s.db.RenderPath(p),
+		}}
+	}
+	return Value{Scalar: v}
+}

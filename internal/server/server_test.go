@@ -1,0 +1,328 @@
+package server_test
+
+import (
+	"context"
+	"errors"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/client"
+	"repro/internal/core"
+	"repro/internal/netmodel"
+	"repro/internal/obs"
+	"repro/internal/plan"
+	"repro/internal/server"
+)
+
+const (
+	retrieveQ = "Retrieve P From PATHS P Where P MATCHES VNF()->[Vertical()]{1,6}->Host()"
+	selectQ   = "Select source(P).name From PATHS P Where P MATCHES VNF()->[Vertical()]{1,6}->Host(id=1001)"
+)
+
+// newDemoDB opens a demo-loaded DB; extra core options apply first.
+func newDemoDB(t *testing.T, opts ...core.Option) *core.DB {
+	t.Helper()
+	db, err := core.Open(netmodel.MustSchema(), opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := netmodel.BuildDemo(db.Store(), 1000); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+// newTestServer stands a server up behind httptest and returns the
+// matching client.
+func newTestServer(t *testing.T, db *core.DB, cfg server.Config) (*server.Server, *client.Client) {
+	t.Helper()
+	s := server.New(db, cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, client.New(ts.URL)
+}
+
+func TestQueryRoundTrip(t *testing.T) {
+	_, c := newTestServer(t, newDemoDB(t), server.Config{})
+	ctx := context.Background()
+
+	res, err := c.Query(ctx, retrieveQ, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) == 0 {
+		t.Fatal("retrieve returned no rows")
+	}
+	p, ok := res.Rows[0].Values[0].(*client.Pathway)
+	if !ok {
+		t.Fatalf("value is %T, want *client.Pathway", res.Rows[0].Values[0])
+	}
+	if len(p.Elems) == 0 || len(p.Elems)%2 == 0 {
+		t.Errorf("pathway has %d elements, want odd > 0", len(p.Elems))
+	}
+	if p.Rendered == "" {
+		t.Error("pathway rendering missing")
+	}
+	if res.Metrics.EdgesScanned == 0 {
+		t.Error("metrics did not cross the wire")
+	}
+
+	res, err = c.Query(ctx, selectQ, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) == 0 {
+		t.Fatal("select returned no rows")
+	}
+	if _, ok := res.Rows[0].Values[0].(string); !ok {
+		t.Errorf("scalar projection is %T, want string", res.Rows[0].Values[0])
+	}
+}
+
+// TestQueryResultsMatchLocal pins wire fidelity: the same query answered
+// locally and over the network binds the same pathways.
+func TestQueryResultsMatchLocal(t *testing.T) {
+	db := newDemoDB(t)
+	_, c := newTestServer(t, db, server.Config{})
+
+	local, err := db.Query(retrieveQ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	remote, err := c.Query(context.Background(), retrieveQ, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(remote.Rows) != len(local.Rows) {
+		t.Fatalf("remote %d rows, local %d", len(remote.Rows), len(local.Rows))
+	}
+	localKeys := map[string]bool{}
+	for _, row := range local.Rows {
+		localKeys[row.Values[0].(plan.Pathway).Key()] = true
+	}
+	for _, row := range remote.Rows {
+		key := row.Values[0].(*client.Pathway).Pathway.Key()
+		if !localKeys[key] {
+			t.Errorf("remote pathway %s not in local result", key)
+		}
+	}
+}
+
+func TestQueryAtAndConflict(t *testing.T) {
+	_, c := newTestServer(t, newDemoDB(t), server.Config{})
+	at := time.Now().UTC().Add(time.Minute).Format("2006-01-02 15:04:05")
+	if _, err := c.Query(context.Background(), retrieveQ, &client.QueryOptions{At: at}); err != nil {
+		t.Fatalf("at-query: %v", err)
+	}
+	_, err := c.Query(context.Background(), "AT '"+at+"' "+retrieveQ, &client.QueryOptions{At: at})
+	var ae *client.APIError
+	if !errors.As(err, &ae) || ae.Status != 400 {
+		t.Fatalf("double AT accepted: %v", err)
+	}
+}
+
+func TestExplainModes(t *testing.T) {
+	_, c := newTestServer(t, newDemoDB(t), server.Config{})
+	ctx := context.Background()
+
+	text, err := c.Explain(ctx, retrieveQ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text, "Select:") || !strings.Contains(text, "RPE:") {
+		t.Errorf("explain text missing plan shape:\n%s", text)
+	}
+
+	text, res, err := c.ExplainAnalyze(ctx, retrieveQ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text, "time=") || !strings.Contains(text, "-- variable P") {
+		t.Errorf("explain-analyze text missing annotations:\n%s", text)
+	}
+	if len(res.Rows) == 0 {
+		t.Error("explain-analyze did not also return rows")
+	}
+}
+
+func TestTypedErrors(t *testing.T) {
+	_, c := newTestServer(t, newDemoDB(t), server.Config{})
+	ctx := context.Background()
+
+	_, err := c.Query(ctx, "Retrieve garbage", nil)
+	var ae *client.APIError
+	if !errors.As(err, &ae) || ae.Status != 400 || ae.Code != "parse_error" {
+		t.Errorf("parse error: got %v", err)
+	}
+
+	_, err = c.Query(ctx, retrieveQ, &client.QueryOptions{Limits: &server.Limits{MaxPaths: 1}})
+	if !errors.Is(err, client.ErrLimit) {
+		t.Errorf("limit error: got %v", err)
+	}
+}
+
+func TestDeadlineOverAPI(t *testing.T) {
+	db := newDemoDB(t, core.WithAccessorWrapper(func(a plan.Accessor) plan.Accessor {
+		return chaos.Wrap(a, chaos.WithLatency(5*time.Millisecond))
+	}))
+	_, c := newTestServer(t, db, server.Config{})
+	_, err := c.Query(context.Background(), retrieveQ, &client.QueryOptions{TimeoutMS: 20})
+	if !errors.Is(err, client.ErrDeadline) {
+		t.Fatalf("want deadline error, got %v", err)
+	}
+}
+
+func TestPrepareExecuteAndCache(t *testing.T) {
+	reg := obs.NewRegistry()
+	s, c := newTestServer(t, newDemoDB(t), server.Config{Registry: reg})
+	ctx := context.Background()
+
+	stmt, err := c.Prepare(ctx, retrieveQ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		res, err := stmt.Exec(ctx, nil)
+		if err != nil {
+			t.Fatalf("exec %d: %v", i, err)
+		}
+		if !res.Cached {
+			t.Errorf("exec %d not served from plan cache", i)
+		}
+		if len(res.Rows) == 0 {
+			t.Errorf("exec %d returned no rows", i)
+		}
+	}
+	if hits := reg.Counter("server.plan_cache_hits").Value(); hits < 3 {
+		t.Errorf("plan cache hits = %d, want >= 3", hits)
+	}
+	if s.Cache().Len() != 1 {
+		t.Errorf("cache holds %d statements, want 1", s.Cache().Len())
+	}
+
+	// Ad-hoc /v1/query reuses the same cached plan.
+	res, err := c.Query(ctx, retrieveQ, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Cached {
+		t.Error("ad-hoc query missed the plan cache despite a prepared statement")
+	}
+}
+
+func TestExecuteUnpreparedAndReprepare(t *testing.T) {
+	_, c := newTestServer(t, newDemoDB(t), server.Config{PlanCacheSize: 1})
+	ctx := context.Background()
+
+	stmt, err := c.Prepare(ctx, retrieveQ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Preparing a second statement evicts the first from the size-1 LRU.
+	if _, err := c.Prepare(ctx, selectQ); err != nil {
+		t.Fatal(err)
+	}
+	// The client transparently re-prepares and the exec succeeds.
+	res, err := stmt.Exec(ctx, nil)
+	if err != nil {
+		t.Fatalf("exec after eviction: %v", err)
+	}
+	if len(res.Rows) == 0 {
+		t.Error("re-prepared exec returned no rows")
+	}
+}
+
+func TestAdmissionControl(t *testing.T) {
+	db := newDemoDB(t, core.WithAccessorWrapper(func(a plan.Accessor) plan.Accessor {
+		return chaos.Wrap(a, chaos.WithLatency(3*time.Millisecond))
+	}))
+	_, c := newTestServer(t, db, server.Config{MaxInFlight: 1, MaxQueue: -1})
+	ctx := context.Background()
+
+	slow := make(chan error, 1)
+	go func() {
+		_, err := c.Query(ctx, retrieveQ, nil)
+		slow <- err
+	}()
+	// Wait until the slow query holds the only slot.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		h, err := c.Health(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h.InFlight >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("slow query never became in-flight")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	_, err := c.Query(ctx, selectQ, nil)
+	if !errors.Is(err, client.ErrOverloaded) {
+		t.Fatalf("want ErrOverloaded while saturated, got %v", err)
+	}
+	// The in-flight query completes fine — rejection sheds, it never kills.
+	if err := <-slow; err != nil {
+		t.Fatalf("in-flight query failed under overload: %v", err)
+	}
+	// Capacity freed: the same query is admitted now.
+	if _, err := c.Query(ctx, selectQ, nil); err != nil {
+		t.Fatalf("query after drain: %v", err)
+	}
+}
+
+func TestIngestHealthMetrics(t *testing.T) {
+	_, c := newTestServer(t, newDemoDB(t), server.Config{})
+	ctx := context.Background()
+
+	resp, err := c.Ingest(ctx, []server.IngestOp{
+		{Op: "insert-node", Class: "ComputeHost",
+			Fields: map[string]any{"id": 9001, "name": "ing-1", "rack": "r9", "status": "Active"}},
+		{Op: "insert-node", Class: "ComputeHost",
+			Fields: map[string]any{"id": 9002, "name": "ing-2", "rack": "r9", "status": "Active"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Applied != 2 || len(resp.UIDs) != 2 {
+		t.Fatalf("applied %d ops, uids %v", resp.Applied, resp.UIDs)
+	}
+	if _, err := c.Ingest(ctx, []server.IngestOp{{Op: "warp", Class: "X"}}); err == nil {
+		t.Error("unknown ingest op accepted")
+	}
+
+	h, err := c.Health(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" || h.Backend != core.BackendGremlin {
+		t.Errorf("health = %+v", h)
+	}
+
+	if _, err := c.Query(ctx, selectQ, nil); err != nil {
+		t.Fatal(err)
+	}
+	text, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"server.requests", "server.plan_cache_misses", "db.queries"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics dump missing %s", want)
+		}
+	}
+}
+
+func TestCheckpointRequiresWAL(t *testing.T) {
+	_, c := newTestServer(t, newDemoDB(t), server.Config{})
+	err := c.Checkpoint(context.Background())
+	var ae *client.APIError
+	if !errors.As(err, &ae) || ae.Status != 400 {
+		t.Fatalf("checkpoint without WAL: got %v", err)
+	}
+}

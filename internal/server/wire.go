@@ -1,0 +1,274 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"repro/internal/exec"
+	"repro/internal/graph"
+	"repro/internal/plan"
+	"repro/internal/temporal"
+)
+
+// This file is the HTTP/JSON wire contract: the request and response
+// bodies of every /v1 endpoint. internal/client imports these types, so
+// the two sides can never drift; external callers see plain JSON with
+// snake_case keys and RFC 3339 timestamps.
+
+// ExplainMode selects how /v1/query treats the statement: execute it
+// (""), return the textual plan without executing (ExplainPlan), or
+// execute with operator tracing and return the annotated plan alongside
+// the rows (ExplainAnalyze). The JSON form accepts `true` (plan) and the
+// strings "plan" / "analyze", mirroring the CLI flags.
+type ExplainMode string
+
+const (
+	ExplainNone    ExplainMode = ""
+	ExplainPlan    ExplainMode = "plan"
+	ExplainAnalyze ExplainMode = "analyze"
+)
+
+// UnmarshalJSON accepts `false`/`true`/`"plan"`/`"analyze"`.
+func (m *ExplainMode) UnmarshalJSON(data []byte) error {
+	switch {
+	case bytes.Equal(data, []byte("true")):
+		*m = ExplainPlan
+		return nil
+	case bytes.Equal(data, []byte("false")), bytes.Equal(data, []byte("null")):
+		*m = ExplainNone
+		return nil
+	}
+	var s string
+	if err := json.Unmarshal(data, &s); err != nil {
+		return fmt.Errorf(`explain: want true, "plan", or "analyze"`)
+	}
+	switch ExplainMode(s) {
+	case ExplainNone, ExplainPlan, ExplainAnalyze:
+		*m = ExplainMode(s)
+		return nil
+	}
+	return fmt.Errorf("explain: unknown mode %q", s)
+}
+
+// Limits is the wire form of exec.Limits. TimeoutMS maps to MaxDuration.
+type Limits struct {
+	MaxPaths        int   `json:"max_paths,omitempty"`
+	MaxEdgesScanned int   `json:"max_edges_scanned,omitempty"`
+	TimeoutMS       int64 `json:"timeout_ms,omitempty"`
+}
+
+// Exec converts to the executor's limits type.
+func (l *Limits) Exec() exec.Limits {
+	if l == nil {
+		return exec.Limits{}
+	}
+	return exec.Limits{
+		MaxPaths:        l.MaxPaths,
+		MaxEdgesScanned: l.MaxEdgesScanned,
+		MaxDuration:     time.Duration(l.TimeoutMS) * time.Millisecond,
+	}
+}
+
+// QueryRequest is the body of POST /v1/query.
+type QueryRequest struct {
+	// Query is the NPQL statement text.
+	Query string `json:"query"`
+	// At, when non-empty ("2006-01-02 15:04:05"), runs the query against
+	// the snapshot at that time — shorthand for an AT clause, rejected if
+	// the statement already carries one.
+	At string `json:"at,omitempty"`
+	// Explain selects plan-only or traced execution; see ExplainMode.
+	Explain ExplainMode `json:"explain,omitempty"`
+	// TimeoutMS bounds the request wall clock; it becomes the request
+	// context's deadline, so the query aborts cooperatively server-side.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// Limits are per-request resource guardrails; nil inherits the
+	// server's defaults.
+	Limits *Limits `json:"limits,omitempty"`
+}
+
+// PrepareRequest is the body of POST /v1/prepare.
+type PrepareRequest struct {
+	Query string `json:"query"`
+}
+
+// PrepareResponse acknowledges a prepared statement: Handle names the
+// cached compiled plan for /v1/execute, Cached reports whether the plan
+// was already resident (a plan-cache hit).
+type PrepareResponse struct {
+	Handle string `json:"handle"`
+	Cached bool   `json:"cached"`
+}
+
+// ExecuteRequest is the body of POST /v1/execute: a handle from
+// /v1/prepare plus per-request governance. If the plan was evicted the
+// server answers 410 with code "unprepared"; clients re-prepare.
+type ExecuteRequest struct {
+	Handle    string  `json:"handle"`
+	TimeoutMS int64   `json:"timeout_ms,omitempty"`
+	Limits    *Limits `json:"limits,omitempty"`
+}
+
+// Interval is the wire form of temporal.Interval. A nil End means the
+// interval is still current (the store's Forever sentinel).
+type Interval struct {
+	Start time.Time  `json:"start"`
+	End   *time.Time `json:"end,omitempty"`
+}
+
+func intervalsOut(s temporal.Set) []Interval {
+	if len(s) == 0 {
+		return nil
+	}
+	out := make([]Interval, len(s))
+	for i, iv := range s {
+		out[i] = Interval{Start: iv.Start}
+		if !iv.IsCurrent() {
+			end := iv.End
+			out[i].End = &end
+		}
+	}
+	return out
+}
+
+// Temporal converts back to a temporal.Set.
+func IntervalsIn(ivs []Interval) temporal.Set {
+	if len(ivs) == 0 {
+		return nil
+	}
+	out := make(temporal.Set, len(ivs))
+	for i, iv := range ivs {
+		end := temporal.Forever
+		if iv.End != nil {
+			end = *iv.End
+		}
+		out[i] = temporal.Interval{Start: iv.Start, End: end}
+	}
+	return out
+}
+
+// Pathway is the wire form of plan.Pathway plus its human rendering.
+type Pathway struct {
+	// Elems holds the element UIDs in pathway order (even positions are
+	// nodes, odd are edges) — the handle for PathEvolution-style drill-in.
+	Elems []int64 `json:"elems"`
+	// Validity holds the maximal assertion ranges.
+	Validity []Interval `json:"validity,omitempty"`
+	// Rendered is the server-side rendering ("vm-1 -[HostedOn]-> host-2").
+	Rendered string `json:"rendered,omitempty"`
+}
+
+// Plan converts back to the engine's pathway type.
+func (p *Pathway) Plan() plan.Pathway {
+	elems := make([]graph.UID, len(p.Elems))
+	for i, e := range p.Elems {
+		elems[i] = graph.UID(e)
+	}
+	return plan.Pathway{Elems: elems, Validity: IntervalsIn(p.Validity)}
+}
+
+// Value is one projected cell: exactly one of Pathway or Scalar is set.
+// Scalars survive the wire as JSON natives (strings, numbers, booleans).
+type Value struct {
+	Pathway *Pathway `json:"pathway,omitempty"`
+	Scalar  any      `json:"scalar,omitempty"`
+}
+
+// Row is one result tuple.
+type Row struct {
+	Values []Value `json:"values"`
+	// Coexist reports when all bound pathways coexisted (query-level AT).
+	Coexist []Interval `json:"coexist,omitempty"`
+}
+
+// Agg is the wire form of exec.AggValue.
+type Agg struct {
+	Exists  bool       `json:"exists"`
+	Time    *time.Time `json:"time,omitempty"`
+	Current bool       `json:"current,omitempty"`
+	Set     []Interval `json:"set,omitempty"`
+}
+
+// Metrics is the wire form of plan.Metrics.
+type Metrics struct {
+	AnchorRecords    int `json:"anchor_records"`
+	EdgesScanned     int `json:"edges_scanned"`
+	ElementsConsumed int `json:"elements_consumed"`
+	ElementsRejected int `json:"elements_rejected"`
+	PartialsExplored int `json:"partials_explored"`
+	PathsEmitted     int `json:"paths_emitted"`
+}
+
+// QueryResponse is the body answered by /v1/query and /v1/execute.
+type QueryResponse struct {
+	Columns []string `json:"columns,omitempty"`
+	Rows    []Row    `json:"rows,omitempty"`
+	Agg     *Agg     `json:"agg,omitempty"`
+	// Explain carries the plan text (explain=plan) or the EXPLAIN ANALYZE
+	// rendering (explain=analyze).
+	Explain string  `json:"explain,omitempty"`
+	Metrics Metrics `json:"metrics"`
+	// Degraded flags results served by a degraded path; see exec.Result.
+	Degraded     bool     `json:"degraded,omitempty"`
+	DegradedVars []string `json:"degraded_vars,omitempty"`
+	// Cached reports whether the statement came from the plan cache.
+	Cached    bool    `json:"cached"`
+	ElapsedMS float64 `json:"elapsed_ms"`
+}
+
+// IngestOp is one mutation of a POST /v1/ingest batch.
+type IngestOp struct {
+	// Op is "insert-node", "insert-edge", "update", or "delete".
+	Op    string         `json:"op"`
+	Class string         `json:"class,omitempty"`
+	// Src and Dst are the endpoint node UIDs of an insert-edge.
+	Src int64 `json:"src,omitempty"`
+	Dst int64 `json:"dst,omitempty"`
+	// UID targets update/delete.
+	UID    int64          `json:"uid,omitempty"`
+	Fields map[string]any `json:"fields,omitempty"`
+}
+
+// IngestRequest is the body of POST /v1/ingest. Ops apply in order; the
+// response acknowledges only after every op is applied — with a
+// WAL-backed store, after each is durably logged — so an acked batch
+// survives a crash.
+type IngestRequest struct {
+	Ops []IngestOp `json:"ops"`
+}
+
+// IngestResponse reports the UIDs created by insert ops (in op order,
+// 0 for non-inserts) and the number of ops applied.
+type IngestResponse struct {
+	UIDs    []int64 `json:"uids"`
+	Applied int     `json:"applied"`
+}
+
+// CheckpointResponse acknowledges a completed checkpoint.
+type CheckpointResponse struct {
+	OK        bool    `json:"ok"`
+	ElapsedMS float64 `json:"elapsed_ms"`
+}
+
+// HealthResponse is the body of GET /healthz.
+type HealthResponse struct {
+	Status   string `json:"status"`
+	Backend  string `json:"backend"`
+	InFlight int64  `json:"in_flight"`
+	Queued   int64  `json:"queued"`
+}
+
+// ErrorBody is the JSON error envelope every non-2xx answer carries.
+type ErrorBody struct {
+	Error ErrorDetail `json:"error"`
+}
+
+// ErrorDetail is the typed error: Code is a stable machine-readable
+// string ("parse_error", "overloaded", "deadline", "canceled", "limit",
+// "unprepared", "internal"), Message the human one.
+type ErrorDetail struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}

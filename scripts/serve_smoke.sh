@@ -1,0 +1,46 @@
+#!/bin/sh
+# serve_smoke.sh — end-to-end serving smoke test.
+#
+# Builds the nepal binary, starts it as a server over the demo topology
+# on an ephemeral port, waits until /healthz answers through the Go
+# client (-connect checks health before querying), runs one pathway
+# query over the wire, and shuts the server down with SIGTERM, checking
+# it exits cleanly (graceful drain + store close).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+TMP="$(mktemp -d)"
+LOG="$TMP/server.log"
+trap 'kill "$SERVER_PID" 2>/dev/null || true; rm -rf "$TMP"' EXIT
+
+echo "serve-smoke: building nepal..."
+go build -o "$TMP/nepal" ./cmd/nepal
+
+"$TMP/nepal" -demo -serve 127.0.0.1:0 2>"$LOG" &
+SERVER_PID=$!
+
+# The server logs its bound address once the listener is up.
+ADDR=""
+for _ in $(seq 1 100); do
+    ADDR="$(sed -n 's|.*serving on http://\([0-9.:]*\).*|\1|p' "$LOG" | head -n 1)"
+    [ -n "$ADDR" ] && break
+    kill -0 "$SERVER_PID" 2>/dev/null || { echo "serve-smoke: server died during startup:"; cat "$LOG"; exit 1; }
+    sleep 0.1
+done
+[ -n "$ADDR" ] && echo "serve-smoke: server up at $ADDR" || { echo "serve-smoke: server never logged its address"; cat "$LOG"; exit 1; }
+
+Q="Retrieve P From PATHS P Where P MATCHES VNF()->[Vertical()]{1,6}->Host(id=1001)"
+OUT="$("$TMP/nepal" -connect "http://$ADDR" -q "$Q")"
+echo "$OUT"
+case "$OUT" in
+    *"rows)"*) echo "serve-smoke: query over the wire ok" ;;
+    *) echo "serve-smoke: unexpected query output"; exit 1 ;;
+esac
+
+kill -TERM "$SERVER_PID"
+if wait "$SERVER_PID"; then
+    echo "serve-smoke: graceful shutdown ok"
+else
+    echo "serve-smoke: server exited nonzero on SIGTERM:"; cat "$LOG"; exit 1
+fi
