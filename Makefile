@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-race bench chaos crash serve-smoke
+.PHONY: all build vet test test-race bench chaos crash serve-smoke obs-smoke vulncheck
 
 all: build vet test
 
@@ -46,3 +46,15 @@ crash:
 # the server down gracefully.
 serve-smoke:
 	./scripts/serve_smoke.sh
+
+# Observability smoke: start a server with an access log, run a query,
+# then assert /metrics parses as Prometheus exposition, /debug/traces
+# resolves the just-run query to a span tree, and every request left
+# one trace-tagged access-log line.
+obs-smoke:
+	./scripts/obs_smoke.sh
+
+# Known-vulnerability scan over the module graph and reachable call
+# paths; advisory in CI (non-blocking), runnable locally at will.
+vulncheck:
+	$(GO) run golang.org/x/vuln/cmd/govulncheck@latest ./...

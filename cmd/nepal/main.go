@@ -97,6 +97,10 @@ type options struct {
 	maxInFlight int
 	maxQueue    int
 	planCache   int
+	// accessLog, when set, appends one structured JSON line per served
+	// request (trace ID, status, outcome, latency) to this file; "-"
+	// writes to stderr.
+	accessLog string
 	// connectURL, when set, turns nepal into a thin client of a running
 	// server: no store is opened; queries go over the wire.
 	connectURL string
@@ -136,6 +140,7 @@ func main() {
 	flag.IntVar(&opt.maxInFlight, "max-inflight", 0, "serve: max concurrently executing requests (0 = default 64)")
 	flag.IntVar(&opt.maxQueue, "max-queue", 0, "serve: max requests waiting for a slot before 429 (0 = 2x max-inflight)")
 	flag.IntVar(&opt.planCache, "plan-cache", 0, "serve: compiled-plan cache entries (0 = default 256)")
+	flag.StringVar(&opt.accessLog, "access-log", "", "serve: append one JSON access-log line per request to this file (- for stderr)")
 	flag.StringVar(&opt.connectURL, "connect", "", "act as a client of a running server at this URL (e.g. http://127.0.0.1:7474)")
 	flag.Parse()
 

@@ -23,6 +23,19 @@ import (
 // in-flight queries drain, and the DB closes so the WAL syncs its final
 // segment.
 func runServe(db *core.DB, reg *obs.Registry, opt options) error {
+	var accessLog io.Writer
+	if opt.accessLog != "" {
+		if opt.accessLog == "-" {
+			accessLog = os.Stderr
+		} else {
+			f, err := os.OpenFile(opt.accessLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				return fmt.Errorf("access log: %w", err)
+			}
+			defer f.Close()
+			accessLog = f
+		}
+	}
 	s := server.New(db, server.Config{
 		MaxInFlight:   opt.maxInFlight,
 		MaxQueue:      opt.maxQueue,
@@ -30,6 +43,7 @@ func runServe(db *core.DB, reg *obs.Registry, opt options) error {
 		DefaultLimits: db.Limits(),
 		MaxTimeout:    opt.timeout,
 		Registry:      reg,
+		AccessLog:     accessLog,
 	})
 	ln, err := net.Listen("tcp", opt.serveAddr)
 	if err != nil {

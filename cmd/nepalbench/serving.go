@@ -26,30 +26,36 @@ var servingQueries = []string{
 	"Retrieve P From PATHS P Where P MATCHES Firewall()->[Vertical()]{1,6}->Host(id=1001)",
 }
 
-// runServing is the -server mode: it self-hosts the HTTP query server
-// on a loopback port over the demo topology, drives it with
-// opt.servingClients concurrent closed-loop clients (each issues its
-// next request the moment the previous answer lands), and reports
-// client-observed latency percentiles, sustained throughput, and the
-// server's plan-cache effectiveness — the serving-path analogue of the
-// paper's embedded-engine tables.
-func runServing(opt options, reg *obs.Registry, report *bench.Report, out io.Writer) error {
-	db, err := core.Open(netmodel.MustSchema(), core.WithBackend(opt.backend))
-	if err != nil {
-		return err
+// servingRun is one closed-loop load run's raw output: every successful
+// request's client-observed latency (sorted), the error count, and the
+// wall-clock span of the run.
+type servingRun struct {
+	lat     []time.Duration
+	errs    int
+	elapsed time.Duration
+}
+
+func (sr servingRun) qps() float64 {
+	if sr.elapsed <= 0 {
+		return 0
 	}
-	if _, err := netmodel.BuildDemo(db.Store(), 1000); err != nil {
-		return err
-	}
-	s := server.New(db, server.Config{Registry: reg})
+	return float64(len(sr.lat)) / sr.elapsed.Seconds()
+}
+
+// driveServing stands a server up on a loopback port with the given
+// config and drives it with opt.servingClients closed-loop clients
+// (each issues its next request the moment the previous answer lands),
+// then shuts the server down. The same helper serves both the
+// telemetry-off baseline and the fully instrumented measurement run.
+func driveServing(opt options, db *core.DB, cfg server.Config) (servingRun, error) {
+	var run servingRun
+	s := server.New(db, cfg)
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
-		return err
+		return run, err
 	}
 	go s.Serve(ln)
 	base := "http://" + ln.Addr().String()
-	fmt.Fprintf(out, "\nserving bench: %d closed-loop clients x %d requests against %s (backend=%s)\n",
-		opt.servingClients, opt.servingRequests, base, opt.backend)
 
 	ctx := context.Background()
 	type clientOut struct {
@@ -91,46 +97,91 @@ func runServing(opt options, reg *obs.Registry, report *bench.Report, out io.Wri
 	for i := 0; i < opt.servingClients; i++ {
 		<-done
 	}
-	elapsed := time.Since(start)
+	run.elapsed = time.Since(start)
 
-	var lat []time.Duration
-	errs := 0
 	for _, co := range results {
-		lat = append(lat, co.lat...)
-		errs += co.errs
+		run.lat = append(run.lat, co.lat...)
+		run.errs += co.errs
 	}
-	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	sort.Slice(run.lat, func(i, j int) bool { return run.lat[i] < run.lat[j] })
+
+	sctx, cancel := context.WithTimeout(ctx, 10*time.Second)
+	defer cancel()
+	return run, s.Shutdown(sctx)
+}
+
+// runServing is the -server mode: it self-hosts the HTTP query server
+// on a loopback port over the demo topology and drives the same mixed
+// workload twice — first with request telemetry disabled (the dark
+// baseline), then fully instrumented (root spans, trace store, access
+// log to io.Discard) — and reports client-observed latency
+// percentiles, sustained throughput, plan-cache effectiveness, and the
+// throughput cost of the telemetry layer.
+func runServing(opt options, reg *obs.Registry, report *bench.Report, out io.Writer) error {
+	db, err := core.Open(netmodel.MustSchema(), core.WithBackend(opt.backend))
+	if err != nil {
+		return err
+	}
+	if _, err := netmodel.BuildDemo(db.Store(), 1000); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "\nserving bench: %d closed-loop clients x %d requests (backend=%s)\n",
+		opt.servingClients, opt.servingRequests, opt.backend)
+
+	// Baseline: telemetry dark. A private registry keeps the baseline's
+	// counters out of the reported metrics snapshot.
+	off, err := driveServing(opt, db, server.Config{
+		Registry:         obs.NewRegistry(),
+		DisableTelemetry: true,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "  telemetry off  %d requests in %.2fs  %.0f qps\n",
+		len(off.lat), off.elapsed.Seconds(), off.qps())
+
+	// Measurement: full telemetry, access log draining to io.Discard so
+	// the serialization cost is paid but no disk I/O skews the result.
+	on, err := driveServing(opt, db, server.Config{
+		Registry:  reg,
+		AccessLog: io.Discard,
+	})
+	if err != nil {
+		return err
+	}
+
+	lat := on.lat
 	hits := reg.Counter("server.plan_cache_hits").Value()
 	misses := reg.Counter("server.plan_cache_misses").Value()
 	sr := &bench.ServingResult{
 		Clients:           opt.servingClients,
 		RequestsPerClient: opt.servingRequests,
 		Requests:          len(lat),
-		Errors:            errs,
-		ElapsedMS:         float64(elapsed) / 1e6,
+		Errors:            on.errs,
+		ElapsedMS:         float64(on.elapsed) / 1e6,
+		QPS:               on.qps(),
 		P50MS:             percentileMS(lat, 0.50),
 		P95MS:             percentileMS(lat, 0.95),
 		P99MS:             percentileMS(lat, 0.99),
 		PlanCacheHits:     hits,
 		PlanCacheMisses:   misses,
-	}
-	if elapsed > 0 {
-		sr.QPS = float64(len(lat)) / elapsed.Seconds()
+		TelemetryOffQPS:   off.qps(),
+		TelemetryOnQPS:    on.qps(),
 	}
 	if hits+misses > 0 {
 		sr.PlanCacheHitRate = float64(hits) / float64(hits+misses)
 	}
+	if off.qps() > 0 {
+		sr.TelemetryOverheadPct = (1 - on.qps()/off.qps()) * 100
+	}
 	report.Serving = sr
 
-	fmt.Fprintf(out, "  %d requests in %.2fs (%d errors)\n", sr.Requests, elapsed.Seconds(), errs)
-	fmt.Fprintf(out, "  throughput  %.0f qps\n", sr.QPS)
+	fmt.Fprintf(out, "  telemetry on   %d requests in %.2fs (%d errors)\n", sr.Requests, on.elapsed.Seconds(), on.errs)
+	fmt.Fprintf(out, "  throughput  %.0f qps (overhead vs dark: %.1f%%)\n", sr.QPS, sr.TelemetryOverheadPct)
 	fmt.Fprintf(out, "  latency     p50 %.2f ms   p95 %.2f ms   p99 %.2f ms\n", sr.P50MS, sr.P95MS, sr.P99MS)
 	fmt.Fprintf(out, "  plan cache  %d hits / %d misses (%.1f%% hit rate)\n",
 		hits, misses, sr.PlanCacheHitRate*100)
-
-	sctx, cancel := context.WithTimeout(ctx, 10*time.Second)
-	defer cancel()
-	return s.Shutdown(sctx)
+	return nil
 }
 
 // percentileMS returns the p-quantile of the sorted latencies in

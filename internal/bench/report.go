@@ -47,6 +47,17 @@ type ServingResult struct {
 	PlanCacheHits     int64   `json:"plan_cache_hits"`
 	PlanCacheMisses   int64   `json:"plan_cache_misses"`
 	PlanCacheHitRate  float64 `json:"plan_cache_hit_rate"`
+
+	// Telemetry overhead: the same closed-loop workload is driven twice,
+	// once with request telemetry disabled (no root span, no span
+	// propagation, no trace-store capture) and once fully instrumented
+	// (spans + trace store + access log to io.Discard). OverheadPct is
+	// how much throughput the instrumented run gives up relative to the
+	// dark run; near-zero or negative means the telemetry layer is free
+	// at this load.
+	TelemetryOffQPS      float64 `json:"telemetry_off_qps,omitempty"`
+	TelemetryOnQPS       float64 `json:"telemetry_on_qps,omitempty"`
+	TelemetryOverheadPct float64 `json:"telemetry_overhead_pct"`
 }
 
 // WriteJSON writes the report, indented for human diffing but fully

@@ -25,6 +25,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/plan"
 	"repro/internal/server"
 	"repro/internal/temporal"
@@ -44,14 +45,21 @@ var (
 )
 
 // APIError is a structured server rejection: the HTTP status plus the
-// stable machine-readable code from the error envelope.
+// stable machine-readable code from the error envelope. TraceID, when
+// non-empty, names the server-side trace of the failed request — quote
+// it in bug reports and grep for it in the server's access log or fetch
+// it from /debug/traces/{id}.
 type APIError struct {
 	Status  int
 	Code    string
 	Message string
+	TraceID string
 }
 
 func (e *APIError) Error() string {
+	if e.TraceID != "" {
+		return fmt.Sprintf("server: %s (%s, http %d, trace %s)", e.Message, e.Code, e.Status, e.TraceID)
+	}
 	return fmt.Sprintf("server: %s (%s, http %d)", e.Message, e.Code, e.Status)
 }
 
@@ -141,6 +149,9 @@ type Result struct {
 	Cached bool
 	// ElapsedMS is the server-measured execution time.
 	ElapsedMS float64
+	// TraceID is the request's end-to-end trace ID; while the server
+	// retains the trace, Trace(ctx, TraceID) fetches the full span tree.
+	TraceID string
 }
 
 // QueryOptions carries the optional per-request fields of /v1/query.
@@ -255,10 +266,44 @@ func (c *Client) Health(ctx context.Context) (*server.HealthResponse, error) {
 
 // Metrics fetches the /metrics text dump.
 func (c *Client) Metrics(ctx context.Context) (string, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/metrics", nil)
+	return c.rawGet(ctx, "/metrics", "")
+}
+
+// PrometheusMetrics fetches /metrics in the Prometheus text exposition
+// format (Accept: text/plain negotiates it server-side).
+func (c *Client) PrometheusMetrics(ctx context.Context) (string, error) {
+	return c.rawGet(ctx, "/metrics", "text/plain")
+}
+
+// Traces lists the server's retained request traces, newest first.
+func (c *Client) Traces(ctx context.Context) (*server.TraceListResponse, error) {
+	var resp server.TraceListResponse
+	if err := c.get(ctx, "/debug/traces", &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Trace fetches one retained trace's full span tree by trace ID (as
+// returned in Result.TraceID and APIError.TraceID).
+func (c *Client) Trace(ctx context.Context, id string) (*server.TraceDetail, error) {
+	var resp server.TraceDetail
+	if err := c.get(ctx, "/debug/traces/"+id, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// rawGet fetches a text endpoint, optionally with an Accept header.
+func (c *Client) rawGet(ctx context.Context, path, accept string) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
 	if err != nil {
 		return "", err
 	}
+	if accept != "" {
+		req.Header.Set("Accept", accept)
+	}
+	c.injectTrace(ctx, req)
 	hresp, err := c.hc.Do(req)
 	if err != nil {
 		return "", &TransportError{Op: "send", Err: err}
@@ -276,6 +321,17 @@ func (c *Client) Metrics(ctx context.Context) (string, error) {
 
 // ---- transport ----
 
+// injectTrace forwards a caller-supplied trace ID onto the wire: when
+// ctx carries one (obs.WithTraceID), the request's X-Nepal-Trace header
+// makes the server join this hop to the caller's existing trace instead
+// of minting a fresh ID. Without one, the header stays unset and the
+// server generates the ID — the common case costs one map-miss lookup.
+func (c *Client) injectTrace(ctx context.Context, req *http.Request) {
+	if id := obs.TraceIDFrom(ctx); id != "" {
+		req.Header.Set(obs.TraceHeader, id)
+	}
+}
+
 func (c *Client) post(ctx context.Context, path string, body, into any) error {
 	payload, err := json.Marshal(body)
 	if err != nil {
@@ -286,6 +342,7 @@ func (c *Client) post(ctx context.Context, path string, body, into any) error {
 		return err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	c.injectTrace(ctx, req)
 	return c.do(req, into)
 }
 
@@ -294,6 +351,7 @@ func (c *Client) get(ctx context.Context, path string, into any) error {
 	if err != nil {
 		return err
 	}
+	c.injectTrace(ctx, req)
 	return c.do(req, into)
 }
 
@@ -314,12 +372,17 @@ func (c *Client) do(req *http.Request, into any) error {
 		return &TransportError{Op: "decode", Err: err}
 	}
 	if hresp.StatusCode < 200 || hresp.StatusCode > 299 {
+		traceID := hresp.Header.Get(obs.TraceHeader)
 		var eb server.ErrorBody
 		if jerr := json.Unmarshal(raw, &eb); jerr == nil && eb.Error.Code != "" {
-			return &APIError{Status: hresp.StatusCode, Code: eb.Error.Code, Message: eb.Error.Message}
+			if eb.Error.TraceID != "" {
+				traceID = eb.Error.TraceID
+			}
+			return &APIError{Status: hresp.StatusCode, Code: eb.Error.Code,
+				Message: eb.Error.Message, TraceID: traceID}
 		}
 		return &APIError{Status: hresp.StatusCode, Code: "internal",
-			Message: strings.TrimSpace(string(raw))}
+			Message: strings.TrimSpace(string(raw)), TraceID: traceID}
 	}
 	if err := json.Unmarshal(raw, into); err != nil {
 		// 200 with an undecodable body: almost always a connection cut
@@ -341,6 +404,7 @@ func decodeResult(resp *server.QueryResponse) *Result {
 		DegradedVars: resp.DegradedVars,
 		Cached:       resp.Cached,
 		ElapsedMS:    resp.ElapsedMS,
+		TraceID:      resp.TraceID,
 	}
 	for _, row := range resp.Rows {
 		r := Row{Values: make([]any, len(row.Values)), Coexist: server.IntervalsIn(row.Coexist)}

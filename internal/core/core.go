@@ -215,9 +215,21 @@ func (db *DB) InsertNode(class string, fields graph.Fields) (graph.UID, error) {
 	return db.store.InsertNode(class, fields)
 }
 
+// InsertNodeCtx is InsertNode under a caller context: the context reaches
+// the durability hook, so a WAL-backed write's append span lands in the
+// request's trace.
+func (db *DB) InsertNodeCtx(ctx context.Context, class string, fields graph.Fields) (graph.UID, error) {
+	return db.store.InsertNodeCtx(ctx, class, fields)
+}
+
 // InsertEdge validates and inserts an edge between two nodes.
 func (db *DB) InsertEdge(class string, src, dst graph.UID, fields graph.Fields) (graph.UID, error) {
 	return db.store.InsertEdge(class, src, dst, fields)
+}
+
+// InsertEdgeCtx is InsertEdge under a caller context.
+func (db *DB) InsertEdgeCtx(ctx context.Context, class string, src, dst graph.UID, fields graph.Fields) (graph.UID, error) {
+	return db.store.InsertEdgeCtx(ctx, class, src, dst, fields)
 }
 
 // Update replaces an object's fields, versioning the previous state.
@@ -225,9 +237,19 @@ func (db *DB) Update(uid graph.UID, fields graph.Fields) error {
 	return db.store.Update(uid, fields)
 }
 
+// UpdateCtx is Update under a caller context.
+func (db *DB) UpdateCtx(ctx context.Context, uid graph.UID, fields graph.Fields) error {
+	return db.store.UpdateCtx(ctx, uid, fields)
+}
+
 // Delete closes an object's current version (cascading to incident edges
 // for nodes); its history remains queryable.
 func (db *DB) Delete(uid graph.UID) error { return db.store.Delete(uid) }
+
+// DeleteCtx is Delete under a caller context.
+func (db *DB) DeleteCtx(ctx context.Context, uid graph.UID) error {
+	return db.store.DeleteCtx(ctx, uid)
+}
 
 // ApplySnapshot reconciles the database with a full source snapshot — the
 // update-by-snapshot service for sources that publish periodic dumps.
@@ -289,7 +311,7 @@ func (db *DB) QueryContext(ctx context.Context, src string) (*exec.Result, error
 	}
 	start := time.Now()
 	res, err := db.executor.RunContext(ctx, a)
-	db.observeQuery(src, res, time.Since(start), err)
+	db.observeQuery(ctx, src, res, time.Since(start), err)
 	if err != nil {
 		return nil, err
 	}
@@ -307,7 +329,7 @@ func (db *DB) QueryTraced(src string) (*exec.Result, error) {
 	}
 	start := time.Now()
 	res, err := db.executor.RunTraced(a, nil)
-	db.observeQuery(src, res, time.Since(start), err)
+	db.observeQuery(context.Background(), src, res, time.Since(start), err)
 	if err != nil {
 		return nil, err
 	}
@@ -318,14 +340,19 @@ func (db *DB) QueryTraced(src string) (*exec.Result, error) {
 // log. Aborted queries (err != nil) count into db.queries_aborted and
 // are always logged — regardless of duration — with their termination
 // outcome, since a query that died 1ms into its deadline is exactly the
-// one an operator wants to see.
-func (db *DB) observeQuery(src string, res *exec.Result, dur time.Duration, err error) {
+// one an operator wants to see. The context supplies the trace ID that
+// links slow-log entries to their end-to-end request trace.
+func (db *DB) observeQuery(ctx context.Context, src string, res *exec.Result, dur time.Duration, err error) {
 	if db.reg != nil {
 		db.reg.Counter("db.queries").Add(1)
 		if err != nil {
 			db.reg.Counter("db.queries_aborted").Add(1)
 		}
 		db.reg.Histogram("db.query_latency_ms").Observe(float64(dur) / 1e6)
+		if res != nil {
+			db.reg.HistogramBuckets("db.query_edges_scanned", obs.DefaultSizeBuckets).
+				Observe(float64(res.Metrics.EdgesScanned))
+		}
 	}
 	if db.slowLog == nil {
 		return
@@ -338,6 +365,7 @@ func (db *DB) observeQuery(src string, res *exec.Result, dur time.Duration, err 
 		Query:    src,
 		Duration: dur,
 		Outcome:  exec.Outcome(err),
+		TraceID:  obs.TraceIDFrom(ctx),
 	}
 	if res != nil {
 		var planText strings.Builder
@@ -431,7 +459,7 @@ func (r *Router) QueryContext(ctx context.Context, src string) (*exec.Result, er
 	}
 	start := time.Now()
 	res, err := r.x.RunContext(ctx, a)
-	r.db.observeQuery(src, res, time.Since(start), err)
+	r.db.observeQuery(ctx, src, res, time.Since(start), err)
 	if err != nil {
 		return nil, err
 	}
@@ -509,7 +537,7 @@ func (db *DB) ExplainAnalyze(src string) (string, *exec.Result, error) {
 	start := time.Now()
 	res, err := db.executor.RunTraced(a, nil)
 	dur := time.Since(start)
-	db.observeQuery(src, res, dur, err)
+	db.observeQuery(context.Background(), src, res, dur, err)
 	if err != nil {
 		return "", nil, err
 	}

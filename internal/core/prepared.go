@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/exec"
+	"repro/internal/obs"
 	"repro/internal/query"
 )
 
@@ -48,9 +49,24 @@ func (p *Prepared) Exec(ctx context.Context) (*exec.Result, error) {
 // point for per-request guardrails: the statement's compiled form is
 // reused, only the governor differs per call.
 func (p *Prepared) ExecLimits(ctx context.Context, lim exec.Limits) (*exec.Result, error) {
+	return p.ExecTraced(ctx, lim, nil)
+}
+
+// ExecTraced is ExecLimits with optional operator-DAG tracing: a non-nil
+// parent span receives the execution's "Query" span tree as a child (the
+// server passes its request's Execute phase span here, stitching engine
+// operators into the end-to-end trace). A nil parent runs untraced —
+// the counters-only fast path.
+func (p *Prepared) ExecTraced(ctx context.Context, lim exec.Limits, parent *obs.Span) (*exec.Result, error) {
 	start := time.Now()
-	res, err := p.db.executor.RunContextLimits(ctx, p.a, lim)
-	p.db.observeQuery(p.src, res, time.Since(start), err)
+	var res *exec.Result
+	var err error
+	if parent != nil {
+		res, err = p.db.executor.RunTracedContextLimits(ctx, p.a, parent, lim)
+	} else {
+		res, err = p.db.executor.RunContextLimits(ctx, p.a, lim)
+	}
+	p.db.observeQuery(ctx, p.src, res, time.Since(start), err)
 	if err != nil {
 		return nil, err
 	}

@@ -85,9 +85,14 @@ func (x *Executor) engineFor(varName string) *plan.Engine {
 // the query's governor, the variables served degraded, and — when
 // tracing — the query span under which per-variable Eval spans nest.
 type runCtx struct {
-	metrics  plan.Metrics
-	plans    map[string]*plan.Plan
-	span     *obs.Span // non-nil enables operator-DAG tracing
+	metrics plan.Metrics
+	plans   map[string]*plan.Plan
+	span    *obs.Span // non-nil enables operator-DAG tracing
+	// Per-variable grouping spans: almost every query has one range
+	// variable, so the first gets two plain fields and the map is only
+	// allocated for the second onward.
+	var0name string
+	var0span *obs.Span
 	vars     map[string]*obs.Span
 	gov      *plan.Governor
 	degraded map[string]bool
@@ -107,11 +112,21 @@ func (rc *runCtx) varSpan(name string) *obs.Span {
 	if rc.span == nil {
 		return nil
 	}
-	sp := rc.vars[name]
-	if sp == nil {
-		sp = rc.span.Child("Var", name)
-		rc.vars[name] = sp
+	if rc.var0span != nil && rc.var0name == name {
+		return rc.var0span
 	}
+	if sp := rc.vars[name]; sp != nil {
+		return sp
+	}
+	sp := rc.span.Child("Var", name)
+	if rc.var0span == nil {
+		rc.var0name, rc.var0span = name, sp
+		return sp
+	}
+	if rc.vars == nil {
+		rc.vars = make(map[string]*obs.Span, 2)
+	}
+	rc.vars[name] = sp
 	return sp
 }
 
@@ -149,6 +164,14 @@ func (x *Executor) RunTraced(a *query.Analyzed, parent *obs.Span) (*Result, erro
 
 // RunTracedContext is RunTraced under a context.
 func (x *Executor) RunTracedContext(ctx context.Context, a *query.Analyzed, parent *obs.Span) (*Result, error) {
+	return x.RunTracedContextLimits(ctx, a, parent, x.Limits)
+}
+
+// RunTracedContextLimits is RunTracedContext under explicit per-call
+// limits — the traced counterpart of RunContextLimits, used by the
+// server to nest a request's operator spans under its end-to-end trace
+// while still applying per-request guardrails.
+func (x *Executor) RunTracedContextLimits(ctx context.Context, a *query.Analyzed, parent *obs.Span, lim Limits) (*Result, error) {
 	var span *obs.Span
 	if parent != nil {
 		span = parent.StartChild("Query", "")
@@ -158,8 +181,7 @@ func (x *Executor) RunTracedContext(ctx context.Context, a *query.Analyzed, pare
 	rc := &runCtx{
 		plans: map[string]*plan.Plan{},
 		span:  span,
-		vars:  map[string]*obs.Span{},
-		gov:   plan.NewGovernor(ctx, x.Limits),
+		gov:   plan.NewGovernor(ctx, lim),
 	}
 	res, err := x.runGuarded(a, rc)
 	span.Finish()

@@ -1,6 +1,7 @@
 package graph
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -72,8 +73,10 @@ func ParseMutationOp(s string) (MutationOp, error) {
 // aborts the mutation: nothing is applied and the caller sees the error.
 // Durability layers (internal/wal) append and sync here, which makes
 // "hook returned nil" the acknowledgement point: every acknowledged write
-// is on disk before it is visible in memory.
-type MutationHook func(*Mutation) error
+// is on disk before it is visible in memory. The context is the writer's
+// request context, carrying trace identity so the durability layer can
+// attach its spans (e.g. the WAL append) to the request's trace.
+type MutationHook func(context.Context, *Mutation) error
 
 // SetMutationHook installs the hook (nil removes it). Install before the
 // store starts serving writes; the hook itself must not call back into the

@@ -12,6 +12,7 @@
 package graph
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -172,17 +173,28 @@ func (st *Store) Now() time.Time { return st.clock.Now() }
 
 // InsertNode validates and inserts a node record, returning its UID.
 func (st *Store) InsertNode(class string, fields Fields) (UID, error) {
-	return st.insert(class, 0, 0, fields, schema.NodeKind)
+	return st.insert(context.Background(), class, 0, 0, fields, schema.NodeKind)
+}
+
+// InsertNodeCtx is InsertNode with a caller context; the context reaches
+// the mutation hook so durability work is attributed to the request.
+func (st *Store) InsertNodeCtx(ctx context.Context, class string, fields Fields) (UID, error) {
+	return st.insert(ctx, class, 0, 0, fields, schema.NodeKind)
 }
 
 // InsertEdge validates and inserts an edge from src to dst. The edge class
 // must permit the connection under the schema's allowed-edge rules, and
 // both endpoints must be live.
 func (st *Store) InsertEdge(class string, src, dst UID, fields Fields) (UID, error) {
-	return st.insert(class, src, dst, fields, schema.EdgeKind)
+	return st.insert(context.Background(), class, src, dst, fields, schema.EdgeKind)
 }
 
-func (st *Store) insert(class string, src, dst UID, fields Fields, kind schema.Kind) (UID, error) {
+// InsertEdgeCtx is InsertEdge with a caller context.
+func (st *Store) InsertEdgeCtx(ctx context.Context, class string, src, dst UID, fields Fields) (UID, error) {
+	return st.insert(ctx, class, src, dst, fields, schema.EdgeKind)
+}
+
+func (st *Store) insert(ctx context.Context, class string, src, dst UID, fields Fields, kind schema.Kind) (UID, error) {
 	if err := st.schema.ValidateRecord(class, fields); err != nil {
 		return 0, err
 	}
@@ -218,7 +230,7 @@ func (st *Store) insert(class string, src, dst UID, fields Fields, kind schema.K
 	if kind == schema.EdgeKind {
 		op = OpInsertEdge
 	}
-	if err := st.logMutation(&Mutation{Op: op, UID: uid, Class: class, Src: src, Dst: dst, Fields: fields, At: ts}); err != nil {
+	if err := st.logMutation(ctx, &Mutation{Op: op, UID: uid, Class: class, Src: src, Dst: dst, Fields: fields, At: ts}); err != nil {
 		return 0, err
 	}
 	st.installLocked(c, uid, src, dst, fields, ts)
@@ -227,11 +239,11 @@ func (st *Store) insert(class string, src, dst UID, fields Fields, kind schema.K
 
 // logMutation runs the hook, if any; a hook error aborts the mutation
 // before anything is applied.
-func (st *Store) logMutation(m *Mutation) error {
+func (st *Store) logMutation(ctx context.Context, m *Mutation) error {
 	if st.hook == nil {
 		return nil
 	}
-	if err := st.hook(m); err != nil {
+	if err := st.hook(ctx, m); err != nil {
 		return fmt.Errorf("graph: mutation rejected by log: %w", err)
 	}
 	return nil
@@ -266,6 +278,11 @@ func (st *Store) installLocked(c *schema.Class, uid UID, src, dst UID, fields Fi
 // supplied full field map (Nepal's sources supply complete records, not
 // patches). Updating a deleted object is an error.
 func (st *Store) Update(uid UID, fields Fields) error {
+	return st.UpdateCtx(context.Background(), uid, fields)
+}
+
+// UpdateCtx is Update with a caller context.
+func (st *Store) UpdateCtx(ctx context.Context, uid UID, fields Fields) error {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	obj := st.objects[uid]
@@ -283,7 +300,7 @@ func (st *Store) Update(uid UID, fields Fields) error {
 		return err
 	}
 	t := st.clock.Next()
-	if err := st.logMutation(&Mutation{Op: OpUpdate, UID: uid, Fields: fields, At: t}); err != nil {
+	if err := st.logMutation(ctx, &Mutation{Op: OpUpdate, UID: uid, Fields: fields, At: t}); err != nil {
 		return err
 	}
 	st.updateLocked(obj, cur, fields, t)
@@ -304,12 +321,17 @@ func (st *Store) updateLocked(obj *Object, cur *Version, fields Fields, t time.T
 // its live incident edges, mirroring referential integrity in the
 // relational mapping. Deleting a deleted object is a no-op.
 func (st *Store) Delete(uid UID) error {
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	return st.deleteLocked(uid)
+	return st.DeleteCtx(context.Background(), uid)
 }
 
-func (st *Store) deleteLocked(uid UID) error {
+// DeleteCtx is Delete with a caller context.
+func (st *Store) DeleteCtx(ctx context.Context, uid UID) error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.deleteLocked(ctx, uid)
+}
+
+func (st *Store) deleteLocked(ctx context.Context, uid UID) error {
 	obj := st.objects[uid]
 	if obj == nil {
 		return fmt.Errorf("graph: delete of unknown uid %d", uid)
@@ -319,7 +341,7 @@ func (st *Store) deleteLocked(uid UID) error {
 		return nil
 	}
 	t := st.clock.Next()
-	if err := st.logMutation(&Mutation{Op: OpDelete, UID: uid, At: t}); err != nil {
+	if err := st.logMutation(ctx, &Mutation{Op: OpDelete, UID: uid, At: t}); err != nil {
 		return err
 	}
 	st.deleteAtLocked(obj, cur, t)

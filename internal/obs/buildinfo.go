@@ -1,0 +1,39 @@
+package obs
+
+import (
+	"runtime/debug"
+	"time"
+)
+
+// RegisterBuildInfo publishes process identity and liveness metrics on
+// the registry: nepal.build_info (a constant-1 info gauge labeled with
+// the module version and VCS commit from the embedded Go build info)
+// and nepal.uptime_seconds (a gauge computed from the given start
+// time). It returns the resolved version and commit for callers that
+// also surface them elsewhere (e.g. /healthz). Safe on a nil registry.
+func RegisterBuildInfo(r *Registry, start time.Time) (version, commit string) {
+	version, commit = "unknown", "unknown"
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		if bi.Main.Version != "" {
+			version = bi.Main.Version
+		}
+		for _, s := range bi.Settings {
+			if s.Key == "vcs.revision" && s.Value != "" {
+				commit = s.Value
+			}
+		}
+	}
+	if r == nil {
+		return version, commit
+	}
+	r.SetInfo("nepal.build_info", map[string]string{
+		"version": version,
+		"commit":  commit,
+	})
+	r.SetHelp("nepal.build_info", "Build identity of the running nepal binary (constant 1).")
+	r.GaugeFunc("nepal.uptime_seconds", func() float64 {
+		return time.Since(start).Seconds()
+	})
+	r.SetHelp("nepal.uptime_seconds", "Seconds since the server process started.")
+	return version, commit
+}

@@ -23,6 +23,9 @@ type Registry struct {
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
+	funcs    map[string]func() float64
+	infos    map[string]map[string]string
+	help     map[string]string
 }
 
 // Default is the process-wide registry the CLIs and benchmark harness
@@ -35,6 +38,9 @@ func NewRegistry() *Registry {
 		counters: make(map[string]*Counter),
 		gauges:   make(map[string]*Gauge),
 		hists:    make(map[string]*Histogram),
+		funcs:    make(map[string]func() float64),
+		infos:    make(map[string]map[string]string),
+		help:     make(map[string]string),
 	}
 }
 
@@ -100,15 +106,92 @@ func (r *Registry) Histogram(name string) *Histogram {
 	return h
 }
 
+// HistogramBuckets returns the named histogram, creating it on first use
+// with the given upper bounds instead of the latency defaults — size
+// distributions (edges scanned, bytes) use DefaultSizeBuckets here. An
+// already-existing histogram is returned as-is, whatever its bounds.
+func (r *Registry) HistogramBuckets(name string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	h := r.hists[name]
+	r.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h = r.hists[name]; h == nil {
+		h = NewHistogram(bounds)
+		r.hists[name] = h
+	}
+	return h
+}
+
+// GaugeFunc registers (or replaces) a derived gauge whose value is
+// computed at read time — uptime, queue depths owned by other
+// components. The function must be safe for concurrent use. Safe on a
+// nil receiver.
+func (r *Registry) GaugeFunc(name string, fn func() float64) {
+	if r == nil || fn == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.funcs[name] = fn
+}
+
+// SetInfo registers (or replaces) an info metric: a constant-1 sample
+// whose labels carry build/identity metadata (nepal.build_info). Safe on
+// a nil receiver.
+func (r *Registry) SetInfo(name string, labels map[string]string) {
+	if r == nil {
+		return
+	}
+	cp := make(map[string]string, len(labels))
+	for k, v := range labels {
+		cp[k] = v
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.infos[name] = cp
+}
+
+// SetHelp attaches a human-readable description to a metric name, used
+// by the Prometheus exposition's # HELP line. Safe on a nil receiver.
+func (r *Registry) SetHelp(name, text string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.help[name] = text
+}
+
+// helpFor returns the registered help text ("" when none).
+func (r *Registry) helpFor(name string) string {
+	if r == nil {
+		return ""
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.help[name]
+}
+
 // Snapshot returns a consistent point-in-time copy of every metric:
-// counters and gauges by value, histograms as HistogramSnapshot.
+// counters and gauges by value, derived gauges evaluated, info metrics
+// as their label maps, histograms as HistogramSnapshot.
 func (r *Registry) Snapshot() map[string]any {
 	if r == nil {
 		return nil
 	}
 	r.mu.RLock()
-	defer r.mu.RUnlock()
-	out := make(map[string]any, len(r.counters)+len(r.gauges)+len(r.hists))
+	funcs := make(map[string]func() float64, len(r.funcs))
+	for name, fn := range r.funcs {
+		funcs[name] = fn
+	}
+	out := make(map[string]any, len(r.counters)+len(r.gauges)+len(r.hists)+len(r.funcs)+len(r.infos))
 	for name, c := range r.counters {
 		out[name] = c.Value()
 	}
@@ -117,6 +200,19 @@ func (r *Registry) Snapshot() map[string]any {
 	}
 	for name, h := range r.hists {
 		out[name] = h.Snapshot()
+	}
+	for name, labels := range r.infos {
+		cp := make(map[string]string, len(labels))
+		for k, v := range labels {
+			cp[k] = v
+		}
+		out[name] = cp
+	}
+	r.mu.RUnlock()
+	// Derived gauges run outside the registry lock: the functions may
+	// take other locks of their own.
+	for name, fn := range funcs {
+		out[name] = fn()
 	}
 	return out
 }
@@ -136,6 +232,12 @@ func (r *Registry) Dump(w io.Writer) {
 	sort.Strings(names)
 	for _, name := range names {
 		switch v := snap[name].(type) {
+		case map[string]string: // info metric: constant 1 with labels
+			pairs := make([]string, 0, len(v))
+			for _, k := range sortedKeys(v) {
+				pairs = append(pairs, fmt.Sprintf("%s=%q", k, v[k]))
+			}
+			fmt.Fprintf(w, "%s{%s} 1\n", name, strings.Join(pairs, ","))
 		case HistogramSnapshot:
 			fmt.Fprintf(w, "%s_count %d\n", name, v.Count)
 			fmt.Fprintf(w, "%s_sum %.3f\n", name, v.Sum)
@@ -215,6 +317,13 @@ func (g *Gauge) Value() int64 {
 // through the paper's ~10s mining queries.
 var DefaultLatencyBuckets = []float64{
 	0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000,
+}
+
+// DefaultSizeBuckets are the histogram upper bounds for size-like
+// distributions (edges scanned per query, bytes appended): decade steps
+// from single elements to the ten-million range of full-topology scans.
+var DefaultSizeBuckets = []float64{
+	1, 10, 100, 1000, 10000, 100000, 1e6, 1e7,
 }
 
 // Histogram is a fixed-bucket histogram. Bucket boundaries are upper

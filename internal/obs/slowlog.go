@@ -19,6 +19,9 @@ type SlowLogEntry struct {
 	// "deadline", "limit", "panic", or "error". Empty is treated as "ok"
 	// (entries from callers that predate outcome tracking).
 	Outcome string
+	// TraceID links the entry to its end-to-end request trace when the
+	// query arrived over the server (empty for embedded callers).
+	TraceID string
 	Plan    string
 	Metrics string
 	Trace   *Span
@@ -37,6 +40,9 @@ func (e SlowLogEntry) Format() string {
 	fmt.Fprintf(&sb, "  query: %s\n", e.Query)
 	if e.Outcome != "" {
 		fmt.Fprintf(&sb, "  outcome: %s\n", e.Outcome)
+	}
+	if e.TraceID != "" {
+		fmt.Fprintf(&sb, "  trace_id: %s\n", e.TraceID)
 	}
 	if e.Metrics != "" {
 		fmt.Fprintf(&sb, "  metrics: %s\n", e.Metrics)

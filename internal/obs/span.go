@@ -65,14 +65,22 @@ type Span struct {
 	name   string
 	detail string
 
-	mu       sync.Mutex
-	started  time.Time
-	dur      time.Duration
-	running  bool
-	rowsIn   int64
-	rowsOut  int64
-	counters map[string]int64
+	mu      sync.Mutex
+	started time.Time
+	dur     time.Duration
+	running bool
+	rowsIn  int64
+	rowsOut int64
+	// counters is a small ordered set (spans carry a handful of names at
+	// most); a slice avoids a per-span map allocation on the traced hot
+	// path and linear search beats hashing at this size.
+	counters []spanCounter
 	children []*Span
+}
+
+type spanCounter struct {
+	name string
+	val  int64
 }
 
 // NewSpan returns a started standalone span (no tracer).
@@ -87,7 +95,7 @@ func (s *Span) StartChild(name, detail string) *Span {
 	}
 	c := NewSpan(name, detail)
 	s.mu.Lock()
-	s.children = append(s.children, c)
+	s.addChild(c)
 	s.mu.Unlock()
 	return c
 }
@@ -101,9 +109,19 @@ func (s *Span) Child(name, detail string) *Span {
 	}
 	c := &Span{name: name, detail: detail}
 	s.mu.Lock()
-	s.children = append(s.children, c)
+	s.addChild(c)
 	s.mu.Unlock()
 	return c
+}
+
+// addChild appends under s.mu, sizing the first allocation for the
+// common fan-out (a request root holds a handful of phase spans, an
+// evaluation a handful of operators) instead of append's growth chain.
+func (s *Span) addChild(c *Span) {
+	if s.children == nil {
+		s.children = make([]*Span, 0, 8)
+	}
+	s.children = append(s.children, c)
 }
 
 // Finish stops the span clock, folding the running time into the
@@ -147,10 +165,18 @@ func (s *Span) Add(counter string, n int64) {
 		return
 	}
 	s.mu.Lock()
-	if s.counters == nil {
-		s.counters = make(map[string]int64, 4)
+	for i := range s.counters {
+		if s.counters[i].name == counter {
+			s.counters[i].val += n
+			s.mu.Unlock()
+			return
+		}
 	}
-	s.counters[counter] += n
+	if s.counters == nil {
+		// One sized allocation instead of append's 1→2→4 growth chain.
+		s.counters = make([]spanCounter, 0, 4)
+	}
+	s.counters = append(s.counters, spanCounter{name: counter, val: n})
 	s.mu.Unlock()
 }
 
@@ -213,7 +239,29 @@ func (s *Span) Counter(name string) int64 {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.counters[name]
+	for i := range s.counters {
+		if s.counters[i].name == name {
+			return s.counters[i].val
+		}
+	}
+	return 0
+}
+
+// CounterOK returns one named counter's value and whether it is set,
+// without allocating (unlike Counters). Per-request readers — the
+// trace-stats fold that runs on every observed query — use this form.
+func (s *Span) CounterOK(name string) (int64, bool) {
+	if s == nil {
+		return 0, false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := range s.counters {
+		if s.counters[i].name == name {
+			return s.counters[i].val, true
+		}
+	}
+	return 0, false
 }
 
 // Counters returns a copy of the span's named counters.
@@ -224,8 +272,8 @@ func (s *Span) Counters() map[string]int64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	out := make(map[string]int64, len(s.counters))
-	for k, v := range s.counters {
-		out[k] = v
+	for _, c := range s.counters {
+		out[c.name] = c.val
 	}
 	return out
 }

@@ -188,6 +188,7 @@ func recovered(es *evalState, err *error) {
 	if r := recover(); r != nil {
 		pe := &PanicError{Value: r, Stack: debug.Stack()}
 		if es.tr != nil {
+			es.tr.flush()
 			pe.Span = es.tr.root
 		}
 		*err = pe
@@ -209,12 +210,12 @@ func (e *Engine) eval(view graph.View, p *Plan, es *evalState) (set *PathwaySet,
 		var elements []graph.UID
 		var aerr error
 		if es.tr != nil {
-			sp := es.tr.selectSpan(atom)
-			t0 := time.Now()
+			n := es.tr.selectNode(atom)
+			t0 := n.begin()
 			elements, aerr = e.acc.AnchorElements(view, c, atom, es.gov)
-			sp.AddDuration(time.Since(t0))
-			sp.Add("probes", 1)
-			sp.AddRows(0, int64(len(elements)))
+			n.end(t0)
+			n.probes++
+			n.rowsOut += int64(len(elements))
 		} else {
 			elements, aerr = e.acc.AnchorElements(view, c, atom, es.gov)
 		}
@@ -242,12 +243,13 @@ func (e *Engine) eval(view graph.View, p *Plan, es *evalState) (set *PathwaySet,
 					states: nfa.ClosureRev(tr.From).Clone(),
 				}, es)
 				if es.tr != nil {
-					sp := es.tr.unionSpan()
+					n := es.tr.unionNode()
 					before := out.Len()
-					t0 := time.Now()
+					t0 := n.begin()
 					e.combine(view, c, out, bwd, fwd, es)
-					sp.AddDuration(time.Since(t0))
-					sp.AddRows(int64(len(bwd)*len(fwd)), int64(out.Len()-before))
+					n.end(t0)
+					n.rowsIn += int64(len(bwd) * len(fwd))
+					n.rowsOut += int64(out.Len() - before)
 				} else {
 					e.combine(view, c, out, bwd, fwd, es)
 				}
@@ -295,13 +297,15 @@ func (e *Engine) evalSeeded(view graph.View, p *Plan, seeds []graph.UID, es *eva
 			continue
 		}
 		if es.tr != nil {
-			es.tr.seedSelectSpan().AddRows(1, 1)
-			sp := es.tr.unionSpan()
+			ssel := es.tr.seedSelectNode()
+			ssel.rowsIn++
+			ssel.rowsOut++
+			n := es.tr.unionNode()
 			before := out.Len()
-			t0 := time.Now()
+			t0 := n.begin()
 			e.evalSeedOne(view, c, p, seed, out, es)
-			sp.AddDuration(time.Since(t0))
-			sp.AddRows(0, int64(out.Len()-before))
+			n.end(t0)
+			n.rowsOut += int64(out.Len() - before)
 		} else {
 			e.evalSeedOne(view, c, p, seed, out, es)
 		}
@@ -453,13 +457,13 @@ func (e *Engine) expand(view graph.View, c *rpe.Checked, stack *[]search, cur se
 		}
 		return
 	}
-	sp := es.tr.extendSpan(hint, dir)
-	t0 := time.Now()
+	n := es.tr.extendNode(hint, dir)
+	t0 := n.begin()
 	edges, err := e.acc.IncidentEdges(view, node, dir, hint, c, es.gov)
-	sp.AddDuration(time.Since(t0))
-	sp.Add("probes", 1)
-	sp.Add("edges_scanned", int64(len(edges)))
-	sp.AddRows(1, 0)
+	n.end(t0)
+	n.probes++
+	n.edges += int64(len(edges))
+	n.rowsIn++
 	if err != nil {
 		es.fail(err)
 		return
@@ -471,10 +475,10 @@ func (e *Engine) expand(view graph.View, c *rpe.Checked, stack *[]search, cur se
 	}
 	for _, edge := range edges {
 		if e.step(view, c, stack, cur, edge, dir, es) {
-			sp.AddRows(0, 1)
+			n.rowsOut++
 		} else {
 			// Candidates pruned by cycle prevention or rejected by the NFA.
-			sp.Add("rejected", 1)
+			n.rejected++
 		}
 	}
 }

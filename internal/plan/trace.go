@@ -15,91 +15,198 @@ import (
 // through, and the Union that assembles pathways from half-searches —
 // owns one span whose duration and counters are the totals across all of
 // the operator's executions during the search.
+//
+// The hot search loops do not touch the spans directly: an evaluation is
+// single-goroutine, so each operator's statistics accumulate in a plain
+// opNode (field adds, no locks, no counter-name hashing) and flush into
+// the span exactly once when the evaluation finishes. This keeps traced
+// evaluation close to metered cost — the per-probe price is a slice
+// index and a few integer adds, with clock reads sampled (see opNode),
+// pinned end to end by BenchmarkTelemetryOverhead.
 type traceEval struct {
 	root    *obs.Span
 	backend string
-	selects map[int]*obs.Span
-	extends map[extendKey]*obs.Span
-	union   *obs.Span
-	seedSel *obs.Span
+	sfx     string    // " [backend]", the suffix of every operator detail
+	labels  []string  // cached atom renderings, indexed by atom ID
+	selects []*opNode // indexed by atom ID
+	extends []*opNode // indexed by (atom ID+1)*2 + direction; slot 0/1 = unpruned
+	union   *opNode
+	seedSel *opNode
+	flushed bool
 }
 
-type extendKey struct {
-	atomID int // -1 for an unpruned scan (no single-atom hint)
-	dir    Direction
+// opNode is one operator's lock-free statistics accumulator, paired with
+// the span it flushes into.
+//
+// Operator wall time is sampled, not measured exhaustively: a clock pair
+// per probe was the single largest traced-evaluation cost (a search can
+// issue hundreds of adjacency probes, and two clock reads per probe add
+// microseconds per query), so begin/end time one probe in opSample and
+// flush scales the sampled total by calls/timed. Counters (probes,
+// edges, rows) stay exact — only durations are estimates.
+type opNode struct {
+	span     *obs.Span
+	calls    int64 // timed-section entries (begin/end pairs)
+	timed    int64 // entries that actually carried a clock pair
+	sdur     time.Duration
+	probes   int64
+	edges    int64
+	rejected int64
+	rowsIn   int64
+	rowsOut  int64
 }
 
-// newTraceEval starts an Eval span (under parent when non-nil).
+// opSample is the duration sampling interval; a power of two so the
+// begin fast path is a mask test. The first call is always timed.
+// Sized for this class of VM, where a clock read costs ~70ns: at 16,
+// a 200-probe search pays ~25 reads (~2µs) instead of ~400 (~27µs).
+const opSample = 16
+
+// begin enters a timed section: every opSample-th entry returns a real
+// start time, the rest return the zero Time (end ignores those).
+func (n *opNode) begin() time.Time {
+	c := n.calls
+	n.calls++
+	if c&(opSample-1) == 0 {
+		n.timed++
+		return time.Now()
+	}
+	return time.Time{}
+}
+
+// end leaves a timed section opened by begin.
+func (n *opNode) end(t0 time.Time) {
+	if !t0.IsZero() {
+		n.sdur += time.Since(t0)
+	}
+}
+
+// newTraceEval starts an Eval span (under parent when non-nil). Operator
+// labels come from the Checked expression's rendering cache
+// (rpe.Checked.Rendered) — the compiled expression outlives the per-run
+// Plan, so the recursive renderings are built once per statement, not
+// once per traced evaluation. Load-bearing for the ≤5% telemetry-on
+// budget BenchmarkTelemetryOverhead pins.
 func newTraceEval(backend string, p *Plan, parent *obs.Span) *traceEval {
-	detail := fmt.Sprintf("%s [%s]", p.Checked.Expr, backend)
+	expr, atoms := p.Checked.Rendered()
+	sfx := " [" + backend + "]"
 	var root *obs.Span
 	if parent != nil {
-		root = parent.StartChild("Eval", detail)
+		root = parent.StartChild("Eval", expr+sfx)
 	} else {
-		root = obs.NewSpan("Eval", detail)
+		root = obs.NewSpan("Eval", expr+sfx)
 	}
 	return &traceEval{
 		root:    root,
 		backend: backend,
-		selects: make(map[int]*obs.Span),
-		extends: make(map[extendKey]*obs.Span),
+		sfx:     sfx,
+		labels:  atoms,
+		selects: make([]*opNode, len(atoms)),
+		extends: make([]*opNode, (len(atoms)+1)*2),
 	}
 }
 
-// selectSpan returns the accumulator span of the Select operator for one
+// selectNode returns the accumulator of the Select operator for one
 // anchor atom.
-func (t *traceEval) selectSpan(a *rpe.Atom) *obs.Span {
-	sp := t.selects[a.ID()]
-	if sp == nil {
-		sp = t.root.Child("Select", fmt.Sprintf("%s [%s]", a, t.backend))
-		sp.Add("atom_id", int64(a.ID()))
-		t.selects[a.ID()] = sp
+func (t *traceEval) selectNode(a *rpe.Atom) *opNode {
+	id := a.ID()
+	n := t.selects[id]
+	if n == nil {
+		sp := t.root.Child("Select", t.labels[id]+t.sfx)
+		sp.Add("atom_id", int64(id))
+		n = &opNode{span: sp}
+		t.selects[id] = n
 	}
-	return sp
+	return n
 }
 
-// seedSelectSpan is the Select-equivalent span of a seeded plan: rows out
-// are the imported seed nodes admitted by the view.
-func (t *traceEval) seedSelectSpan() *obs.Span {
+// seedSelectNode is the Select-equivalent accumulator of a seeded plan:
+// rows out are the imported seed nodes admitted by the view.
+func (t *traceEval) seedSelectNode() *opNode {
 	if t.seedSel == nil {
-		t.seedSel = t.root.Child("Select", "imported seeds [join]")
+		t.seedSel = &opNode{span: t.root.Child("Select", "imported seeds [join]")}
 	}
 	return t.seedSel
 }
 
-// extendSpan returns the accumulator span of the Extend operator for one
+// extendNode returns the accumulator of the Extend operator for one
 // (pruning hint, direction) pair. A nil hint is the unpruned
 // scan-every-edge case the §6 ablation measures.
-func (t *traceEval) extendSpan(hint *rpe.Atom, dir Direction) *obs.Span {
-	key := extendKey{atomID: -1, dir: dir}
-	detail := fmt.Sprintf("(unpruned) %s [%s]", dir, t.backend)
+func (t *traceEval) extendNode(hint *rpe.Atom, dir Direction) *opNode {
+	slot := int(dir) // unpruned slots
 	if hint != nil {
-		key.atomID = hint.ID()
-		detail = fmt.Sprintf("%s %s [%s]", hint, dir, t.backend)
+		slot = (hint.ID()+1)*2 + int(dir)
 	}
-	sp := t.extends[key]
-	if sp == nil {
-		sp = t.root.Child("Extend", detail)
+	n := t.extends[slot]
+	if n == nil {
+		detail := "(unpruned) " + dir.String() + t.sfx
+		if hint != nil {
+			detail = t.labels[hint.ID()] + " " + dir.String() + t.sfx
+		}
+		sp := t.root.Child("Extend", detail)
 		if hint != nil {
 			sp.Add("atom_id", int64(hint.ID()))
 		}
-		t.extends[key] = sp
+		n = &opNode{span: sp}
+		t.extends[slot] = n
 	}
-	return sp
+	return n
 }
 
-// unionSpan returns the span of the Union operator joining backward and
-// forward half-pathways around anchors (and assembling seeded results).
-func (t *traceEval) unionSpan() *obs.Span {
+// unionNode returns the accumulator of the Union operator joining
+// backward and forward half-pathways around anchors (and assembling
+// seeded results).
+func (t *traceEval) unionNode() *opNode {
 	if t.union == nil {
-		t.union = t.root.Child("Union", "")
+		t.union = &opNode{span: t.root.Child("Union", "")}
 	}
 	return t.union
 }
 
-// finish closes the Eval span, stamping result totals on the root so the
-// tree is self-describing.
+// flush writes every operator accumulator into its span. Idempotent, so
+// panic recovery can flush before attaching the tree to the error and
+// the normal finish path stays a no-op afterwards.
+func (t *traceEval) flush() {
+	if t == nil || t.flushed {
+		return
+	}
+	t.flushed = true
+	for _, n := range t.selects {
+		n.flush(false) // nil slots (never-probed atoms) no-op
+	}
+	for _, n := range t.extends {
+		// Extend spans always carry edges_scanned (0 is the interesting
+		// ablation signal for a probe that found nothing).
+		n.flush(true)
+	}
+	t.union.flush(false)
+	t.seedSel.flush(false)
+}
+
+func (n *opNode) flush(withEdges bool) {
+	if n == nil {
+		return
+	}
+	if n.timed > 0 {
+		// Scale the sampled durations back up to the full call count.
+		n.span.AddDuration(n.sdur * time.Duration(n.calls) / time.Duration(n.timed))
+	}
+	n.span.AddRows(n.rowsIn, n.rowsOut)
+	if n.probes > 0 {
+		n.span.Add("probes", n.probes)
+	}
+	if withEdges {
+		n.span.Add("edges_scanned", n.edges)
+	}
+	if n.rejected > 0 {
+		n.span.Add("rejected", n.rejected)
+	}
+}
+
+// finish flushes the operator accumulators and closes the Eval span,
+// stamping result totals on the root so the tree is self-describing.
 func (t *traceEval) finish(set *PathwaySet, m Metrics) {
+	t.flush()
 	if set != nil {
 		t.root.AddRows(0, int64(set.Len()))
 	}
@@ -128,10 +235,9 @@ func (o *opStats) fold(s *obs.Span) {
 	in, out := s.Rows()
 	o.rowsIn += in
 	o.rowsOut += out
-	cs := s.Counters()
-	o.probes += cs["probes"]
-	o.edges += cs["edges_scanned"]
-	o.rejected += cs["rejected"]
+	o.probes += s.Counter("probes")
+	o.edges += s.Counter("edges_scanned")
+	o.rejected += s.Counter("rejected")
 }
 
 func (o *opStats) add(other opStats) {
@@ -187,8 +293,7 @@ func collectTraceStats(root *obs.Span) *traceStats {
 		extends: make(map[int]*opStats),
 	}
 	root.Walk(func(s *obs.Span) {
-		cs := s.Counters()
-		id, hasAtom := cs["atom_id"]
+		id, hasAtom := s.CounterOK("atom_id")
 		switch s.Name() {
 		case "Eval":
 			ts.evals++

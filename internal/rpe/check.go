@@ -3,6 +3,7 @@ package rpe
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"repro/internal/schema"
 )
@@ -19,6 +20,10 @@ type Checked struct {
 	preds   []CompiledPred  // indexed by atom id; nil = always true
 	nfa     *NFA
 	feas    []kindMask // lazy: per-transition kind feasibility
+
+	strOnce  sync.Once // guards the rendering cache below
+	exprStr  string
+	atomStrs []string // indexed by atom id
 }
 
 // Check normalizes e, validates it against sch, assigns atom occurrence
@@ -129,6 +134,24 @@ func checkPredValue(class, field string, leafType schema.Type, p FieldPred) erro
 
 // Atoms returns the atom occurrences in id order.
 func (c *Checked) Atoms() []*Atom { return c.atoms }
+
+// Rendered returns the cached string renderings of the expression and of
+// every atom (indexed by atom id). Expression rendering is recursive;
+// traced evaluations label their operator spans with these strings on
+// every query, so the cache makes the cost once per compiled expression
+// instead of once per evaluation. Safe for concurrent use.
+func (c *Checked) Rendered() (expr string, atoms []string) {
+	c.strOnce.Do(func() {
+		c.exprStr = c.Expr.String()
+		c.atomStrs = make([]string, len(c.atoms))
+		for _, a := range c.atoms {
+			if a.id >= 0 && a.id < len(c.atomStrs) {
+				c.atomStrs[a.id] = a.String()
+			}
+		}
+	})
+	return c.exprStr, c.atomStrs
+}
 
 // ClassOf returns the schema class bound to the atom occurrence.
 func (c *Checked) ClassOf(a *Atom) *schema.Class { return c.classes[a.id] }

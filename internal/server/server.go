@@ -14,6 +14,12 @@
 // into the obs registry, so /metrics exposes cache hit rates, admission
 // rejections, and in-flight gauges next to the engine's own metrics.
 //
+// Every request also flows through the telemetry middleware
+// (telemetry.go): it assigns or adopts a trace ID (X-Nepal-Trace), opens
+// a "Request" root span whose children are the phases above, emits one
+// access-log line, and tail-samples completed traces into an in-memory
+// store served at /debug/traces.
+//
 // Shutdown is graceful: Shutdown stops accepting connections, drains
 // in-flight requests, then closes the DB so a WAL-backed store syncs its
 // final segment — no acknowledged mutation is lost.
@@ -24,6 +30,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"strings"
@@ -58,19 +65,44 @@ type Config struct {
 	// Registry receives the server's metrics and backs /metrics; nil
 	// creates a private registry.
 	Registry *obs.Registry
+	// AccessLog receives one JSON line per request (see obs.AccessEntry);
+	// nil disables access logging.
+	AccessLog io.Writer
+	// TraceKeep bounds each ring of the in-memory trace store; 0 means
+	// obs.DefaultTraceKeep.
+	TraceKeep int
+	// SlowTraceThreshold marks a request slow enough for the trace store
+	// to always retain; 0 means obs.DefaultSlowTraceThreshold.
+	SlowTraceThreshold time.Duration
+	// DisableTelemetry turns off the spans and the trace store — the
+	// dark baseline BenchmarkTelemetryOverhead compares against. Trace
+	// IDs, counters, histograms, and the access log remain: they are
+	// cheap and load-bearing for correlation.
+	DisableTelemetry bool
 }
 
 // Server serves one core.DB over HTTP. Create with New, attach with
 // Handler (tests) or Serve/ListenAndServe (production), stop with
 // Shutdown.
 type Server struct {
-	db    *core.DB
-	cfg   Config
-	reg   *obs.Registry
-	cache *PlanCache
-	adm   *admission
-	mux   *http.ServeMux
-	hs    *http.Server
+	db        *core.DB
+	cfg       Config
+	reg       *obs.Registry
+	cache     *PlanCache
+	adm       *admission
+	accessLog *obs.AccessLog
+	traces    *obs.TraceStore
+	start     time.Time
+	version   string
+	commit    string
+	mux       *http.ServeMux
+	hs        *http.Server
+
+	// Per-request metric handles, resolved once: registry lookups hash
+	// the metric name, and these three fire on every request.
+	mRequests *obs.Counter
+	mLatency  *obs.Histogram
+	mAdmWait  *obs.Histogram
 }
 
 // New returns a server over db. The server instruments the db and its
@@ -96,12 +128,21 @@ func New(db *core.DB, cfg Config) *Server {
 	}
 	db.Instrument(reg)
 	s := &Server{
-		db:    db,
-		cfg:   cfg,
-		reg:   reg,
-		cache: NewPlanCache(cfg.PlanCacheSize, reg),
-		adm:   newAdmission(cfg.MaxInFlight, cfg.MaxQueue, reg),
-		mux:   http.NewServeMux(),
+		db:        db,
+		cfg:       cfg,
+		reg:       reg,
+		cache:     NewPlanCache(cfg.PlanCacheSize, reg),
+		adm:       newAdmission(cfg.MaxInFlight, cfg.MaxQueue, reg),
+		accessLog: obs.NewAccessLog(cfg.AccessLog),
+		start:     time.Now(),
+		mux:       http.NewServeMux(),
+	}
+	s.version, s.commit = obs.RegisterBuildInfo(reg, s.start)
+	s.mRequests = reg.Counter("server.requests")
+	s.mLatency = reg.Histogram("server.request_latency_ms")
+	s.mAdmWait = reg.Histogram("server.admission_wait_ms")
+	if !cfg.DisableTelemetry {
+		s.traces = obs.NewTraceStore(cfg.TraceKeep, cfg.SlowTraceThreshold)
 	}
 	s.mux.HandleFunc("POST /v1/query", s.handleQuery)
 	s.mux.HandleFunc("POST /v1/prepare", s.handlePrepare)
@@ -110,7 +151,9 @@ func New(db *core.DB, cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/checkpoint", s.handleCheckpoint)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
-	s.hs = &http.Server{Handler: s.instrumented()}
+	s.mux.HandleFunc("GET /debug/traces", s.handleTraces)
+	s.mux.HandleFunc("GET /debug/traces/{id}", s.handleTraceByID)
+	s.hs = &http.Server{Handler: s.telemetry()}
 	return s
 }
 
@@ -121,19 +164,13 @@ func (s *Server) Registry() *obs.Registry { return s.reg }
 // inspect hit rates through it).
 func (s *Server) Cache() *PlanCache { return s.cache }
 
+// Traces returns the in-memory trace store (nil when telemetry is
+// disabled).
+func (s *Server) Traces() *obs.TraceStore { return s.traces }
+
 // Handler returns the server's full HTTP handler, for httptest harnesses
 // and custom listeners.
-func (s *Server) Handler() http.Handler { return s.instrumented() }
-
-// instrumented wraps the mux with request counting and latency.
-func (s *Server) instrumented() http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		start := time.Now()
-		s.reg.Counter("server.requests").Add(1)
-		s.mux.ServeHTTP(w, r)
-		s.reg.Histogram("server.request_latency_ms").Observe(float64(time.Since(start)) / 1e6)
-	})
-}
+func (s *Server) Handler() http.Handler { return s.telemetry() }
 
 // Serve accepts connections on ln until Shutdown (or a fatal listener
 // error). It returns http.ErrServerClosed after a clean Shutdown, like
@@ -170,7 +207,7 @@ func decode[T any](w http.ResponseWriter, r *http.Request, into *T) bool {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(into); err != nil {
-		writeErr(w, http.StatusBadRequest, "bad_request", "decoding request body: "+err.Error())
+		writeErr(w, r, http.StatusBadRequest, "bad_request", "decoding request body: "+err.Error())
 		return false
 	}
 	return true
@@ -183,41 +220,61 @@ func writeJSON(w http.ResponseWriter, status int, body any) {
 	_ = enc.Encode(body)
 }
 
-func writeErr(w http.ResponseWriter, status int, code, msg string) {
-	writeJSON(w, status, ErrorBody{Error: ErrorDetail{Code: code, Message: msg}})
+// writeErr writes the JSON error envelope, stamping the request's trace
+// ID into it and recording the outcome code on the request's telemetry
+// so the access log and trace store classify the failure the same way
+// the client saw it.
+func writeErr(w http.ResponseWriter, r *http.Request, status int, code, msg string) {
+	rt := rtFrom(r.Context())
+	if rt != nil {
+		rt.outcome = code
+		rt.errMsg = msg
+	}
+	writeJSON(w, status, ErrorBody{Error: ErrorDetail{Code: code, Message: msg, TraceID: rt.id()}})
 }
 
 // writeQueryErr maps an execution error onto the HTTP status and typed
 // code contract clients program against.
-func writeQueryErr(w http.ResponseWriter, err error) {
+func writeQueryErr(w http.ResponseWriter, r *http.Request, err error) {
 	switch {
 	case errors.Is(err, ErrOverloaded):
-		writeErr(w, http.StatusTooManyRequests, "overloaded", err.Error())
+		writeErr(w, r, http.StatusTooManyRequests, "overloaded", err.Error())
 	case errors.Is(err, exec.ErrDeadlineExceeded):
-		writeErr(w, http.StatusGatewayTimeout, "deadline", err.Error())
+		writeErr(w, r, http.StatusGatewayTimeout, "deadline", err.Error())
 	case errors.Is(err, exec.ErrCanceled), errors.Is(err, context.Canceled):
 		// 499 (client closed request): the peer is usually gone, but the
 		// status still lands in access logs and tests.
-		writeErr(w, 499, "canceled", err.Error())
+		writeErr(w, r, 499, "canceled", err.Error())
 	case errors.Is(err, exec.ErrLimitExceeded):
-		writeErr(w, http.StatusUnprocessableEntity, "limit", err.Error())
+		writeErr(w, r, http.StatusUnprocessableEntity, "limit", err.Error())
 	default:
-		writeErr(w, http.StatusInternalServerError, "internal", err.Error())
+		writeErr(w, r, http.StatusInternalServerError, "internal", err.Error())
 	}
 }
 
 // admit runs the admission governor for one request. It returns false
 // with the response already written when the request is not admitted.
+// The wait for a slot is measured into server.admission_wait_ms, the
+// request's Admission phase span, and its access-log line.
 func (s *Server) admit(w http.ResponseWriter, r *http.Request) bool {
+	rt := rtFrom(r.Context())
+	sp := rt.child("Admission", "")
+	start := time.Now()
 	err := s.adm.acquire(r.Context())
+	wait := time.Since(start)
+	sp.Finish()
+	if rt != nil {
+		rt.admissionWait = wait
+	}
+	s.mAdmWait.Observe(float64(wait) / 1e6)
 	switch {
 	case err == nil:
 		return true
 	case errors.Is(err, ErrOverloaded):
 		w.Header().Set("Retry-After", "1")
-		writeErr(w, http.StatusTooManyRequests, "overloaded", err.Error())
+		writeErr(w, r, http.StatusTooManyRequests, "overloaded", err.Error())
 	default: // client gave up while queued
-		writeErr(w, 499, "canceled", err.Error())
+		writeErr(w, r, 499, "canceled", err.Error())
 	}
 	return false
 }
@@ -259,23 +316,28 @@ func (s *Server) effectiveLimits(l *Limits) exec.Limits {
 // ---- handlers ----
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	rt := rtFrom(r.Context())
+	dec := rt.child("Decode", "")
 	var req QueryRequest
-	if !decode(w, r, &req) {
+	ok := decode(w, r, &req)
+	dec.Finish()
+	if !ok {
 		return
 	}
 	if strings.TrimSpace(req.Query) == "" {
-		writeErr(w, http.StatusBadRequest, "bad_request", "empty query")
+		writeErr(w, r, http.StatusBadRequest, "bad_request", "empty query")
 		return
 	}
 	src := req.Query
 	if req.At != "" {
 		if strings.HasPrefix(strings.ToUpper(strings.TrimSpace(src)), "AT ") {
-			writeErr(w, http.StatusBadRequest, "bad_request",
+			writeErr(w, r, http.StatusBadRequest, "bad_request",
 				`request "at" conflicts with the statement's own AT clause`)
 			return
 		}
 		src = fmt.Sprintf("AT '%s' %s", req.At, src)
 	}
+	rt.setStatement(src)
 	if !s.admit(w, r) {
 		return
 	}
@@ -288,47 +350,61 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	case ExplainPlan:
 		text, err := s.db.Explain(src)
 		if err != nil {
-			writeErr(w, http.StatusBadRequest, "parse_error", err.Error())
+			writeErr(w, r, http.StatusBadRequest, "parse_error", err.Error())
 			return
 		}
 		writeJSON(w, http.StatusOK, QueryResponse{
 			Explain:   text,
 			ElapsedMS: float64(time.Since(start)) / 1e6,
+			TraceID:   rt.id(),
 		})
 		return
 	case ExplainAnalyze:
+		ex := rt.child("Execute", "")
 		text, res, err := s.db.ExplainAnalyze(src)
+		ex.Finish()
 		if err != nil {
-			s.writeStatementErr(w, src, err)
+			s.writeStatementErr(w, r, src, err)
 			return
 		}
+		rt.recordResult(res)
 		resp := s.resultOut(res, false, time.Since(start))
 		resp.Explain = text
+		resp.TraceID = rt.id()
 		writeJSON(w, http.StatusOK, resp)
 		return
 	}
 
+	pc := rt.child("PlanCache", "")
 	stmt, hit, err := s.cache.Get(s.db, src)
+	pc.Finish()
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, "parse_error", err.Error())
+		writeErr(w, r, http.StatusBadRequest, "parse_error", err.Error())
 		return
 	}
-	res, err := stmt.ExecLimits(ctx, s.effectiveLimits(req.Limits))
+	ex := rt.child("Execute", "")
+	res, err := stmt.ExecTraced(ctx, s.effectiveLimits(req.Limits), ex)
+	ex.Finish()
 	if err != nil {
-		writeQueryErr(w, err)
+		writeQueryErr(w, r, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, s.resultOut(res, hit, time.Since(start)))
+	rt.recordResult(res)
+	enc := rt.child("Encode", "")
+	resp := s.resultOut(res, hit, time.Since(start))
+	resp.TraceID = rt.id()
+	writeJSON(w, http.StatusOK, resp)
+	enc.Finish()
 }
 
 // writeStatementErr distinguishes compile-time statement errors (400)
 // from execution errors on paths that report both through one error.
-func (s *Server) writeStatementErr(w http.ResponseWriter, src string, err error) {
+func (s *Server) writeStatementErr(w http.ResponseWriter, r *http.Request, src string, err error) {
 	if _, perr := s.db.Prepare(src); perr != nil {
-		writeErr(w, http.StatusBadRequest, "parse_error", err.Error())
+		writeErr(w, r, http.StatusBadRequest, "parse_error", err.Error())
 		return
 	}
-	writeQueryErr(w, err)
+	writeQueryErr(w, r, err)
 }
 
 func (s *Server) handlePrepare(w http.ResponseWriter, r *http.Request) {
@@ -337,27 +413,38 @@ func (s *Server) handlePrepare(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if strings.TrimSpace(req.Query) == "" {
-		writeErr(w, http.StatusBadRequest, "bad_request", "empty query")
+		writeErr(w, r, http.StatusBadRequest, "bad_request", "empty query")
 		return
 	}
+	rt := rtFrom(r.Context())
+	rt.setStatement(req.Query)
 	_, hit, err := s.cache.Get(s.db, req.Query)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, "parse_error", err.Error())
+		writeErr(w, r, http.StatusBadRequest, "parse_error", err.Error())
 		return
 	}
 	writeJSON(w, http.StatusOK, PrepareResponse{Handle: Handle(req.Query), Cached: hit})
 }
 
 func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request) {
+	rt := rtFrom(r.Context())
+	dec := rt.child("Decode", "")
 	var req ExecuteRequest
-	if !decode(w, r, &req) {
+	ok := decode(w, r, &req)
+	dec.Finish()
+	if !ok {
 		return
 	}
-	stmt, ok := s.cache.GetHandle(req.Handle)
-	if !ok {
-		writeErr(w, http.StatusGone, "unprepared",
+	pc := rt.child("PlanCache", "")
+	stmt, found := s.cache.GetHandle(req.Handle)
+	pc.Finish()
+	if !found {
+		writeErr(w, r, http.StatusGone, "unprepared",
 			fmt.Sprintf("handle %q is not prepared (evicted or never prepared); re-prepare", req.Handle))
 		return
+	}
+	if rt != nil {
+		rt.stmtHash = req.Handle
 	}
 	if !s.admit(w, r) {
 		return
@@ -366,54 +453,71 @@ func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := s.requestContext(r, req.TimeoutMS)
 	defer cancel()
 	start := time.Now()
-	res, err := stmt.ExecLimits(ctx, s.effectiveLimits(req.Limits))
+	ex := rt.child("Execute", "")
+	res, err := stmt.ExecTraced(ctx, s.effectiveLimits(req.Limits), ex)
+	ex.Finish()
 	if err != nil {
-		writeQueryErr(w, err)
+		writeQueryErr(w, r, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, s.resultOut(res, true, time.Since(start)))
+	rt.recordResult(res)
+	enc := rt.child("Encode", "")
+	resp := s.resultOut(res, true, time.Since(start))
+	resp.TraceID = rt.id()
+	writeJSON(w, http.StatusOK, resp)
+	enc.Finish()
 }
 
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	rt := rtFrom(r.Context())
+	dec := rt.child("Decode", "")
 	var req IngestRequest
-	if !decode(w, r, &req) {
+	ok := decode(w, r, &req)
+	dec.Finish()
+	if !ok {
 		return
 	}
 	if len(req.Ops) == 0 {
-		writeErr(w, http.StatusBadRequest, "bad_request", "empty ops")
+		writeErr(w, r, http.StatusBadRequest, "bad_request", "empty ops")
 		return
 	}
 	if !s.admit(w, r) {
 		return
 	}
 	defer s.adm.release()
+	// Mutations run under the Execute phase span so a WAL-backed store's
+	// append spans nest inside the request trace.
+	ex := rt.child("Execute", "")
+	ctx := obs.ContextWithSpan(r.Context(), ex)
 	resp := IngestResponse{UIDs: make([]int64, 0, len(req.Ops))}
 	for i, op := range req.Ops {
-		uid, err := s.applyOp(op)
+		uid, err := s.applyOp(ctx, op)
 		if err != nil {
+			ex.Finish()
 			// Ops apply in order and are not transactional: everything
 			// before i is applied (and durably logged under a WAL); the
 			// error names the failing op so the client can resume.
-			writeErr(w, http.StatusBadRequest, "bad_request",
+			writeErr(w, r, http.StatusBadRequest, "bad_request",
 				fmt.Sprintf("op %d (%s): %v (%d ops applied)", i, op.Op, err, resp.Applied))
 			return
 		}
 		resp.UIDs = append(resp.UIDs, int64(uid))
 		resp.Applied++
 	}
+	ex.Finish()
 	writeJSON(w, http.StatusOK, resp)
 }
 
-func (s *Server) applyOp(op IngestOp) (graph.UID, error) {
+func (s *Server) applyOp(ctx context.Context, op IngestOp) (graph.UID, error) {
 	switch op.Op {
 	case "insert-node":
-		return s.db.InsertNode(op.Class, graph.Fields(op.Fields))
+		return s.db.InsertNodeCtx(ctx, op.Class, graph.Fields(op.Fields))
 	case "insert-edge":
-		return s.db.InsertEdge(op.Class, graph.UID(op.Src), graph.UID(op.Dst), graph.Fields(op.Fields))
+		return s.db.InsertEdgeCtx(ctx, op.Class, graph.UID(op.Src), graph.UID(op.Dst), graph.Fields(op.Fields))
 	case "update":
-		return 0, s.db.Update(graph.UID(op.UID), graph.Fields(op.Fields))
+		return 0, s.db.UpdateCtx(ctx, graph.UID(op.UID), graph.Fields(op.Fields))
 	case "delete":
-		return 0, s.db.Delete(graph.UID(op.UID))
+		return 0, s.db.DeleteCtx(ctx, graph.UID(op.UID))
 	}
 	return 0, fmt.Errorf("unknown op %q (use insert-node, insert-edge, update, delete)", op.Op)
 }
@@ -421,7 +525,7 @@ func (s *Server) applyOp(op IngestOp) (graph.UID, error) {
 func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	if err := s.db.Checkpoint(); err != nil {
-		writeErr(w, http.StatusBadRequest, "bad_request", err.Error())
+		writeErr(w, r, http.StatusBadRequest, "bad_request", err.Error())
 		return
 	}
 	writeJSON(w, http.StatusOK, CheckpointResponse{
@@ -431,17 +535,46 @@ func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, HealthResponse{
-		Status:   "ok",
-		Backend:  s.db.Backend(),
-		InFlight: s.adm.inFlight(),
-		Queued:   s.adm.queuedNow(),
-	})
+	resp := HealthResponse{
+		Status:        "ok",
+		Backend:       s.db.Backend(),
+		InFlight:      s.adm.inFlight(),
+		Queued:        s.adm.queuedNow(),
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Version:       s.version,
+		Commit:        s.commit,
+	}
+	if s.db.WAL() != nil {
+		rs := s.db.RecoveryStats()
+		resp.Recovery = &RecoveryInfo{
+			CheckpointLoaded: rs.CheckpointLoaded,
+			Segments:         rs.Segments,
+			RecordsApplied:   rs.RecordsApplied,
+			RecordsSkipped:   rs.RecordsSkipped,
+			TailTruncated:    rs.TailTruncated,
+			DroppedBytes:     rs.DroppedBytes,
+			StaleTempRemoved: rs.StaleTempRemoved,
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
+// handleMetrics content-negotiates the registry: Prometheus text
+// exposition for text/plain (and OpenMetrics) scrapers, the structured
+// JSON snapshot for application/json, and the legacy human-readable dump
+// otherwise.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	s.reg.Dump(w)
+	accept := r.Header.Get("Accept")
+	switch {
+	case strings.Contains(accept, "application/json"):
+		writeJSON(w, http.StatusOK, s.reg.Snapshot())
+	case strings.Contains(accept, "text/plain"), strings.Contains(accept, "openmetrics"):
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		obs.WritePrometheus(w, s.reg)
+	default:
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		s.reg.Dump(w)
+	}
 }
 
 // ---- result conversion ----

@@ -23,7 +23,7 @@ const (
 )
 
 // newDemoDB opens a demo-loaded DB; extra core options apply first.
-func newDemoDB(t *testing.T, opts ...core.Option) *core.DB {
+func newDemoDB(t testing.TB, opts ...core.Option) *core.DB {
 	t.Helper()
 	db, err := core.Open(netmodel.MustSchema(), opts...)
 	if err != nil {
@@ -37,7 +37,7 @@ func newDemoDB(t *testing.T, opts ...core.Option) *core.DB {
 
 // newTestServer stands a server up behind httptest and returns the
 // matching client.
-func newTestServer(t *testing.T, db *core.DB, cfg server.Config) (*server.Server, *client.Client) {
+func newTestServer(t testing.TB, db *core.DB, cfg server.Config) (*server.Server, *client.Client) {
 	t.Helper()
 	s := server.New(db, cfg)
 	ts := httptest.NewServer(s.Handler())

@@ -1,0 +1,499 @@
+package server_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/client"
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/plan"
+	"repro/internal/server"
+)
+
+// syncBuffer is a goroutine-safe buffer for capturing the access log
+// while requests are still landing.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) entries(t *testing.T) []obs.AccessEntry {
+	t.Helper()
+	b.mu.Lock()
+	raw := b.buf.String()
+	b.mu.Unlock()
+	var out []obs.AccessEntry
+	for _, line := range strings.Split(strings.TrimRight(raw, "\n"), "\n") {
+		if line == "" {
+			continue
+		}
+		var e obs.AccessEntry
+		if err := json.Unmarshal([]byte(line), &e); err != nil {
+			t.Fatalf("access log line is not JSON: %v\n%s", err, line)
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// TestQueryTraceEndToEnd is the tentpole acceptance path: a query
+// through the client returns a trace ID that resolves at
+// /debug/traces/{id} to a span tree holding the server phases and,
+// nested under Execute, the engine's operator spans.
+func TestQueryTraceEndToEnd(t *testing.T) {
+	_, c := newTestServer(t, newDemoDB(t), server.Config{})
+	ctx := context.Background()
+
+	res, err := c.Query(ctx, retrieveQ, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TraceID == "" {
+		t.Fatal("query response has no trace id")
+	}
+	if obs.ParseTraceID(res.TraceID) != res.TraceID {
+		t.Fatalf("trace id %q is not well-formed", res.TraceID)
+	}
+
+	detail, err := c.Trace(ctx, res.TraceID)
+	if err != nil {
+		t.Fatalf("trace lookup: %v", err)
+	}
+	if detail.TraceID != res.TraceID {
+		t.Fatalf("trace detail id = %q, want %q", detail.TraceID, res.TraceID)
+	}
+	if detail.Statement != retrieveQ {
+		t.Errorf("trace statement = %q", detail.Statement)
+	}
+	if detail.Outcome != "ok" || detail.Status != 200 {
+		t.Errorf("trace outcome = %q status = %d", detail.Outcome, detail.Status)
+	}
+	if detail.EdgesScanned == 0 {
+		t.Error("trace did not capture edges scanned")
+	}
+	if detail.Spans == nil {
+		t.Fatal("trace has no span tree")
+	}
+	if detail.Spans.Name != "Request" {
+		t.Fatalf("root span = %q, want Request", detail.Spans.Name)
+	}
+
+	phases := map[string]*server.SpanNode{}
+	for _, ch := range detail.Spans.Children {
+		phases[ch.Name] = ch
+	}
+	for _, want := range []string{"Decode", "Admission", "PlanCache", "Execute", "Encode"} {
+		if phases[want] == nil {
+			t.Errorf("trace missing server phase %q (have %v)", want, spanNames(detail.Spans.Children))
+		}
+	}
+	exec := phases["Execute"]
+	if exec == nil {
+		t.Fatal("no Execute phase")
+	}
+	// The engine's operator DAG nests under Execute via the Query span.
+	var query *server.SpanNode
+	for _, ch := range exec.Children {
+		if ch.Name == "Query" {
+			query = ch
+		}
+	}
+	if query == nil {
+		t.Fatalf("Execute phase has no Query span (children %v)", spanNames(exec.Children))
+	}
+	if len(query.Children) == 0 {
+		t.Error("Query span has no operator children")
+	}
+	if detail.Rendered == "" || !strings.Contains(detail.Rendered, "Request") {
+		t.Error("trace rendering missing")
+	}
+
+	// The trace also appears in the list endpoint.
+	list, err := c.Traces(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, tr := range list.Traces {
+		if tr.TraceID == res.TraceID {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("trace missing from /debug/traces list")
+	}
+}
+
+func spanNames(nodes []*server.SpanNode) []string {
+	out := make([]string, len(nodes))
+	for i, n := range nodes {
+		out[i] = n.Name
+	}
+	return out
+}
+
+// TestIngestTraceIncludesWAL checks a mutating request on a WAL-backed
+// store produces a trace whose Execute phase contains the WALAppend
+// span — the context carried the request span through the store's
+// mutation hook into the WAL manager.
+func TestIngestTraceIncludesWAL(t *testing.T) {
+	db := newDemoDB(t, core.WithWAL(t.TempDir()))
+	t.Cleanup(func() { db.Close() })
+	_, c := newTestServer(t, db, server.Config{})
+
+	// The client forwards a caller-chosen trace ID; the server must
+	// adopt it rather than mint its own.
+	id := obs.NewTraceID()
+	ctx := obs.WithTraceID(context.Background(), id)
+	if _, err := c.Ingest(ctx, []server.IngestOp{
+		{Op: "insert-node", Class: "ComputeHost",
+			Fields: map[string]any{"id": 9100, "name": "wal-1", "rack": "r9", "status": "Active"}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	detail, err := c.Trace(context.Background(), id)
+	if err != nil {
+		t.Fatalf("forwarded trace id did not resolve: %v", err)
+	}
+	var walSpans int
+	walkSpans(detail.Spans, func(n *server.SpanNode) {
+		if n.Name == "WALAppend" {
+			walSpans++
+		}
+	})
+	if walSpans == 0 {
+		t.Fatalf("ingest trace has no WALAppend span:\n%s", detail.Rendered)
+	}
+}
+
+func walkSpans(n *server.SpanNode, fn func(*server.SpanNode)) {
+	if n == nil {
+		return
+	}
+	fn(n)
+	for _, c := range n.Children {
+		walkSpans(c, fn)
+	}
+}
+
+// TestAccessLog429Regression pins the fix the issue calls out: a
+// request rejected at admission (429) still produces exactly one
+// access-log line, tagged with its trace ID — as does every other
+// request in the run.
+func TestAccessLog429Regression(t *testing.T) {
+	db := newDemoDB(t, core.WithAccessorWrapper(func(a plan.Accessor) plan.Accessor {
+		return chaos.Wrap(a, chaos.WithLatency(3*time.Millisecond))
+	}))
+	logBuf := &syncBuffer{}
+	_, c := newTestServer(t, db, server.Config{
+		MaxInFlight: 1, MaxQueue: -1, AccessLog: logBuf,
+	})
+	ctx := context.Background()
+
+	slow := make(chan error, 1)
+	go func() {
+		_, err := c.Query(ctx, retrieveQ, nil)
+		slow <- err
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		h, err := c.Health(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h.InFlight >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("slow query never became in-flight")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	_, err := c.Query(ctx, selectQ, nil)
+	var ae *client.APIError
+	if !errors.As(err, &ae) || ae.Status != 429 {
+		t.Fatalf("want 429 while saturated, got %v", err)
+	}
+	if ae.TraceID == "" {
+		t.Error("429 error carries no trace id")
+	}
+	if err := <-slow; err != nil {
+		t.Fatalf("in-flight query failed: %v", err)
+	}
+
+	var queryLines []obs.AccessEntry
+	for _, e := range logBuf.entries(t) {
+		if e.TraceID == "" {
+			t.Errorf("access entry without trace id: %+v", e)
+		}
+		if e.Path == "/v1/query" {
+			queryLines = append(queryLines, e)
+		}
+	}
+	// Exactly one line per query request: the slow success and the 429.
+	if len(queryLines) != 2 {
+		t.Fatalf("got %d /v1/query access lines, want 2: %+v", len(queryLines), queryLines)
+	}
+	var rejected *obs.AccessEntry
+	for i := range queryLines {
+		if queryLines[i].Status == 429 {
+			rejected = &queryLines[i]
+		}
+	}
+	if rejected == nil {
+		t.Fatalf("no 429 access line: %+v", queryLines)
+	}
+	if rejected.Outcome != "overloaded" {
+		t.Errorf("429 outcome = %q, want overloaded", rejected.Outcome)
+	}
+	if rejected.TraceID != ae.TraceID {
+		t.Errorf("429 access line trace %q != client-observed %q", rejected.TraceID, ae.TraceID)
+	}
+}
+
+// TestAccessLogMalformedBody checks a request that dies in decode (bad
+// JSON) still logs exactly one line with its trace ID and error.
+func TestAccessLogMalformedBody(t *testing.T) {
+	logBuf := &syncBuffer{}
+	s := server.New(newDemoDB(t), server.Config{AccessLog: logBuf})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+
+	resp, err := http.Post(ts.URL+"/v1/query", "application/json", strings.NewReader("{not json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400", resp.StatusCode)
+	}
+	headerTrace := resp.Header.Get(obs.TraceHeader)
+	if headerTrace == "" {
+		t.Fatal("response has no trace header")
+	}
+	var eb struct {
+		Error server.ErrorDetail `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&eb); err != nil {
+		t.Fatal(err)
+	}
+	if eb.Error.TraceID != headerTrace {
+		t.Errorf("error envelope trace %q != header %q", eb.Error.TraceID, headerTrace)
+	}
+
+	entries := logBuf.entries(t)
+	if len(entries) != 1 {
+		t.Fatalf("got %d access lines, want 1: %+v", len(entries), entries)
+	}
+	e := entries[0]
+	if e.TraceID != headerTrace || e.Status != 400 || e.Outcome != "bad_request" || e.Error == "" {
+		t.Errorf("malformed-body access line = %+v", e)
+	}
+}
+
+// TestMetricsPrometheusNegotiation checks the /metrics content
+// negotiation: text/plain yields the Prometheus exposition with
+// histogram series, application/json the structured snapshot, and no
+// Accept header the legacy dump (pinned by TestIngestHealthMetrics).
+func TestMetricsPrometheusNegotiation(t *testing.T) {
+	_, c := newTestServer(t, newDemoDB(t), server.Config{})
+	ctx := context.Background()
+	if _, err := c.Query(ctx, selectQ, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	text, err := c.PrometheusMetrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"# TYPE server_requests counter",
+		"# HELP ",
+		"# TYPE server_request_latency_ms histogram",
+		`server_request_latency_ms_bucket{le="+Inf"}`,
+		"server_request_latency_ms_sum",
+		"server_request_latency_ms_count",
+		"# TYPE db_query_edges_scanned histogram",
+		"nepal_build_info{",
+		"# TYPE nepal_uptime_seconds gauge",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("prometheus exposition missing %q", want)
+		}
+	}
+	// Sample lines must use sanitized names (help text may echo the
+	// dotted registry spelling).
+	for _, line := range strings.Split(text, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name := line[:strings.IndexAny(line, "{ ")]
+		if strings.Contains(name, ".") {
+			t.Errorf("unsanitized metric name in sample line %q", line)
+		}
+	}
+}
+
+// TestHealthzBuildAndRecovery checks /healthz surfaces uptime, build
+// identity, and — on a WAL-backed store — the recovery stats.
+func TestHealthzBuildAndRecovery(t *testing.T) {
+	dir := t.TempDir()
+	db := newDemoDB(t, core.WithWAL(dir))
+	t.Cleanup(func() { db.Close() })
+	_, c := newTestServer(t, db, server.Config{})
+
+	h, err := c.Health(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.UptimeSeconds < 0 {
+		t.Errorf("uptime = %v", h.UptimeSeconds)
+	}
+	if h.Version == "" || h.Commit == "" {
+		t.Errorf("build identity missing: version=%q commit=%q", h.Version, h.Commit)
+	}
+	if h.Recovery == nil {
+		t.Fatal("WAL-backed health has no recovery stats")
+	}
+}
+
+// TestTraceNotFound pins the miss behavior of /debug/traces/{id}.
+func TestTraceNotFound(t *testing.T) {
+	_, c := newTestServer(t, newDemoDB(t), server.Config{})
+	_, err := c.Trace(context.Background(), "feedfacefeedfacefeedfacefeedface")
+	var ae *client.APIError
+	if !errors.As(err, &ae) || ae.Status != 404 || ae.Code != "not_found" {
+		t.Fatalf("trace miss: got %v", err)
+	}
+}
+
+// TestDisableTelemetry checks the dark path: responses still carry
+// trace IDs (they are cheap and load-bearing for logs), but no traces
+// are retained.
+func TestDisableTelemetry(t *testing.T) {
+	_, c := newTestServer(t, newDemoDB(t), server.Config{DisableTelemetry: true})
+	ctx := context.Background()
+	res, err := c.Query(ctx, selectQ, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TraceID == "" {
+		t.Error("dark mode should still assign trace ids")
+	}
+	list, err := c.Traces(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(list.Traces) != 0 {
+		t.Errorf("dark mode retained %d traces", len(list.Traces))
+	}
+}
+
+// BenchmarkTelemetryOverhead compares end-to-end request cost with the
+// telemetry layer dark vs fully on (spans + trace store + access log to
+// a discarding writer), BenchmarkGovernanceOverhead-style: the same
+// workload with one knob flipped. The workload is the paper's topology
+// retrieval (prepared, alternating with the point lookup) — the serving
+// mix nepalbench drives — not just the cheapest possible request. The
+// issue's acceptance bar is <= 5% throughput overhead.
+func BenchmarkTelemetryOverhead(b *testing.B) {
+	run := func(b *testing.B, cfg server.Config) {
+		db := newDemoDB(b)
+		_, c := newTestServer(b, db, cfg)
+		ctx := context.Background()
+		retrieve, err := c.Prepare(ctx, retrieveQ)
+		if err != nil {
+			b.Fatal(err)
+		}
+		lookup, err := c.Prepare(ctx, selectQ)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			stmt := retrieve
+			if i%2 == 1 {
+				stmt = lookup
+			}
+			if _, err := stmt.Exec(ctx, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("off", func(b *testing.B) {
+		run(b, server.Config{DisableTelemetry: true})
+	})
+	b.Run("on", func(b *testing.B) {
+		run(b, server.Config{AccessLog: discard{}})
+	})
+	// paired interleaves single requests against an off-server and an
+	// on-server, timing each side separately. Sequential off-then-on
+	// sub-benchmark runs are biased by machine-load drift between them;
+	// alternating request-by-request exposes both configurations to the
+	// same noise, so the reported overhead-% is a fair paired estimate.
+	b.Run("paired", func(b *testing.B) {
+		ctx := context.Background()
+		prep := func(cfg server.Config) [2]*client.Stmt {
+			db := newDemoDB(b)
+			_, c := newTestServer(b, db, cfg)
+			retrieve, err := c.Prepare(ctx, retrieveQ)
+			if err != nil {
+				b.Fatal(err)
+			}
+			lookup, err := c.Prepare(ctx, selectQ)
+			if err != nil {
+				b.Fatal(err)
+			}
+			return [2]*client.Stmt{retrieve, lookup}
+		}
+		off := prep(server.Config{DisableTelemetry: true})
+		on := prep(server.Config{AccessLog: discard{}})
+		for i := 0; i < 2; i++ { // warm both paths before timing
+			if _, err := off[i].Exec(ctx, nil); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := on[i].Exec(ctx, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+		var tOff, tOn time.Duration
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			start := time.Now()
+			_, errOff := off[i%2].Exec(ctx, nil)
+			tOff += time.Since(start)
+			start = time.Now()
+			_, errOn := on[i%2].Exec(ctx, nil)
+			tOn += time.Since(start)
+			if errOff != nil || errOn != nil {
+				b.Fatal(errOff, errOn)
+			}
+		}
+		b.StopTimer()
+		n := float64(b.N)
+		b.ReportMetric(float64(tOff.Nanoseconds())/n, "ns/req-off")
+		b.ReportMetric(float64(tOn.Nanoseconds())/n, "ns/req-on")
+		b.ReportMetric((float64(tOn)-float64(tOff))*100/float64(tOff), "overhead-%")
+	})
+}
+
+type discard struct{}
+
+func (discard) Write(p []byte) (int, error) { return len(p), nil }

@@ -216,13 +216,16 @@ type QueryResponse struct {
 	// Cached reports whether the statement came from the plan cache.
 	Cached    bool    `json:"cached"`
 	ElapsedMS float64 `json:"elapsed_ms"`
+	// TraceID identifies the request's end-to-end trace; while retained,
+	// the full span tree resolves at /debug/traces/{trace_id}.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // IngestOp is one mutation of a POST /v1/ingest batch.
 type IngestOp struct {
 	// Op is "insert-node", "insert-edge", "update", or "delete".
-	Op    string         `json:"op"`
-	Class string         `json:"class,omitempty"`
+	Op    string `json:"op"`
+	Class string `json:"class,omitempty"`
 	// Src and Dst are the endpoint node UIDs of an insert-edge.
 	Src int64 `json:"src,omitempty"`
 	Dst int64 `json:"dst,omitempty"`
@@ -254,10 +257,70 @@ type CheckpointResponse struct {
 
 // HealthResponse is the body of GET /healthz.
 type HealthResponse struct {
-	Status   string `json:"status"`
-	Backend  string `json:"backend"`
-	InFlight int64  `json:"in_flight"`
-	Queued   int64  `json:"queued"`
+	Status        string  `json:"status"`
+	Backend       string  `json:"backend"`
+	InFlight      int64   `json:"in_flight"`
+	Queued        int64   `json:"queued"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Version       string  `json:"version,omitempty"`
+	Commit        string  `json:"commit,omitempty"`
+	// Recovery reports what WAL recovery restored at startup; nil when
+	// the database is not WAL-backed.
+	Recovery *RecoveryInfo `json:"recovery,omitempty"`
+}
+
+// RecoveryInfo is the wire form of wal.RecoveryStats.
+type RecoveryInfo struct {
+	CheckpointLoaded bool  `json:"checkpoint_loaded"`
+	Segments         int   `json:"segments"`
+	RecordsApplied   int   `json:"records_applied"`
+	RecordsSkipped   int   `json:"records_skipped"`
+	TailTruncated    bool  `json:"tail_truncated"`
+	DroppedBytes     int64 `json:"dropped_bytes"`
+	StaleTempRemoved bool  `json:"stale_temp_removed"`
+}
+
+// TraceSummary is one retained request trace as listed by GET
+// /debug/traces (newest first).
+type TraceSummary struct {
+	TraceID       string    `json:"trace_id"`
+	Start         time.Time `json:"start"`
+	Method        string    `json:"method"`
+	Path          string    `json:"path"`
+	Statement     string    `json:"statement,omitempty"`
+	StatementHash string    `json:"statement_hash,omitempty"`
+	Status        int       `json:"status"`
+	Outcome       string    `json:"outcome"`
+	DurationMS    float64   `json:"duration_ms"`
+	EdgesScanned  int       `json:"edges_scanned,omitempty"`
+	Degraded      bool      `json:"degraded,omitempty"`
+	Error         string    `json:"error,omitempty"`
+}
+
+// TraceListResponse is the body of GET /debug/traces.
+type TraceListResponse struct {
+	Traces []TraceSummary `json:"traces"`
+}
+
+// TraceDetail is the body of GET /debug/traces/{id}: the summary plus
+// the request's span tree, both structured (Spans) and rendered as an
+// indented text block (Rendered).
+type TraceDetail struct {
+	TraceSummary
+	Spans    *SpanNode `json:"spans,omitempty"`
+	Rendered string    `json:"rendered,omitempty"`
+}
+
+// SpanNode is the wire form of one obs.Span: a phase or operator of the
+// request with its accumulated measurements and nested children.
+type SpanNode struct {
+	Name       string           `json:"name"`
+	Detail     string           `json:"detail,omitempty"`
+	DurationMS float64          `json:"duration_ms"`
+	RowsIn     int64            `json:"rows_in,omitempty"`
+	RowsOut    int64            `json:"rows_out,omitempty"`
+	Counters   map[string]int64 `json:"counters,omitempty"`
+	Children   []*SpanNode      `json:"children,omitempty"`
 }
 
 // ErrorBody is the JSON error envelope every non-2xx answer carries.
@@ -267,8 +330,10 @@ type ErrorBody struct {
 
 // ErrorDetail is the typed error: Code is a stable machine-readable
 // string ("parse_error", "overloaded", "deadline", "canceled", "limit",
-// "unprepared", "internal"), Message the human one.
+// "unprepared", "internal"), Message the human one. TraceID links the
+// failure to its server-side trace — quote it when reporting a problem.
 type ErrorDetail struct {
 	Code    string `json:"code"`
 	Message string `json:"message"`
+	TraceID string `json:"trace_id,omitempty"`
 }

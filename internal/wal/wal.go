@@ -24,6 +24,7 @@
 package wal
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -115,6 +116,7 @@ type walObs struct {
 	appendBytes  *obs.Counter
 	appendErrors *obs.Counter
 	fsyncs       *obs.Counter
+	fsyncMS      *obs.Histogram
 	checkpoints  *obs.Counter
 	checkpointMS *obs.Histogram
 }
@@ -267,14 +269,19 @@ func replaySegment(dir string, seq uint64, last bool, st *graph.Store, stats *Re
 // rolled back by truncating the segment; if that rollback fails the log
 // is latched broken and every later append fails fast, because an
 // unrepaired torn middle would corrupt all subsequent records.
-func (mgr *Manager) Append(m *graph.Mutation) error {
+//
+// When ctx carries a request span (obs.SpanFromContext), the append is
+// recorded as a "WALAppend" child span, so the durability cost of an
+// ingest shows up inside its end-to-end trace.
+func (mgr *Manager) Append(ctx context.Context, m *graph.Mutation) error {
+	start := time.Now()
 	frame, err := encodeRecord(m)
 	if err != nil {
 		return err
 	}
 	mgr.mu.Lock()
-	defer mgr.mu.Unlock()
 	if mgr.broken != nil {
+		mgr.mu.Unlock()
 		return fmt.Errorf("wal: log is broken: %w", mgr.broken)
 	}
 	o := mgr.o.load()
@@ -286,10 +293,12 @@ func (mgr *Manager) Append(m *graph.Mutation) error {
 				mgr.broken = fmt.Errorf("torn append could not be rolled back: %v (append: %w)", terr, err)
 			}
 		}
+		mgr.mu.Unlock()
 		return fmt.Errorf("wal: appending %s uid %d: %w", m.Op, m.UID, err)
 	}
 	mgr.size += int64(n)
 	if !mgr.opts.NoSync {
+		syncStart := time.Now()
 		if err := mgr.f.Sync(); err != nil {
 			// The record is written but not durably: the safe reading is
 			// "not acknowledged", so fail the mutation and roll back.
@@ -299,12 +308,21 @@ func (mgr *Manager) Append(m *graph.Mutation) error {
 			} else {
 				mgr.size -= int64(n)
 			}
+			mgr.mu.Unlock()
 			return fmt.Errorf("wal: syncing %s uid %d: %w", m.Op, m.UID, err)
 		}
 		o.fsyncs.Add(1)
+		o.fsyncMS.Observe(float64(time.Since(syncStart)) / 1e6)
 	}
 	o.appends.Add(1)
 	o.appendBytes.Add(int64(n))
+	mgr.mu.Unlock()
+
+	if parent := obs.SpanFromContext(ctx); parent != nil {
+		sp := parent.Child("WALAppend", m.Op.String())
+		sp.AddDuration(time.Since(start))
+		sp.Add("bytes", int64(n))
+	}
 	return nil
 }
 
@@ -473,6 +491,7 @@ func (mgr *Manager) Instrument(reg *obs.Registry) {
 		appendBytes:  reg.Counter("wal.append_bytes"),
 		appendErrors: reg.Counter("wal.append_errors"),
 		fsyncs:       reg.Counter("wal.fsyncs"),
+		fsyncMS:      reg.Histogram("wal.fsync_ms"),
 		checkpoints:  reg.Counter("wal.checkpoints"),
 		checkpointMS: reg.Histogram("wal.checkpoint_ms"),
 	}

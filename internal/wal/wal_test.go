@@ -2,6 +2,7 @@ package wal
 
 import (
 	"bytes"
+	"context"
 	"math/rand"
 	"os"
 	"path/filepath"
@@ -62,8 +63,8 @@ func cloneMutation(m *graph.Mutation) graph.Mutation {
 // captureAcked chains the manager's Append with a recorder of every
 // acknowledged mutation and its end offset.
 func captureAcked(st *graph.Store, mgr *Manager, seg func() uint64, out *[]ackedMutation) {
-	st.SetMutationHook(func(m *graph.Mutation) error {
-		if err := mgr.Append(m); err != nil {
+	st.SetMutationHook(func(ctx context.Context, m *graph.Mutation) error {
+		if err := mgr.Append(ctx, m); err != nil {
 			return err
 		}
 		*out = append(*out, ackedMutation{m: cloneMutation(m), seg: seg(), end: mgr.Size()})
