@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-race bench chaos crash serve-smoke obs-smoke vulncheck
+.PHONY: all build vet test test-race bench chaos crash serve-smoke obs-smoke repl-smoke vulncheck
 
 all: build vet test
 
@@ -18,7 +18,7 @@ test:
 # -race, so the harness packages run in -short mode.
 test-race:
 	$(GO) test -race ./internal/obs/ ./internal/plan/ ./internal/graph/ ./internal/core/ ./internal/exec/
-	$(GO) test -race ./internal/server/ ./internal/client/
+	$(GO) test -race ./internal/server/ ./internal/client/ ./internal/repl/
 	$(GO) test -race -short ./internal/wal/ ./internal/chaos/
 	$(GO) test -race -short ./internal/bench/ ./cmd/...
 
@@ -53,6 +53,12 @@ serve-smoke:
 # one trace-tagged access-log line.
 obs-smoke:
 	./scripts/obs_smoke.sh
+
+# Replication smoke: a WAL-backed primary plus two -follow read replicas
+# on ephemeral ports; asserts replicated reads with staleness watermarks,
+# read-only rejection, /readyz, lag metrics, and promote-to-primary.
+repl-smoke:
+	./scripts/repl_smoke.sh
 
 # Known-vulnerability scan over the module graph and reachable call
 # paths; advisory in CI (non-blocking), runnable locally at will.

@@ -104,6 +104,13 @@ type options struct {
 	// connectURL, when set, turns nepal into a thin client of a running
 	// server: no store is opened; queries go over the wire.
 	connectURL string
+	// followURL, with -serve, makes this node a read replica: it streams
+	// the primary's WAL from the URL, serves read-only queries with a
+	// staleness watermark, and can be promoted via POST /v1/promote.
+	followURL string
+	// promote, with -connect, asks the remote replica to promote itself
+	// to primary and exits.
+	promote bool
 	// out receives all query output; nil means os.Stdout.
 	out io.Writer
 	// in supplies queries when q is empty; nil means os.Stdin.
@@ -142,6 +149,8 @@ func main() {
 	flag.IntVar(&opt.planCache, "plan-cache", 0, "serve: compiled-plan cache entries (0 = default 256)")
 	flag.StringVar(&opt.accessLog, "access-log", "", "serve: append one JSON access-log line per request to this file (- for stderr)")
 	flag.StringVar(&opt.connectURL, "connect", "", "act as a client of a running server at this URL (e.g. http://127.0.0.1:7474)")
+	flag.StringVar(&opt.followURL, "follow", "", "serve: replicate from the primary at this URL and serve read-only queries (read replica)")
+	flag.BoolVar(&opt.promote, "promote", false, "connect: promote the remote replica to primary, then exit")
 	flag.Parse()
 
 	if err := run(opt); err != nil {
@@ -165,6 +174,14 @@ func run(opt options) error {
 	sch, err := loadSchema(opt.model, opt.schemaPath)
 	if err != nil {
 		return err
+	}
+	if opt.followURL != "" {
+		if opt.serveAddr == "" {
+			return fmt.Errorf("-follow requires -serve")
+		}
+		if opt.demo || opt.dataPath != "" {
+			return fmt.Errorf("-follow starts from an empty store (it bootstraps from the primary); drop -demo/-data")
+		}
 	}
 	if opt.checkpoint && opt.walDir == "" {
 		return fmt.Errorf("-checkpoint requires -wal-dir")

@@ -14,6 +14,7 @@ import (
 	"repro/internal/client"
 	"repro/internal/core"
 	"repro/internal/obs"
+	"repro/internal/repl"
 	"repro/internal/server"
 )
 
@@ -36,6 +37,15 @@ func runServe(db *core.DB, reg *obs.Registry, opt options) error {
 			accessLog = f
 		}
 	}
+	var follower *repl.Follower
+	if opt.followURL != "" {
+		follower = repl.NewFollower(db.Store(), db.WAL(), repl.FollowerConfig{
+			Primary: strings.TrimRight(opt.followURL, "/"),
+			Logf:    func(format string, args ...any) { fmt.Fprintf(os.Stderr, "nepal: "+format+"\n", args...) },
+		})
+		follower.Start()
+		defer follower.Stop()
+	}
 	s := server.New(db, server.Config{
 		MaxInFlight:   opt.maxInFlight,
 		MaxQueue:      opt.maxQueue,
@@ -44,13 +54,18 @@ func runServe(db *core.DB, reg *obs.Registry, opt options) error {
 		MaxTimeout:    opt.timeout,
 		Registry:      reg,
 		AccessLog:     accessLog,
+		Follower:      follower,
 	})
 	ln, err := net.Listen("tcp", opt.serveAddr)
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "nepal: serving on http://%s (POST /v1/query, /v1/prepare, /v1/execute; GET /healthz, /metrics)\n",
-		ln.Addr())
+	role := "primary"
+	if follower != nil {
+		role = "replica of " + opt.followURL
+	}
+	fmt.Fprintf(os.Stderr, "nepal: serving on http://%s as %s (POST /v1/query, /v1/prepare, /v1/execute; GET /healthz, /readyz, /metrics)\n",
+		ln.Addr(), role)
 	if opt.ready != nil {
 		opt.ready(ln.Addr().String())
 	}
@@ -93,6 +108,15 @@ func runConnect(opt options) error {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, opt.timeout)
 		defer cancel()
+	}
+
+	if opt.promote {
+		resp, err := c.Promote(ctx)
+		if err != nil {
+			return fmt.Errorf("promote %s: %w", opt.connectURL, err)
+		}
+		fmt.Fprintf(out, "promoted %s to primary at stream position %d\n", opt.connectURL, resp.StreamPosition)
+		return nil
 	}
 
 	h, err := c.Health(ctx)

@@ -51,6 +51,10 @@ type options struct {
 	servingMode     bool
 	servingClients  int
 	servingRequests int
+	// replicas, with servingMode, additionally measures read scaling:
+	// the same read workload against the primary alone vs spread over N
+	// WAL-streaming read replicas through the cluster client.
+	replicas int
 	// out receives all table output; nil means os.Stdout.
 	out io.Writer
 }
@@ -66,6 +70,7 @@ func main() {
 	flag.BoolVar(&opt.servingMode, "server", false, "run the network-serving closed-loop bench instead of the paper tables")
 	flag.IntVar(&opt.servingClients, "clients", 8, "server mode: concurrent closed-loop clients")
 	flag.IntVar(&opt.servingRequests, "requests", 50, "server mode: requests per client")
+	flag.IntVar(&opt.replicas, "replicas", 0, "server mode: also measure read scaling across this many read replicas (0 skips)")
 	flag.Parse()
 	if *quick {
 		opt.instances = 8
@@ -109,6 +114,11 @@ func run(opt options) error {
 	if opt.servingMode {
 		if err := runServing(opt, reg, report, out); err != nil {
 			return err
+		}
+		if opt.replicas > 0 {
+			if err := runReadScaling(opt, report, out); err != nil {
+				return err
+			}
 		}
 		report.Elapsed = time.Since(runStart).Round(time.Millisecond).String()
 		report.Metrics = reg.Snapshot()

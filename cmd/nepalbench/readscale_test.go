@@ -1,0 +1,55 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+)
+
+// TestRunReadScalingBench exercises -server -replicas N end to end: a
+// WAL-backed primary, two real read replicas bootstrapped over HTTP, and
+// a report whose read_scaling section records single-endpoint vs scaled
+// throughput.
+func TestRunReadScalingBench(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_results.json")
+	var out bytes.Buffer
+	err := run(options{backend: "gremlin", servingMode: true, replicas: 2,
+		servingClients: 4, servingRequests: 8, jsonPath: path, out: &out})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"read-scaling bench:", "1 primary + 2 replicas", "speedup"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q in %q", want, out.String())
+		}
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report bench.Report
+	if err := json.Unmarshal(data, &report); err != nil {
+		t.Fatalf("report does not parse: %v", err)
+	}
+	rs := report.ReadScaling
+	if rs == nil {
+		t.Fatal("report has no read_scaling section")
+	}
+	if rs.Replicas != 2 || rs.Clients != 4 || rs.RequestsPerClient != 8 {
+		t.Errorf("read-scaling shape: %+v", rs)
+	}
+	if rs.Errors != 0 {
+		t.Errorf("read-scaling run had %d errors", rs.Errors)
+	}
+	if rs.SingleQPS <= 0 || rs.ScaledQPS <= 0 || rs.Speedup <= 0 {
+		t.Errorf("throughput not recorded: single=%.1f scaled=%.1f speedup=%.2f",
+			rs.SingleQPS, rs.ScaledQPS, rs.Speedup)
+	}
+}

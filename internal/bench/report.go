@@ -25,6 +25,10 @@ type Report struct {
 	// used -server mode (N concurrent clients against the HTTP API).
 	Serving *ServingResult `json:"serving,omitempty"`
 
+	// ReadScaling holds the replica read-scaling results when -server
+	// mode ran with -replicas N.
+	ReadScaling *ReadScalingResult `json:"read_scaling,omitempty"`
+
 	// Metrics is the engine metrics registry snapshot at the end of the
 	// run (counters and gauges by value, histograms expanded).
 	Metrics map[string]any `json:"metrics,omitempty"`
@@ -58,6 +62,23 @@ type ServingResult struct {
 	TelemetryOffQPS      float64 `json:"telemetry_off_qps,omitempty"`
 	TelemetryOnQPS       float64 `json:"telemetry_on_qps,omitempty"`
 	TelemetryOverheadPct float64 `json:"telemetry_overhead_pct"`
+}
+
+// ReadScalingResult compares read throughput against a single endpoint
+// (the primary alone) with the same closed-loop workload spread across N
+// WAL-streaming read replicas through the cluster client. Speedup is
+// ScaledQPS/SingleQPS — how much read capacity the replica fan-out
+// actually buys at this load.
+type ReadScalingResult struct {
+	Replicas          int     `json:"replicas"`
+	Clients           int     `json:"clients"`
+	RequestsPerClient int     `json:"requests_per_client"`
+	SingleQPS         float64 `json:"single_endpoint_qps"`
+	SingleP50MS       float64 `json:"single_endpoint_p50_ms"`
+	ScaledQPS         float64 `json:"scaled_qps"`
+	ScaledP50MS       float64 `json:"scaled_p50_ms"`
+	Speedup           float64 `json:"speedup"`
+	Errors            int     `json:"errors"`
 }
 
 // WriteJSON writes the report, indented for human diffing but fully

@@ -17,11 +17,15 @@ package client
 import (
 	"bytes"
 	"context"
+	"crypto/tls"
+	"crypto/x509"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
@@ -42,6 +46,13 @@ var (
 	ErrLimit = errors.New("client: query resource limit exceeded")
 	// ErrUnprepared matches 410: the prepared handle was evicted.
 	ErrUnprepared = errors.New("client: statement not prepared")
+	// ErrReplicaLagging matches 503 "replica_lagging": the replica could
+	// not reach the request's min_timestamp in time. Retry against
+	// another replica or the primary.
+	ErrReplicaLagging = errors.New("client: replica lagging behind requested timestamp")
+	// ErrReadOnly matches 403 "read_only": the node is a read replica;
+	// send writes to the primary.
+	ErrReadOnly = errors.New("client: node is a read-only replica")
 )
 
 // APIError is a structured server rejection: the HTTP status plus the
@@ -54,6 +65,10 @@ type APIError struct {
 	Code    string
 	Message string
 	TraceID string
+	// RetryAfter is the server's Retry-After hint (zero when absent):
+	// how long to wait before retrying this endpoint. Sent with 429
+	// "overloaded" and 503 "replica_lagging".
+	RetryAfter time.Duration
 }
 
 func (e *APIError) Error() string {
@@ -74,6 +89,10 @@ func (e *APIError) Is(target error) bool {
 		return e.Code == "limit"
 	case ErrUnprepared:
 		return e.Code == "unprepared"
+	case ErrReplicaLagging:
+		return e.Code == "replica_lagging"
+	case ErrReadOnly:
+		return e.Code == "read_only"
 	}
 	return false
 }
@@ -91,6 +110,33 @@ func (e *TransportError) Error() string {
 }
 func (e *TransportError) Unwrap() error   { return e.Err }
 func (e *TransportError) Transient() bool { return true }
+
+// Retryable classifies the failure for failover: connection resets,
+// refusals, timeouts, and responses cut off mid-body are worth retrying
+// against another endpoint; TLS handshake/verification and HTTP protocol
+// violations are configuration bugs that every endpoint of a
+// misconfigured client will reproduce — retrying those hot-loops a
+// failure that cannot heal.
+func (e *TransportError) Retryable() bool {
+	// TLS: a bad certificate or a peer that is not speaking TLS will not
+	// get better on retry.
+	var certErr *tls.CertificateVerificationError
+	var recordErr tls.RecordHeaderError
+	var hostErr x509.HostnameError
+	var unkErr x509.UnknownAuthorityError
+	if errors.As(e.Err, &certErr) || errors.As(e.Err, &recordErr) ||
+		errors.As(e.Err, &hostErr) || errors.As(e.Err, &unkErr) {
+		return false
+	}
+	// Malformed URLs and unsupported schemes are caller bugs.
+	if errors.Is(e.Err, http.ErrSchemeMismatch) {
+		return false
+	}
+	// The rest of the transport failure space — refused, reset, timeout,
+	// dropped mid-response (unexpected EOF / truncated JSON) — is the
+	// transient kind failover exists for.
+	return true
+}
 
 // Client talks to one Nepal server. It is safe for concurrent use; the
 // underlying http.Client pools and reuses connections across requests
@@ -152,6 +198,10 @@ type Result struct {
 	// TraceID is the request's end-to-end trace ID; while the server
 	// retains the trace, Trace(ctx, TraceID) fetches the full span tree.
 	TraceID string
+	// AppliedThrough, when the answer came from a replica, is its
+	// replication watermark: every primary mutation at or before this
+	// timestamp is reflected. Empty on primary answers.
+	AppliedThrough string
 }
 
 // QueryOptions carries the optional per-request fields of /v1/query.
@@ -162,6 +212,11 @@ type QueryOptions struct {
 	TimeoutMS int64
 	// Limits are per-request resource guardrails.
 	Limits *server.Limits
+	// MinTimestamp (RFC3339 or "2006-01-02 15:04:05") demands the answer
+	// reflect every mutation at or before it — the bounded-staleness
+	// contract when reading from a replica. Lagging replicas wait, then
+	// fail with ErrReplicaLagging.
+	MinTimestamp string
 }
 
 // Query executes one NPQL statement.
@@ -169,6 +224,7 @@ func (c *Client) Query(ctx context.Context, query string, o *QueryOptions) (*Res
 	req := server.QueryRequest{Query: query}
 	if o != nil {
 		req.At, req.TimeoutMS, req.Limits = o.At, o.TimeoutMS, o.Limits
+		req.MinTimestamp = o.MinTimestamp
 	}
 	var resp server.QueryResponse
 	if err := c.post(ctx, "/v1/query", req, &resp); err != nil {
@@ -224,10 +280,17 @@ func (s *Stmt) Exec(ctx context.Context, o *QueryOptions) (*Result, error) {
 	req := server.ExecuteRequest{Handle: s.handle}
 	if o != nil {
 		req.TimeoutMS, req.Limits = o.TimeoutMS, o.Limits
+		req.MinTimestamp = o.MinTimestamp
 	}
 	var resp server.QueryResponse
 	err := s.c.post(ctx, "/v1/execute", req, &resp)
 	if errors.Is(err, ErrUnprepared) {
+		// A short jittered pause before re-preparing: after a failover or
+		// a cache flush, every statement of every client hits this path
+		// at once, and the jitter keeps the re-prepare herd spread out.
+		if err := sleepCtx(ctx, time.Duration(rand.Int63n(int64(25*time.Millisecond)))); err != nil {
+			return nil, err
+		}
 		if _, rerr := s.c.Prepare(ctx, s.query); rerr != nil {
 			return nil, rerr
 		}
@@ -237,6 +300,21 @@ func (s *Stmt) Exec(ctx context.Context, o *QueryOptions) (*Result, error) {
 		return nil, err
 	}
 	return decodeResult(&resp), nil
+}
+
+// sleepCtx sleeps d or until ctx is done (returning its error).
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
 }
 
 // Ingest applies a batch of mutations in order. A nil error means every
@@ -263,6 +341,39 @@ func (c *Client) Health(ctx context.Context) (*server.HealthResponse, error) {
 	}
 	return &resp, nil
 }
+
+// Ready fetches /readyz. A not-ready node (503 — still syncing or
+// lagging past its tolerance) returns ready=false with the decoded
+// status, not an error; errors are transport-level only.
+func (c *Client) Ready(ctx context.Context) (ready bool, status *server.ReadyResponse, err error) {
+	var resp server.ReadyResponse
+	err = c.get(ctx, "/readyz", &resp)
+	if err == nil {
+		return true, &resp, nil
+	}
+	var ae *APIError
+	if errors.As(err, &ae) && ae.Status == http.StatusServiceUnavailable {
+		// The 503 body is the same JSON status document.
+		if jerr := json.Unmarshal([]byte(ae.Message), &resp); jerr == nil && resp.Status != "" {
+			return false, &resp, nil
+		}
+	}
+	return false, nil, err
+}
+
+// Promote asks a replica to become the primary (POST /v1/promote):
+// replication stops, replicated state is made durable, and the node
+// starts acking writes. Idempotent server-side.
+func (c *Client) Promote(ctx context.Context) (*server.PromoteResponse, error) {
+	var resp server.PromoteResponse
+	if err := c.post(ctx, "/v1/promote", struct{}{}, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Base returns the endpoint URL this client talks to.
+func (c *Client) Base() string { return c.base }
 
 // Metrics fetches the /metrics text dump.
 func (c *Client) Metrics(ctx context.Context) (string, error) {
@@ -373,16 +484,17 @@ func (c *Client) do(req *http.Request, into any) error {
 	}
 	if hresp.StatusCode < 200 || hresp.StatusCode > 299 {
 		traceID := hresp.Header.Get(obs.TraceHeader)
+		retryAfter := parseRetryAfter(hresp.Header.Get("Retry-After"))
 		var eb server.ErrorBody
 		if jerr := json.Unmarshal(raw, &eb); jerr == nil && eb.Error.Code != "" {
 			if eb.Error.TraceID != "" {
 				traceID = eb.Error.TraceID
 			}
 			return &APIError{Status: hresp.StatusCode, Code: eb.Error.Code,
-				Message: eb.Error.Message, TraceID: traceID}
+				Message: eb.Error.Message, TraceID: traceID, RetryAfter: retryAfter}
 		}
 		return &APIError{Status: hresp.StatusCode, Code: "internal",
-			Message: strings.TrimSpace(string(raw)), TraceID: traceID}
+			Message: strings.TrimSpace(string(raw)), TraceID: traceID, RetryAfter: retryAfter}
 	}
 	if err := json.Unmarshal(raw, into); err != nil {
 		// 200 with an undecodable body: almost always a connection cut
@@ -392,19 +504,33 @@ func (c *Client) do(req *http.Request, into any) error {
 	return nil
 }
 
+// parseRetryAfter reads the delay-seconds form of Retry-After (the only
+// form nepal servers send).
+func parseRetryAfter(v string) time.Duration {
+	if v == "" {
+		return 0
+	}
+	secs, err := strconv.Atoi(strings.TrimSpace(v))
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
+}
+
 // ---- decoding ----
 
 func decodeResult(resp *server.QueryResponse) *Result {
 	out := &Result{
-		Columns:      resp.Columns,
-		Agg:          resp.Agg,
-		Explain:      resp.Explain,
-		Metrics:      resp.Metrics,
-		Degraded:     resp.Degraded,
-		DegradedVars: resp.DegradedVars,
-		Cached:       resp.Cached,
-		ElapsedMS:    resp.ElapsedMS,
-		TraceID:      resp.TraceID,
+		Columns:        resp.Columns,
+		Agg:            resp.Agg,
+		Explain:        resp.Explain,
+		Metrics:        resp.Metrics,
+		Degraded:       resp.Degraded,
+		DegradedVars:   resp.DegradedVars,
+		Cached:         resp.Cached,
+		ElapsedMS:      resp.ElapsedMS,
+		TraceID:        resp.TraceID,
+		AppliedThrough: resp.AppliedThrough,
 	}
 	for _, row := range resp.Rows {
 		r := Row{Values: make([]any, len(row.Values)), Coexist: server.IntervalsIn(row.Coexist)}

@@ -1,0 +1,295 @@
+package client
+
+// Cluster is the multi-endpoint client: one primary for writes, a set
+// of read replicas for queries. Reads round-robin across healthy
+// replicas and fail over — transient transport errors and lagging
+// replicas retry against the next endpoint under a per-call retry
+// budget with capped jittered backoff, honoring any Retry-After the
+// server sent. When every replica is down or lagging the cluster
+// degrades to primary-only reads. Writes always go to the primary and
+// are never blindly retried over the network (a mutation that may have
+// reached the server must not be replayed); the one exception is 429
+// "overloaded", which the server guarantees was rejected before
+// execution.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/server"
+)
+
+// ClusterConfig wires a Cluster. Primary is required; Replicas may be
+// empty (all reads then hit the primary).
+type ClusterConfig struct {
+	// Primary is the write endpoint's base URL.
+	Primary string
+	// Replicas are the read endpoints' base URLs.
+	Replicas []string
+	// HTTPClient is shared by every endpoint; nil uses each client's
+	// default (30s overall timeout).
+	HTTPClient *http.Client
+	// RetryBudget caps the total attempts one read makes across
+	// endpoints; 0 means len(Replicas)+2 (every replica once, then the
+	// primary, then one more for luck).
+	RetryBudget int
+	// BackoffMin/BackoffMax bound the jittered exponential backoff
+	// between attempts; 0 means 25ms / 1s. A server Retry-After hint
+	// overrides the computed backoff when longer.
+	BackoffMin, BackoffMax time.Duration
+	// ReplicaCooldown is how long a replica that failed a read sits out
+	// of the rotation; 0 means 3s.
+	ReplicaCooldown time.Duration
+}
+
+// Cluster routes requests across a primary and its replicas. Safe for
+// concurrent use.
+type Cluster struct {
+	cfg ClusterConfig
+
+	mu       sync.Mutex
+	primary  *Client
+	replicas []*clusterReplica
+	rr       atomic.Uint64
+
+	// mReadFailovers counts reads that left their first-choice endpoint.
+	mReadFailovers atomic.Int64
+	// mDegraded counts reads that fell back to the primary because no
+	// replica was available.
+	mDegraded atomic.Int64
+}
+
+type clusterReplica struct {
+	c *Client
+	// downUntil is the unix-nano deadline of the replica's cooldown
+	// (atomic; 0 = healthy).
+	downUntil atomic.Int64
+}
+
+// NewCluster returns a cluster client. Primary must be non-empty.
+func NewCluster(cfg ClusterConfig) (*Cluster, error) {
+	if cfg.Primary == "" {
+		return nil, errors.New("client: cluster needs a primary endpoint")
+	}
+	if cfg.RetryBudget <= 0 {
+		cfg.RetryBudget = len(cfg.Replicas) + 2
+	}
+	if cfg.BackoffMin <= 0 {
+		cfg.BackoffMin = 25 * time.Millisecond
+	}
+	if cfg.BackoffMax <= 0 {
+		cfg.BackoffMax = time.Second
+	}
+	if cfg.ReplicaCooldown <= 0 {
+		cfg.ReplicaCooldown = 3 * time.Second
+	}
+	var opts []Option
+	if cfg.HTTPClient != nil {
+		opts = append(opts, WithHTTPClient(cfg.HTTPClient))
+	}
+	cl := &Cluster{cfg: cfg, primary: New(cfg.Primary, opts...)}
+	for _, url := range cfg.Replicas {
+		cl.replicas = append(cl.replicas, &clusterReplica{c: New(url, opts...)})
+	}
+	return cl, nil
+}
+
+// Primary returns the write endpoint's client.
+func (cl *Cluster) Primary() *Client {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	return cl.primary
+}
+
+// Replicas returns the read endpoints' clients, in configuration order.
+func (cl *Cluster) Replicas() []*Client {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	out := make([]*Client, len(cl.replicas))
+	for i, r := range cl.replicas {
+		out[i] = r.c
+	}
+	return out
+}
+
+// ReadFailovers reports how many reads left their first-choice endpoint.
+func (cl *Cluster) ReadFailovers() int64 { return cl.mReadFailovers.Load() }
+
+// DegradedReads reports how many reads fell back to the primary because
+// no replica was available.
+func (cl *Cluster) DegradedReads() int64 { return cl.mDegraded.Load() }
+
+// readPlan builds the endpoint order for one read: healthy replicas
+// starting at the round-robin cursor, then cooled-down replicas (better
+// a maybe-stale replica than nothing), then the primary.
+func (cl *Cluster) readPlan() []*clusterReplica {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	n := len(cl.replicas)
+	plan := make([]*clusterReplica, 0, n+1)
+	if n > 0 {
+		start := int(cl.rr.Add(1)-1) % n
+		now := time.Now().UnixNano()
+		var cooled []*clusterReplica
+		for i := 0; i < n; i++ {
+			r := cl.replicas[(start+i)%n]
+			if r.downUntil.Load() > now {
+				cooled = append(cooled, r)
+				continue
+			}
+			plan = append(plan, r)
+		}
+		plan = append(plan, cooled...)
+	}
+	plan = append(plan, &clusterReplica{c: cl.primary})
+	return plan
+}
+
+// retryRead reports whether err warrants trying the next endpoint.
+func retryRead(err error) bool {
+	var te *TransportError
+	if errors.As(err, &te) {
+		return te.Retryable()
+	}
+	return errors.Is(err, ErrReplicaLagging) || errors.Is(err, ErrOverloaded) ||
+		errors.Is(err, ErrReadOnly) // endpoint list is stale: a promoted node moved
+}
+
+// backoff sleeps before the next attempt: jittered exponential from the
+// config bounds, raised to the server's Retry-After hint when present.
+func (cl *Cluster) backoff(ctx context.Context, attempt int, err error) error {
+	d := cl.cfg.BackoffMin << attempt
+	if d > cl.cfg.BackoffMax {
+		d = cl.cfg.BackoffMax
+	}
+	d = d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
+	var ae *APIError
+	if errors.As(err, &ae) && ae.RetryAfter > d {
+		d = ae.RetryAfter
+		if cap := 2 * cl.cfg.BackoffMax; d > cap {
+			d = cap
+		}
+	}
+	return sleepCtx(ctx, d)
+}
+
+// read runs one read-path call across the endpoint plan.
+func (cl *Cluster) read(ctx context.Context, fn func(*Client) error) error {
+	plan := cl.readPlan()
+	budget := cl.cfg.RetryBudget
+	var lastErr error
+	for attempt := 0; attempt < budget; attempt++ {
+		r := plan[attempt%len(plan)]
+		if attempt > 0 {
+			cl.mReadFailovers.Add(1)
+		}
+		if r.c == cl.Primary() && attempt > 0 {
+			cl.mDegraded.Add(1)
+		}
+		err := fn(r.c)
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+		if !retryRead(err) || ctx.Err() != nil {
+			return err
+		}
+		// Sideline the failing replica (the synthetic primary entry has
+		// its cooldown discarded with it).
+		r.downUntil.Store(time.Now().Add(cl.cfg.ReplicaCooldown).UnixNano())
+		if attempt+1 < budget {
+			if serr := cl.backoff(ctx, attempt, err); serr != nil {
+				return fmt.Errorf("%w (last endpoint error: %v)", serr, lastErr)
+			}
+		}
+	}
+	return lastErr
+}
+
+// Query executes a read on the cluster: round-robin across healthy
+// replicas with failover, degrading to the primary when none can serve.
+func (cl *Cluster) Query(ctx context.Context, query string, o *QueryOptions) (*Result, error) {
+	var res *Result
+	err := cl.read(ctx, func(c *Client) error {
+		r, err := c.Query(ctx, query, o)
+		if err == nil {
+			res = r
+		}
+		return err
+	})
+	return res, err
+}
+
+// writeRetry retries a primary write only on errors the server
+// guarantees were rejected before execution (429 overloaded), honoring
+// Retry-After. Transport failures are NOT retried: the mutation may have
+// been applied, and replaying it is worse than reporting it.
+func (cl *Cluster) writeRetry(ctx context.Context, fn func(*Client) error) error {
+	var lastErr error
+	for attempt := 0; attempt < cl.cfg.RetryBudget; attempt++ {
+		err := fn(cl.Primary())
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+		if !errors.Is(err, ErrOverloaded) || ctx.Err() != nil {
+			return err
+		}
+		if attempt+1 < cl.cfg.RetryBudget {
+			if serr := cl.backoff(ctx, attempt, err); serr != nil {
+				return fmt.Errorf("%w (last endpoint error: %v)", serr, lastErr)
+			}
+		}
+	}
+	return lastErr
+}
+
+// Ingest applies mutations through the primary.
+func (cl *Cluster) Ingest(ctx context.Context, ops []server.IngestOp) (*server.IngestResponse, error) {
+	var resp *server.IngestResponse
+	err := cl.writeRetry(ctx, func(c *Client) error {
+		r, err := c.Ingest(ctx, ops)
+		if err == nil {
+			resp = r
+		}
+		return err
+	})
+	return resp, err
+}
+
+// Checkpoint checkpoints the primary.
+func (cl *Cluster) Checkpoint(ctx context.Context) error {
+	return cl.writeRetry(ctx, func(c *Client) error { return c.Checkpoint(ctx) })
+}
+
+// Failover promotes a replica to primary after the primary is lost: it
+// walks the replicas in order, promotes the first that answers, and
+// rewires the cluster — the promoted node becomes the write endpoint and
+// leaves the read rotation. Returns the new primary's client.
+func (cl *Cluster) Failover(ctx context.Context) (*Client, error) {
+	cl.mu.Lock()
+	replicas := append([]*clusterReplica(nil), cl.replicas...)
+	cl.mu.Unlock()
+	var lastErr error
+	for i, r := range replicas {
+		if _, err := r.c.Promote(ctx); err != nil {
+			lastErr = err
+			continue
+		}
+		cl.mu.Lock()
+		cl.primary = r.c
+		cl.replicas = append(append([]*clusterReplica(nil), replicas[:i]...), replicas[i+1:]...)
+		cl.mu.Unlock()
+		return r.c, nil
+	}
+	if lastErr == nil {
+		lastErr = errors.New("client: no replicas to fail over to")
+	}
+	return nil, fmt.Errorf("client: failover found no promotable replica: %w", lastErr)
+}

@@ -1,0 +1,504 @@
+package repl
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/obs"
+	"repro/internal/wal"
+)
+
+// FollowerConfig tunes one replication link. The zero value (plus a
+// primary URL) follows with the defaults documented per field.
+type FollowerConfig struct {
+	// Primary is the primary server's base URL, e.g. "http://10.0.0.1:7474".
+	Primary string
+	// HTTPClient issues the feed requests; nil uses a private client with
+	// no overall timeout (long-polls are bounded per request).
+	HTTPClient *http.Client
+	// PollWait is the long-poll hold the follower asks the primary for;
+	// 0 means 20s.
+	PollWait time.Duration
+	// MaxBatchBytes is the per-batch cap the follower requests; 0 defers
+	// to the primary's cap.
+	MaxBatchBytes int
+	// ReconnectMin/ReconnectMax bound the jittered exponential backoff
+	// between failed feed requests; 0 means 50ms / 3s.
+	ReconnectMin, ReconnectMax time.Duration
+	// Logf receives one line per state transition (connect, sever,
+	// bootstrap, promote); nil discards.
+	Logf func(format string, args ...any)
+}
+
+// Status is a point-in-time snapshot of a replication link, exposed via
+// /readyz on replica servers.
+type Status struct {
+	// Applied is the next stream index the follower will request — the
+	// count of records it has applied.
+	Applied uint64
+	// AppliedThrough is the staleness watermark: every primary mutation
+	// at or before this timestamp is reflected in the local store.
+	AppliedThrough time.Time
+	// PrimaryNext is the primary's stream end as of the last contact.
+	PrimaryNext uint64
+	// LagRecords is max(PrimaryNext-Applied, 0) as of the last contact.
+	LagRecords uint64
+	// CaughtUp reports that the last poll found nothing to ship.
+	CaughtUp bool
+	// Promoted reports this node has been promoted to primary.
+	Promoted bool
+	// Reconnects counts feed requests that failed and were retried.
+	Reconnects uint64
+	// Bootstraps counts full snapshot loads (0 after a mere stream sever:
+	// reconnecting resumes from Applied).
+	Bootstraps uint64
+	// LastContact is the local wall-clock time of the last successful
+	// exchange with the primary (zero before the first).
+	LastContact time.Time
+	// LastError is the most recent feed failure ("" when healthy).
+	LastError string
+}
+
+// Follower replicates a primary's WAL into a local store. Create with
+// NewFollower, start the pull loop with Start, and serve reads from the
+// store at the staleness bounds Status/WaitUntil expose. A follower is
+// promoted to primary with Promote.
+type Follower struct {
+	st  *graph.Store
+	mgr *wal.Manager // optional local WAL; used to make promotion durable
+	cfg FollowerConfig
+	hc  *http.Client
+
+	mu          sync.Mutex
+	applied     uint64
+	watermark   time.Time
+	primaryNext uint64
+	caughtUp    bool
+	promoted    bool
+	lastErr     error
+	lastContact time.Time
+	reconnects  uint64
+	bootstraps  uint64
+	changed     chan struct{} // closed+replaced whenever the watermark advances
+
+	startOnce sync.Once
+	stopOnce  sync.Once
+	stop      chan struct{}
+	done      chan struct{}
+
+	mBatches    *obs.Counter
+	mRecords    *obs.Counter
+	mBytes      *obs.Counter
+	mReconnects *obs.Counter
+	mBootstraps *obs.Counter
+}
+
+// NewFollower returns an unstarted replication link that replays the
+// primary at cfg.Primary into st. mgr may be nil (a purely in-memory
+// replica); when present it is NOT written during replication — replayed
+// records bypass the mutation hook — but Promote checkpoints into it so
+// the replicated state is durable the moment the node starts acking
+// writes of its own.
+func NewFollower(st *graph.Store, mgr *wal.Manager, cfg FollowerConfig) *Follower {
+	hc := cfg.HTTPClient
+	if hc == nil {
+		hc = &http.Client{}
+	}
+	if cfg.PollWait <= 0 {
+		cfg.PollWait = 20 * time.Second
+	}
+	if cfg.ReconnectMin <= 0 {
+		cfg.ReconnectMin = 50 * time.Millisecond
+	}
+	if cfg.ReconnectMax <= 0 {
+		cfg.ReconnectMax = 3 * time.Second
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	return &Follower{
+		st: st, mgr: mgr, cfg: cfg, hc: hc,
+		changed: make(chan struct{}),
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+}
+
+// Instrument publishes the follower's counters and lag gauges.
+func (f *Follower) Instrument(reg *obs.Registry) {
+	f.mBatches = reg.Counter("repl.follower.batches")
+	f.mRecords = reg.Counter("repl.follower.records_applied")
+	f.mBytes = reg.Counter("repl.follower.bytes_received")
+	f.mReconnects = reg.Counter("repl.follower.reconnects")
+	f.mBootstraps = reg.Counter("repl.follower.bootstraps")
+	reg.GaugeFunc("repl.follower.applied_index", func() float64 {
+		f.mu.Lock()
+		defer f.mu.Unlock()
+		return float64(f.applied)
+	})
+	reg.GaugeFunc("repl.follower.lag_records", func() float64 {
+		return float64(f.Status().LagRecords)
+	})
+}
+
+// Start launches the pull loop. It is safe to call once; the loop runs
+// until Stop or Promote.
+func (f *Follower) Start() {
+	f.startOnce.Do(func() { go f.run() })
+}
+
+// Stop terminates the pull loop and waits for it to exit. Idempotent.
+func (f *Follower) Stop() {
+	f.stopOnce.Do(func() { close(f.stop) })
+	f.startOnce.Do(func() { close(f.done) }) // never started: nothing to wait for
+	<-f.done
+}
+
+func (f *Follower) run() {
+	defer close(f.done)
+	backoff := f.cfg.ReconnectMin
+	for {
+		select {
+		case <-f.stop:
+			return
+		default:
+		}
+		err := f.syncOnce()
+		if err == nil {
+			backoff = f.cfg.ReconnectMin
+			f.setErr(nil)
+			continue
+		}
+		if errors.Is(err, errStopping) {
+			return
+		}
+		if errors.Is(err, errFatal) {
+			f.setErr(err)
+			f.cfg.Logf("repl: replication halted: %v", err)
+			return
+		}
+		f.setErr(err)
+		f.mReconnects.Add(1)
+		f.mu.Lock()
+		f.reconnects++
+		f.mu.Unlock()
+		f.cfg.Logf("repl: feed from %s failed (retrying in %v): %v", f.cfg.Primary, backoff, err)
+		// Jittered exponential backoff so a fleet of followers does not
+		// hammer a recovering primary in lockstep.
+		select {
+		case <-f.stop:
+			return
+		case <-time.After(backoff/2 + time.Duration(rand.Int63n(int64(backoff)))):
+		}
+		if backoff *= 2; backoff > f.cfg.ReconnectMax {
+			backoff = f.cfg.ReconnectMax
+		}
+	}
+}
+
+// errStopping aborts syncOnce when Stop fires mid-request.
+var errStopping = errors.New("repl: follower stopping")
+
+// errFatal marks conditions retrying cannot fix; the pull loop parks
+// with the error in Status.LastError instead of hot-looping on it.
+var errFatal = errors.New("repl: unrecoverable")
+
+// errNeedBootstrap routes a 410 feed answer to the snapshot path.
+var errNeedBootstrap = errors.New("repl: stream position truncated; bootstrap required")
+
+// syncOnce performs one feed exchange: long-poll the primary from the
+// current applied position, replay whatever arrives, and update the
+// staleness watermark. A 410 triggers a checkpoint bootstrap first.
+func (f *Follower) syncOnce() error {
+	f.mu.Lock()
+	from := f.applied
+	f.mu.Unlock()
+
+	err := f.pull(from)
+	if errors.Is(err, errNeedBootstrap) {
+		if err := f.bootstrap(); err != nil {
+			return err
+		}
+		return nil
+	}
+	return err
+}
+
+// reqCtx derives a request context canceled by Stop, bounded a little
+// past the long-poll hold.
+func (f *Follower) reqCtx(d time.Duration) (context.Context, context.CancelFunc) {
+	ctx, cancel := context.WithTimeout(context.Background(), d)
+	go func() {
+		select {
+		case <-f.stop:
+			cancel()
+		case <-ctx.Done():
+		}
+	}()
+	return ctx, cancel
+}
+
+func (f *Follower) pull(from uint64) error {
+	url := fmt.Sprintf("%s/v1/wal?from=%d&wait_ms=%d", f.cfg.Primary, from, f.cfg.PollWait.Milliseconds())
+	if f.cfg.MaxBatchBytes > 0 {
+		url += "&max_bytes=" + strconv.Itoa(f.cfg.MaxBatchBytes)
+	}
+	ctx, cancel := f.reqCtx(f.cfg.PollWait + 10*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := f.hc.Do(req)
+	if err != nil {
+		select {
+		case <-f.stop:
+			return errStopping
+		default:
+		}
+		return err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+	case http.StatusGone:
+		io.Copy(io.Discard, resp.Body)
+		return errNeedBootstrap
+	default:
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("repl: feed returned %s: %s", resp.Status, body)
+	}
+
+	batch, rerr := io.ReadAll(resp.Body)
+	if rerr != nil {
+		if len(batch) == 0 {
+			return fmt.Errorf("repl: reading feed body: %w", rerr)
+		}
+		// The connection died mid-body, but ReadAll hands back the prefix
+		// that made it through: apply its whole frames and re-request the
+		// tail from the new offset. A severed stream resumes from the last
+		// applied record; it never re-bootstraps. The dead connection
+		// forces a fresh dial, so it counts as a reconnect.
+		f.mReconnects.Add(1)
+		f.mu.Lock()
+		f.reconnects++
+		f.mu.Unlock()
+	}
+	next, err := strconv.ParseUint(resp.Header.Get(HeaderNext), 10, 64)
+	if err != nil {
+		return fmt.Errorf("repl: feed response missing %s (is %q really a nepal primary?)", HeaderNext, f.cfg.Primary)
+	}
+	primaryClock, _ := time.Parse(ClockFormat, resp.Header.Get(HeaderClock))
+
+	applied := from
+	var lastAt time.Time
+	for len(batch) > 0 {
+		m, n, err := wal.DecodeRecord(batch)
+		if err != nil {
+			// The primary only ships whole frames; a cut here means the
+			// connection died mid-body. Re-request from the last record
+			// that fully applied.
+			if wal.IsTorn(err) {
+				break
+			}
+			return fmt.Errorf("repl: undecodable record at stream position %d: %w", applied, err)
+		}
+		if _, err := f.st.ApplyMutation(m); err != nil {
+			return fmt.Errorf("repl: replaying record %d: %w", applied, err)
+		}
+		f.mBytes.Add(int64(n))
+		batch = batch[n:]
+		applied++
+		lastAt = m.At
+	}
+	if applied > from {
+		f.mBatches.Add(1)
+		f.mRecords.Add(int64(applied - from))
+	}
+
+	f.mu.Lock()
+	f.applied = applied
+	if lastAt.After(f.watermark) {
+		f.watermark = lastAt
+	}
+	// Caught up with the primary's durable end: adopt the primary's clock
+	// as the watermark, so an idle primary's replicas still prove
+	// freshness to min_timestamp reads.
+	f.caughtUp = applied >= next
+	if f.caughtUp && primaryClock.After(f.watermark) {
+		f.watermark = primaryClock
+	}
+	if next > f.primaryNext {
+		f.primaryNext = next
+	}
+	f.lastContact = time.Now()
+	close(f.changed)
+	f.changed = make(chan struct{})
+	f.mu.Unlock()
+	return nil
+}
+
+// bootstrap loads the primary's checkpoint into the (empty) local store
+// and repositions the feed at the snapshot's resume index. A follower
+// whose store already has state cannot re-bootstrap in place — that is a
+// fatal condition surfaced to the operator (restart with a fresh store),
+// never a silent full resync.
+func (f *Follower) bootstrap() error {
+	ctx, cancel := f.reqCtx(5 * time.Minute)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, f.cfg.Primary+"/v1/wal/snapshot", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := f.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("repl: snapshot returned %s: %s", resp.Status, body)
+	}
+	resume, err := strconv.ParseUint(resp.Header.Get(HeaderResume), 10, 64)
+	if err != nil {
+		return fmt.Errorf("repl: snapshot response missing %s", HeaderResume)
+	}
+	if err := f.st.LoadHistory(resp.Body); err != nil {
+		if errors.Is(err, graph.ErrStoreNotEmpty) {
+			// In-place full resyncs are deliberately not supported: fall
+			// so far behind that the feed is gone and the operator must
+			// restart the replica with a fresh store — never silently
+			// discard local state.
+			return fmt.Errorf("%w: replica needs a bootstrap but its store is not empty; restart it with a fresh store: %v", errFatal, err)
+		}
+		return fmt.Errorf("repl: loading snapshot: %w", err)
+	}
+	f.mBootstraps.Add(1)
+	f.mu.Lock()
+	f.applied = resume
+	if now := f.st.Now(); now.After(f.watermark) {
+		f.watermark = now
+	}
+	f.bootstraps++
+	f.lastContact = time.Now()
+	close(f.changed)
+	f.changed = make(chan struct{})
+	f.mu.Unlock()
+	f.cfg.Logf("repl: bootstrapped from %s snapshot, resuming feed at %d", f.cfg.Primary, resume)
+	return nil
+}
+
+func (f *Follower) setErr(err error) {
+	f.mu.Lock()
+	f.lastErr = err
+	f.mu.Unlock()
+}
+
+// Status snapshots the link.
+func (f *Follower) Status() Status {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	s := Status{
+		Applied:        f.applied,
+		AppliedThrough: f.watermark,
+		PrimaryNext:    f.primaryNext,
+		CaughtUp:       f.caughtUp,
+		Promoted:       f.promoted,
+		Reconnects:     f.reconnects,
+		Bootstraps:     f.bootstraps,
+		LastContact:    f.lastContact,
+	}
+	if f.primaryNext > f.applied {
+		s.LagRecords = f.primaryNext - f.applied
+	}
+	if f.lastErr != nil {
+		s.LastError = f.lastErr.Error()
+	}
+	return s
+}
+
+// Applied returns the follower's stream position and staleness
+// watermark.
+func (f *Follower) Applied() (uint64, time.Time) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.applied, f.watermark
+}
+
+// WaitUntil blocks until the replica's watermark reaches ts, the
+// follower is promoted (it is then the authority), or ctx expires —
+// which returns ErrLagging annotated with the shortfall. A zero ts never
+// waits.
+func (f *Follower) WaitUntil(ctx context.Context, ts time.Time) error {
+	if ts.IsZero() {
+		return nil
+	}
+	for {
+		f.mu.Lock()
+		w, promoted, ch := f.watermark, f.promoted, f.changed
+		f.mu.Unlock()
+		if promoted || !w.Before(ts) {
+			return nil
+		}
+		select {
+		case <-ch:
+		case <-ctx.Done():
+			return fmt.Errorf("%w: applied through %s, need %s",
+				ErrLagging, w.Format(ClockFormat), ts.Format(ClockFormat))
+		case <-f.stop:
+			// Stopped without promotion: the watermark is frozen, so a
+			// future ts will never be reached.
+			f.mu.Lock()
+			promoted = f.promoted
+			f.mu.Unlock()
+			if promoted {
+				return nil
+			}
+			return fmt.Errorf("%w: applied through %s, need %s", ErrStopped,
+				w.Format(ClockFormat), ts.Format(ClockFormat))
+		}
+	}
+}
+
+// Promote turns the follower into a primary: the pull loop stops, and
+// when a local WAL is attached the replicated state is checkpointed into
+// it so every replayed mutation is durable before the node acks writes
+// of its own. Idempotent; returns the stream position the node took over
+// at.
+func (f *Follower) Promote() (uint64, error) {
+	f.mu.Lock()
+	if f.promoted {
+		applied := f.applied
+		f.mu.Unlock()
+		return applied, nil
+	}
+	f.promoted = true
+	close(f.changed)
+	f.changed = make(chan struct{})
+	applied := f.applied
+	f.mu.Unlock()
+
+	f.Stop()
+	if f.mgr != nil {
+		if err := f.mgr.Checkpoint(f.st); err != nil {
+			return applied, fmt.Errorf("repl: checkpointing replicated state on promote: %w", err)
+		}
+	}
+	f.cfg.Logf("repl: promoted at stream position %d", applied)
+	return applied, nil
+}
+
+// Promoted reports whether Promote has run.
+func (f *Follower) Promoted() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.promoted
+}

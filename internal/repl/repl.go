@@ -1,0 +1,73 @@
+// Package repl is Nepal's primary→follower replication subsystem: the
+// primary ships its write-ahead log over HTTP and followers replay it
+// through graph.(*Store).ApplyMutation, so replay order equals the
+// primary's serialization order and a follower's state at any replayed
+// timestamp is byte-identical to the primary's state at that timestamp.
+//
+// The wire protocol is two endpoints the serving layer mounts:
+//
+//	GET /v1/wal?from=<index>&wait_ms=<n>&max_bytes=<n>
+//	    Long-poll feed of raw WAL frames starting at global stream index
+//	    "from". An empty 200 means caught up (the poll waited wait_ms and
+//	    nothing arrived); 410 Gone means the position was contracted into
+//	    a checkpoint and the follower must bootstrap.
+//	GET /v1/wal/snapshot
+//	    The latest checkpoint, verbatim, plus the stream index to resume
+//	    the feed from (X-Nepal-Wal-Resume). Records the checkpoint
+//	    already reflects replay as no-ops (ApplyMutation is idempotent).
+//
+// Followers expose a bounded-staleness contract: Status reports the
+// applied-through timestamp and record lag, and WaitUntil blocks a read
+// that demands a minimum timestamp until the replica catches up or the
+// caller's deadline expires (ErrLagging). Promote turns a follower into
+// a writable primary that provably contains every mutation it applied.
+package repl
+
+import (
+	"errors"
+	"time"
+)
+
+// Protocol headers. Servers and followers agree on these; the client
+// package re-exports what its users need (it must not import repl's
+// server-side machinery, and server imports repl, so the constants live
+// here at the bottom of the dependency order).
+const (
+	// HeaderFrom echoes the requested stream position on feed responses.
+	HeaderFrom = "X-Nepal-Wal-From"
+	// HeaderNext carries the primary's next stream index (== records ever
+	// logged) on every feed response; followers derive lag from it.
+	HeaderNext = "X-Nepal-Wal-Next"
+	// HeaderCount carries the number of records in a feed batch.
+	HeaderCount = "X-Nepal-Wal-Count"
+	// HeaderBase carries the primary's oldest streamable index on 410
+	// responses, so a follower knows how far behind it fell.
+	HeaderBase = "X-Nepal-Wal-Base"
+	// HeaderResume carries the stream index to resume from after loading
+	// a snapshot.
+	HeaderResume = "X-Nepal-Wal-Resume"
+	// HeaderClock carries the primary's store clock (RFC3339Nano) at
+	// response time; a caught-up follower adopts it as its staleness
+	// watermark so "no new writes" does not read as "infinitely stale".
+	HeaderClock = "X-Nepal-Wal-Clock"
+	// HeaderAppliedThrough is stamped by replica servers on query
+	// responses: every mutation at or before this timestamp is reflected
+	// in the answer.
+	HeaderAppliedThrough = "X-Nepal-Applied-Through"
+)
+
+// ClockFormat renders HeaderClock / HeaderAppliedThrough timestamps.
+const ClockFormat = time.RFC3339Nano
+
+// ErrLagging reports that a replica could not satisfy a read's minimum
+// timestamp within the caller's deadline. The serving layer maps it to
+// the typed "replica_lagging" wire error.
+var ErrLagging = errors.New("repl: replica lagging behind requested timestamp")
+
+// ErrPromoted reports an operation that requires an active replication
+// link on a follower that has already been promoted to primary.
+var ErrPromoted = errors.New("repl: follower has been promoted")
+
+// ErrStopped reports an operation on a follower whose replication loop
+// has been stopped without promotion.
+var ErrStopped = errors.New("repl: follower stopped")

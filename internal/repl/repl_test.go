@@ -1,0 +1,383 @@
+package repl
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/schema"
+	"repro/internal/temporal"
+	"repro/internal/wal"
+)
+
+var t0 = time.Date(2017, 2, 15, 0, 0, 0, 0, time.UTC)
+
+func testSchema(t testing.TB) *schema.Schema {
+	t.Helper()
+	s := schema.New()
+	if _, err := s.DefineNode("Host", ""); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.DefineEdge("ConnectsTo", ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func newStore(t testing.TB) *graph.Store {
+	t.Helper()
+	return graph.NewStore(testSchema(t), temporal.NewManualClock(t0))
+}
+
+// primary is a WAL-backed store serving the replication feed over a real
+// HTTP listener.
+type primary struct {
+	st    *graph.Store
+	mgr   *wal.Manager
+	src   *Source
+	srv   *httptest.Server
+	clock *temporal.Clock
+	seq   int
+}
+
+func newPrimary(t *testing.T) *primary {
+	t.Helper()
+	st := newStore(t)
+	mgr, _, err := wal.Open(t.TempDir(), st, wal.Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { mgr.Close() })
+	st.SetMutationHook(func(ctx context.Context, m *graph.Mutation) error {
+		return mgr.Append(ctx, m)
+	})
+	src := NewSource(st, mgr)
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/wal", src.ServeWAL)
+	mux.HandleFunc("GET /v1/wal/snapshot", src.ServeSnapshot)
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return &primary{st: st, mgr: mgr, src: src, srv: srv, clock: st.Clock()}
+}
+
+// write lands n acked mutations on the primary.
+func (p *primary) write(t *testing.T, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		p.clock.Advance(time.Second)
+		p.seq++
+		if _, err := p.st.InsertNode("Host", graph.Fields{"id": p.seq}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func history(t testing.TB, st *graph.Store) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := st.WriteHistory(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func testFollowerConfig(url string) FollowerConfig {
+	return FollowerConfig{
+		Primary:      url,
+		PollWait:     250 * time.Millisecond,
+		ReconnectMin: 5 * time.Millisecond,
+		ReconnectMax: 50 * time.Millisecond,
+	}
+}
+
+// TestFollowerReplicates is the basic link: a follower joining an active
+// primary converges to a byte-identical history and keeps up with new
+// writes via the long-poll.
+func TestFollowerReplicates(t *testing.T) {
+	p := newPrimary(t)
+	p.write(t, 30)
+
+	f := NewFollower(newStore(t), nil, testFollowerConfig(p.srv.URL))
+	defer f.Stop()
+	f.Start()
+	waitFor(t, "initial catch-up", func() bool { return f.Status().Applied == 30 })
+	if !bytes.Equal(history(t, f.st), history(t, p.st)) {
+		t.Fatal("replica history differs from primary after catch-up")
+	}
+
+	p.write(t, 12)
+	waitFor(t, "long-poll delivery", func() bool { return f.Status().Applied == 42 })
+	if !bytes.Equal(history(t, f.st), history(t, p.st)) {
+		t.Fatal("replica history differs from primary after incremental writes")
+	}
+	s := f.Status()
+	if s.Bootstraps != 0 {
+		t.Fatalf("follower bootstrapped %d times; the feed alone should have sufficed", s.Bootstraps)
+	}
+	if !s.CaughtUp || s.LagRecords != 0 {
+		t.Fatalf("caught-up follower reports CaughtUp=%v lag=%d", s.CaughtUp, s.LagRecords)
+	}
+}
+
+// TestFollowerBootstrap joins a follower after the primary's early
+// history was contracted into a checkpoint: it must load the snapshot,
+// resume the feed mid-stream, and converge.
+func TestFollowerBootstrap(t *testing.T) {
+	p := newPrimary(t)
+	p.write(t, 25)
+	if err := p.mgr.Checkpoint(p.st); err != nil {
+		t.Fatal(err)
+	}
+	p.write(t, 10)
+
+	f := NewFollower(newStore(t), nil, testFollowerConfig(p.srv.URL))
+	defer f.Stop()
+	f.Start()
+	waitFor(t, "bootstrap + catch-up", func() bool { return f.Status().Applied == 35 })
+	if got := f.Status().Bootstraps; got != 1 {
+		t.Fatalf("bootstraps = %d, want 1", got)
+	}
+	if !bytes.Equal(history(t, f.st), history(t, p.st)) {
+		t.Fatal("bootstrapped replica history differs from primary")
+	}
+}
+
+// TestWaitUntilBoundedStaleness pins the read contract: a read demanding
+// a timestamp the replica has not reached waits, and fails typed when
+// the deadline beats the replication.
+func TestWaitUntilBoundedStaleness(t *testing.T) {
+	p := newPrimary(t)
+	p.write(t, 5)
+
+	f := NewFollower(newStore(t), nil, testFollowerConfig(p.srv.URL))
+	defer f.Stop()
+
+	// Not started: any future timestamp must fail with ErrLagging.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	err := f.WaitUntil(ctx, p.st.Now())
+	cancel()
+	if !errors.Is(err, ErrLagging) {
+		t.Fatalf("WaitUntil on a stalled replica = %v, want ErrLagging", err)
+	}
+
+	f.Start()
+	waitFor(t, "catch-up", func() bool { return f.Status().CaughtUp })
+	// Caught up: the watermark adopted the primary's clock, so the
+	// primary's own now is satisfiable without further writes.
+	ctx, cancel = context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := f.WaitUntil(ctx, p.st.Now()); err != nil {
+		t.Fatalf("WaitUntil on a caught-up replica: %v", err)
+	}
+	if err := f.WaitUntil(ctx, time.Time{}); err != nil {
+		t.Fatalf("WaitUntil with zero timestamp: %v", err)
+	}
+}
+
+// TestWaitUntilWakesOnCatchUp parks a reader behind a timestamp the
+// replica reaches moments later; the reader must wake, not time out.
+func TestWaitUntilWakesOnCatchUp(t *testing.T) {
+	p := newPrimary(t)
+	p.write(t, 3)
+	target := p.st.Now()
+
+	f := NewFollower(newStore(t), nil, testFollowerConfig(p.srv.URL))
+	defer f.Stop()
+	errc := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		errc <- f.WaitUntil(ctx, target)
+	}()
+	time.Sleep(20 * time.Millisecond) // let the reader park
+	f.Start()
+	if err := <-errc; err != nil {
+		t.Fatalf("parked reader: %v", err)
+	}
+}
+
+// TestPromoteDurable promotes a caught-up follower that carries its own
+// WAL: the replicated state must be durable (checkpointed) at promotion,
+// and writes taken as the new primary must land in its log — proven by
+// recovering the follower's WAL directory into a fresh store.
+func TestPromoteDurable(t *testing.T) {
+	p := newPrimary(t)
+	p.write(t, 20)
+
+	fdir := t.TempDir()
+	fst := newStore(t)
+	fmgr, _, err := wal.Open(fdir, fst, wal.Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The hook is installed up front (exactly how a serving replica
+	// opens): replicated records bypass it, so the follower's log stays
+	// empty until promotion.
+	fst.SetMutationHook(func(ctx context.Context, m *graph.Mutation) error {
+		return fmgr.Append(ctx, m)
+	})
+	f := NewFollower(fst, fmgr, testFollowerConfig(p.srv.URL))
+	f.Start()
+	waitFor(t, "catch-up", func() bool { return f.Status().Applied == 20 })
+
+	pos, err := f.Promote()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pos != 20 {
+		t.Fatalf("promoted at %d, want 20", pos)
+	}
+	if !f.Promoted() {
+		t.Fatal("Promoted() = false after Promote")
+	}
+	// Idempotent.
+	if pos2, err := f.Promote(); err != nil || pos2 != 20 {
+		t.Fatalf("second Promote = (%d, %v), want (20, nil)", pos2, err)
+	}
+
+	// The node is primary now: it acks writes of its own.
+	for i := 1000; i < 1005; i++ {
+		if _, err := fst.InsertNode("Host", graph.Fields{"id": i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := history(t, fst)
+	if err := fmgr.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Crash-restart the promoted node: recovery must reproduce both the
+	// replicated prefix and its own writes.
+	st2 := newStore(t)
+	mgr2, _, err := wal.Open(fdir, st2, wal.Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mgr2.Close()
+	if !bytes.Equal(history(t, st2), want) {
+		t.Fatal("recovered promoted node differs from its pre-restart state")
+	}
+}
+
+// TestFollowerSurvivesPrimaryRestartURL exercises reconnect accounting:
+// kill the primary's listener mid-stream, verify the follower records
+// reconnect attempts and a sticky last error, then confirm WaitUntil
+// fails typed while the link is down.
+func TestFollowerReconnectAccounting(t *testing.T) {
+	p := newPrimary(t)
+	p.write(t, 4)
+
+	f := NewFollower(newStore(t), nil, testFollowerConfig(p.srv.URL))
+	defer f.Stop()
+	f.Start()
+	waitFor(t, "catch-up", func() bool { return f.Status().Applied == 4 })
+
+	p.srv.CloseClientConnections()
+	p.srv.Close()
+	waitFor(t, "reconnect attempts", func() bool { return f.Status().Reconnects > 0 })
+	if f.Status().LastError == "" {
+		t.Fatal("downed link left no LastError")
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	err := f.WaitUntil(ctx, p.st.Now().Add(time.Hour))
+	if !errors.Is(err, ErrLagging) {
+		t.Fatalf("WaitUntil over a dead link = %v, want ErrLagging", err)
+	}
+}
+
+// TestSourceRejectsBadRequests pins the feed's error contract.
+func TestSourceRejectsBadRequests(t *testing.T) {
+	p := newPrimary(t)
+	p.write(t, 3)
+	for _, tc := range []struct {
+		path   string
+		status int
+	}{
+		{"/v1/wal", http.StatusBadRequest},          // missing from
+		{"/v1/wal?from=abc", http.StatusBadRequest}, // non-numeric
+		{"/v1/wal?from=99", http.StatusBadRequest},  // beyond end
+		{"/v1/wal/snapshot", http.StatusNotFound},   // no checkpoint yet
+		{"/v1/wal?from=0&wait_ms=-1", http.StatusBadRequest},
+	} {
+		resp, err := http.Get(p.srv.URL + tc.path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != tc.status {
+			t.Errorf("GET %s = %d, want %d", tc.path, resp.StatusCode, tc.status)
+		}
+	}
+
+	// After a checkpoint, pre-base positions answer 410 with the base.
+	if err := p.mgr.Checkpoint(p.st); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(p.srv.URL + "/v1/wal?from=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusGone {
+		t.Fatalf("pre-base read = %d, want 410", resp.StatusCode)
+	}
+	if got := resp.Header.Get(HeaderBase); got != "3" {
+		t.Fatalf("%s = %q, want 3", HeaderBase, got)
+	}
+}
+
+// TestSourceLongPollDelivers holds a poll open and lands a write: the
+// response must carry the record well before the wait expires.
+func TestSourceLongPollDelivers(t *testing.T) {
+	p := newPrimary(t)
+	done := make(chan error, 1)
+	go func() {
+		resp, err := http.Get(p.srv.URL + "/v1/wal?from=0&wait_ms=10000")
+		if err != nil {
+			done <- err
+			return
+		}
+		defer resp.Body.Close()
+		if got := resp.Header.Get(HeaderCount); got != "1" {
+			done <- fmt.Errorf("%s = %q, want 1", HeaderCount, got)
+			return
+		}
+		done <- nil
+	}()
+	time.Sleep(30 * time.Millisecond) // let the poll park
+	start := time.Now()
+	p.write(t, 1)
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+		if elapsed := time.Since(start); elapsed > 5*time.Second {
+			t.Fatalf("long-poll took %v; the append should have woken it", elapsed)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("long-poll never returned")
+	}
+}

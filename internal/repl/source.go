@@ -1,0 +1,217 @@
+package repl
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/obs"
+	"repro/internal/wal"
+)
+
+// Source is the primary side of replication: HTTP handlers over a WAL
+// manager that serve the record feed and the checkpoint bootstrap. The
+// serving layer mounts ServeWAL at GET /v1/wal and ServeSnapshot at
+// GET /v1/wal/snapshot on any WAL-backed server.
+type Source struct {
+	st  *graph.Store
+	mgr *wal.Manager
+
+	// MaxBatchBytes caps one feed response body; 0 means 1 MiB. A batch
+	// always carries at least one whole record, so a single oversized
+	// record still ships.
+	MaxBatchBytes int
+	// MaxWait caps a feed request's wait_ms long-poll; 0 means 30s.
+	MaxWait time.Duration
+
+	mBatches   *obs.Counter
+	mRecords   *obs.Counter
+	mBytes     *obs.Counter
+	mSnapshots *obs.Counter
+	mTruncated *obs.Counter
+	gWaiters   *obs.Gauge
+
+	closing   chan struct{}
+	closeOnce sync.Once
+}
+
+// NewSource returns a feed over st's WAL manager.
+func NewSource(st *graph.Store, mgr *wal.Manager) *Source {
+	return &Source{st: st, mgr: mgr, closing: make(chan struct{})}
+}
+
+// Close releases every parked long-poll immediately (each answers with
+// whatever is pending — usually an empty batch). A primary shutting down
+// gracefully calls this first, so held feed requests cannot outlive the
+// connection-drain timeout. Idempotent; the handlers keep working after
+// Close, they just stop holding polls.
+func (s *Source) Close() {
+	s.closeOnce.Do(func() { close(s.closing) })
+}
+
+// Instrument publishes the source's counters: batches/records/bytes
+// shipped, snapshots served, feed requests answered 410, and the
+// long-poll waiter gauge.
+func (s *Source) Instrument(reg *obs.Registry) {
+	s.mBatches = reg.Counter("repl.source.batches")
+	s.mRecords = reg.Counter("repl.source.records_shipped")
+	s.mBytes = reg.Counter("repl.source.bytes_shipped")
+	s.mSnapshots = reg.Counter("repl.source.snapshots_served")
+	s.mTruncated = reg.Counter("repl.source.truncated_requests")
+	s.gWaiters = reg.Gauge("repl.source.poll_waiters")
+}
+
+func (s *Source) maxBatch() int {
+	if s.MaxBatchBytes > 0 {
+		return s.MaxBatchBytes
+	}
+	return 1 << 20
+}
+
+func (s *Source) maxWait() time.Duration {
+	if s.MaxWait > 0 {
+		return s.MaxWait
+	}
+	return 30 * time.Second
+}
+
+// sourceErr is the minimal JSON error envelope, shaped like the serving
+// layer's so followers and the Go client decode both the same way.
+func sourceErr(w http.ResponseWriter, status int, code, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(map[string]any{
+		"error": map[string]string{"code": code, "message": msg},
+	})
+}
+
+// ServeWAL answers GET /v1/wal?from=N[&wait_ms=M][&max_bytes=K]: a batch
+// of raw WAL frames starting at stream index N. With wait_ms, an
+// up-to-date follower long-polls — the response is held until a record
+// lands or the wait expires (an empty 200 body). 410 Gone directs the
+// follower to the snapshot endpoint.
+func (s *Source) ServeWAL(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	from, err := strconv.ParseUint(q.Get("from"), 10, 64)
+	if err != nil {
+		sourceErr(w, http.StatusBadRequest, "bad_request", "feed requires a numeric from= stream position")
+		return
+	}
+	maxBytes := s.maxBatch()
+	if v := q.Get("max_bytes"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n <= 0 {
+			sourceErr(w, http.StatusBadRequest, "bad_request", "max_bytes must be a positive integer")
+			return
+		}
+		if n < maxBytes {
+			maxBytes = n
+		}
+	}
+	var wait time.Duration
+	if v := q.Get("wait_ms"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			sourceErr(w, http.StatusBadRequest, "bad_request", "wait_ms must be a non-negative integer")
+			return
+		}
+		wait = time.Duration(n) * time.Millisecond
+		if max := s.maxWait(); wait > max {
+			wait = max
+		}
+	}
+
+	deadline := time.Now().Add(wait)
+	var timer *time.Timer
+	defer func() {
+		if timer != nil {
+			timer.Stop()
+		}
+	}()
+	for {
+		// Grab the change channel before reading: a record appended
+		// between the read and the wait closes this channel, so the poll
+		// can never sleep through it.
+		changed := s.mgr.Changed()
+		batch, next, err := s.mgr.ReadRecords(from, maxBytes)
+		switch {
+		case err == nil:
+		case wal.IsTruncatedStream(err):
+			s.mTruncated.Add(1)
+			w.Header().Set(HeaderBase, strconv.FormatUint(s.mgr.BaseIndex(), 10))
+			sourceErr(w, http.StatusGone, "wal_truncated",
+				fmt.Sprintf("stream position %d predates the oldest retained record; bootstrap from /v1/wal/snapshot", from))
+			return
+		default:
+			sourceErr(w, http.StatusBadRequest, "bad_request", err.Error())
+			return
+		}
+		if len(batch) > 0 || wait <= 0 || !time.Now().Before(deadline) {
+			s.writeBatch(w, from, next, batch)
+			return
+		}
+		if timer == nil {
+			timer = time.NewTimer(time.Until(deadline))
+		}
+		s.gWaiters.Add(1)
+		select {
+		case <-changed:
+			s.gWaiters.Add(-1)
+		case <-timer.C:
+			s.gWaiters.Add(-1)
+			s.writeBatch(w, from, s.mgr.NextIndex(), nil)
+			return
+		case <-s.closing:
+			s.gWaiters.Add(-1)
+			s.writeBatch(w, from, s.mgr.NextIndex(), nil)
+			return
+		case <-r.Context().Done():
+			s.gWaiters.Add(-1)
+			return
+		}
+	}
+}
+
+func (s *Source) writeBatch(w http.ResponseWriter, from, next uint64, batch []byte) {
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set(HeaderFrom, strconv.FormatUint(from, 10))
+	w.Header().Set(HeaderNext, strconv.FormatUint(next, 10))
+	w.Header().Set(HeaderCount, strconv.FormatUint(next-from, 10))
+	w.Header().Set(HeaderClock, s.st.Now().Format(ClockFormat))
+	w.WriteHeader(http.StatusOK)
+	if len(batch) > 0 {
+		_, _ = w.Write(batch)
+	}
+	s.mBatches.Add(1)
+	s.mRecords.Add(int64(next - from))
+	s.mBytes.Add(int64(len(batch)))
+}
+
+// ServeSnapshot answers GET /v1/wal/snapshot: the latest checkpoint,
+// verbatim, with the stream index to resume the feed from. 404 means no
+// checkpoint exists yet — a fresh follower then simply streams from
+// position zero.
+func (s *Source) ServeSnapshot(w http.ResponseWriter, r *http.Request) {
+	rc, resume, err := s.mgr.Snapshot()
+	if err != nil {
+		if wal.IsNoCheckpoint(err) {
+			sourceErr(w, http.StatusNotFound, "no_checkpoint",
+				"no checkpoint exists; stream the feed from position 0")
+			return
+		}
+		sourceErr(w, http.StatusInternalServerError, "internal", err.Error())
+		return
+	}
+	defer rc.Close()
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set(HeaderResume, strconv.FormatUint(resume, 10))
+	w.Header().Set(HeaderClock, s.st.Now().Format(ClockFormat))
+	w.WriteHeader(http.StatusOK)
+	_, _ = io.Copy(w, rc)
+	s.mSnapshots.Add(1)
+}

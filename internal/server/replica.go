@@ -1,0 +1,207 @@
+package server
+
+// Replication serving: every WAL-backed server is a replication source
+// (GET /v1/wal, GET /v1/wal/snapshot), and a server configured with a
+// repl.Follower is a read replica — mutations are rejected with the
+// typed "read_only" error, query responses carry the replica's
+// applied-through watermark, reads demanding a min_timestamp wait
+// (bounded) or fail typed "replica_lagging", /readyz reports lag, and
+// POST /v1/promote turns the replica into a writable primary.
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"time"
+
+	"repro/internal/repl"
+)
+
+// defaultMaxStalenessWait bounds how long a min_timestamp read blocks on
+// a lagging replica before failing typed.
+const defaultMaxStalenessWait = 2 * time.Second
+
+// defaultReadyMaxLag is the record lag under which a replica still
+// answers /readyz with 200.
+const defaultReadyMaxLag = 1024
+
+// replica reports whether this server is an unpromoted read replica.
+func (s *Server) replica() bool {
+	return s.cfg.Follower != nil && !s.cfg.Follower.Promoted()
+}
+
+// rejectReadOnly answers mutation attempts on a replica. Returns true
+// when the request was rejected.
+func (s *Server) rejectReadOnly(w http.ResponseWriter, r *http.Request) bool {
+	if !s.replica() {
+		return false
+	}
+	writeErr(w, r, http.StatusForbidden, "read_only",
+		"this node is a read replica; send writes to the primary (or promote it via POST /v1/promote)")
+	return true
+}
+
+// maxStalenessWait is the cap on a min_timestamp read's wait.
+func (s *Server) maxStalenessWait() time.Duration {
+	if s.cfg.MaxStalenessWait > 0 {
+		return s.cfg.MaxStalenessWait
+	}
+	return defaultMaxStalenessWait
+}
+
+// parseMinTimestamp accepts RFC3339(Nano) and the "2006-01-02 15:04:05"
+// form the query AT clause uses.
+func parseMinTimestamp(v string) (time.Time, error) {
+	if ts, err := time.Parse(time.RFC3339Nano, v); err == nil {
+		return ts, nil
+	}
+	return time.Parse("2006-01-02 15:04:05", v)
+}
+
+// waitFresh enforces a request's min_timestamp against the replication
+// watermark: on a primary it is trivially satisfied; on a replica the
+// request waits (bounded by MaxStalenessWait and the request deadline)
+// and fails with the typed "replica_lagging" error when the replica
+// cannot catch up in time. Returns false with the response written when
+// the request must not proceed.
+func (s *Server) waitFresh(ctx context.Context, w http.ResponseWriter, r *http.Request, minTS string) bool {
+	if minTS == "" {
+		return true
+	}
+	ts, err := parseMinTimestamp(minTS)
+	if err != nil {
+		writeErr(w, r, http.StatusBadRequest, "bad_request",
+			"min_timestamp must be RFC3339 or \"2006-01-02 15:04:05\": "+err.Error())
+		return false
+	}
+	if s.cfg.Follower == nil {
+		return true // the primary is always current
+	}
+	wctx, cancel := context.WithTimeout(ctx, s.maxStalenessWait())
+	defer cancel()
+	if err := s.cfg.Follower.WaitUntil(wctx, ts); err != nil {
+		if errors.Is(err, repl.ErrLagging) || errors.Is(err, repl.ErrStopped) {
+			// Retry-After steers clients to another replica (or the
+			// primary) instead of hot-looping here.
+			w.Header().Set("Retry-After", "1")
+			writeErr(w, r, http.StatusServiceUnavailable, "replica_lagging", err.Error())
+			return false
+		}
+		writeErr(w, r, http.StatusInternalServerError, "internal", err.Error())
+		return false
+	}
+	return true
+}
+
+// stampStaleness adds the replica's applied-through watermark to a
+// response: reads answered by this node reflect every mutation at or
+// before it.
+func (s *Server) stampStaleness(w http.ResponseWriter, resp *QueryResponse) {
+	if s.cfg.Follower == nil {
+		return
+	}
+	_, watermark := s.cfg.Follower.Applied()
+	rendered := watermark.Format(repl.ClockFormat)
+	w.Header().Set(repl.HeaderAppliedThrough, rendered)
+	if resp != nil {
+		resp.AppliedThrough = rendered
+	}
+}
+
+// handleReady serves GET /readyz: 200 when this node can serve reads at
+// its advertised staleness bound, 503 while it is syncing or lagging.
+// Primaries (and promoted replicas) are always ready.
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.Follower == nil {
+		writeJSON(w, http.StatusOK, ReadyResponse{Status: "ready", Role: "primary"})
+		return
+	}
+	st := s.cfg.Follower.Status()
+	resp := ReadyResponse{
+		Role:         "replica",
+		AppliedIndex: st.Applied,
+		PrimaryNext:  st.PrimaryNext,
+		LagRecords:   st.LagRecords,
+		CaughtUp:     st.CaughtUp,
+		Promoted:     st.Promoted,
+		Reconnects:   st.Reconnects,
+		Bootstraps:   st.Bootstraps,
+		LastError:    st.LastError,
+	}
+	if !st.AppliedThrough.IsZero() {
+		resp.AppliedThrough = st.AppliedThrough.Format(repl.ClockFormat)
+	}
+	maxLag := uint64(defaultReadyMaxLag)
+	if s.cfg.ReadyMaxLag > 0 {
+		maxLag = uint64(s.cfg.ReadyMaxLag)
+	} else if s.cfg.ReadyMaxLag < 0 {
+		maxLag = 0
+	}
+	switch {
+	case st.Promoted:
+		resp.Status, resp.Role = "ready", "primary"
+	case st.LastContact.IsZero():
+		resp.Status = "syncing"
+	case !st.CaughtUp && st.LagRecords > maxLag:
+		resp.Status = "lagging"
+	default:
+		resp.Status = "ready"
+	}
+	if resp.Status != "ready" {
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, resp)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handlePromote serves POST /v1/promote: stop replicating, checkpoint
+// the replicated state into the local WAL (when present), and start
+// acking writes. Idempotent.
+func (s *Server) handlePromote(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.Follower == nil {
+		writeErr(w, r, http.StatusBadRequest, "bad_request", "this node is not a replica")
+		return
+	}
+	pos, err := s.cfg.Follower.Promote()
+	if err != nil {
+		writeErr(w, r, http.StatusInternalServerError, "internal", err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, PromoteResponse{Promoted: true, StreamPosition: pos})
+}
+
+// mountReplication wires the replication surface onto the mux: the WAL
+// feed on any WAL-backed node, /readyz and /v1/promote everywhere.
+func (s *Server) mountReplication() {
+	if mgr := s.db.WAL(); mgr != nil {
+		src := repl.NewSource(s.db.Store(), mgr)
+		src.Instrument(s.reg)
+		s.source = src
+		s.mux.HandleFunc("GET /v1/wal", src.ServeWAL)
+		s.mux.HandleFunc("GET /v1/wal/snapshot", src.ServeSnapshot)
+	}
+	if f := s.cfg.Follower; f != nil {
+		f.Instrument(s.reg)
+		s.reg.GaugeFunc("repl.follower.lag_seconds", func() float64 {
+			st := f.Status()
+			if st.AppliedThrough.IsZero() || st.Promoted {
+				return 0
+			}
+			lag := s.db.Store().Now().Sub(st.AppliedThrough)
+			// The replica's store clock trails the primary's; only a
+			// positive gap is lag.
+			return max(lag.Seconds(), 0)
+		})
+	}
+	s.mux.HandleFunc("GET /readyz", s.handleReady)
+	s.mux.HandleFunc("POST /v1/promote", s.handlePromote)
+}
+
+// Close abruptly stops the server without draining — the kill-the-
+// primary chaos path. In-flight requests are cut mid-connection and the
+// DB is NOT closed cleanly; only WAL durability protects acked writes.
+// Production shutdown is Shutdown.
+func (s *Server) Close() error {
+	return s.hs.Close()
+}

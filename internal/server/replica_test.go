@@ -1,0 +1,226 @@
+package server_test
+
+// Full-stack replica tests: a WAL-backed primary server streams to a
+// follower server over real HTTP, and the replica surface — read-only
+// enforcement, bounded-staleness reads, /readyz, /v1/promote — is
+// exercised through the client.
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/core"
+	"repro/internal/netmodel"
+	"repro/internal/repl"
+	"repro/internal/server"
+	"repro/internal/wal"
+)
+
+// newReplicaPair stands up a WAL-backed primary with demo data and a
+// follower server replicating from it. Returns both clients plus the
+// follower handle for status polling.
+func newReplicaPair(t *testing.T, followerOpts ...core.Option) (primary, replica *client.Client, f *repl.Follower) {
+	t.Helper()
+	pdb := newDemoDB(t, core.WithWALOptions(t.TempDir(), wal.Options{NoSync: true}))
+	t.Cleanup(func() { pdb.Close() })
+	_, pc := newTestServer(t, pdb, server.Config{})
+
+	fdb, err := core.Open(netmodel.MustSchema(), followerOpts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { fdb.Close() })
+	f = repl.NewFollower(fdb.Store(), fdb.WAL(), repl.FollowerConfig{
+		Primary:      pc.Base(),
+		PollWait:     200 * time.Millisecond,
+		ReconnectMin: 5 * time.Millisecond,
+		ReconnectMax: 50 * time.Millisecond,
+	})
+	f.Start()
+	t.Cleanup(f.Stop)
+	_, rc := newTestServer(t, fdb, server.Config{
+		Follower:         f,
+		MaxStalenessWait: 250 * time.Millisecond,
+	})
+	return pc, rc, f
+}
+
+func waitCaughtUp(t *testing.T, f *repl.Follower) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if st := f.Status(); st.CaughtUp {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("follower never caught up: %+v", f.Status())
+}
+
+func TestReplicaServesReads(t *testing.T) {
+	pc, rc, f := newReplicaPair(t)
+	waitCaughtUp(t, f)
+	ctx := context.Background()
+
+	want, err := pc.Query(ctx, selectQ, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := rc.Query(ctx, selectQ, nil)
+	if err != nil {
+		t.Fatalf("replica query: %v", err)
+	}
+	if len(got.Rows) != len(want.Rows) {
+		t.Fatalf("replica returned %d rows; primary %d", len(got.Rows), len(want.Rows))
+	}
+	if got.AppliedThrough == "" {
+		t.Fatal("replica answer missing applied_through watermark")
+	}
+	if _, err := time.Parse(repl.ClockFormat, got.AppliedThrough); err != nil {
+		t.Fatalf("applied_through %q unparseable: %v", got.AppliedThrough, err)
+	}
+	if want.AppliedThrough != "" {
+		t.Fatalf("primary answer carries applied_through %q; want empty", want.AppliedThrough)
+	}
+}
+
+func TestReplicaRejectsWrites(t *testing.T) {
+	_, rc, f := newReplicaPair(t)
+	waitCaughtUp(t, f)
+	ctx := context.Background()
+
+	_, err := rc.Ingest(ctx, []server.IngestOp{{Op: "insert-node", Class: "Host", Fields: map[string]any{"id": int64(999999), "name": "h"}}})
+	if !errors.Is(err, client.ErrReadOnly) {
+		t.Fatalf("ingest on replica: %v; want ErrReadOnly", err)
+	}
+	var ae *client.APIError
+	if !errors.As(err, &ae) || ae.Status != 403 {
+		t.Fatalf("ingest rejection status: %v; want 403", err)
+	}
+	if err := rc.Checkpoint(ctx); !errors.Is(err, client.ErrReadOnly) {
+		t.Fatalf("checkpoint on replica: %v; want ErrReadOnly", err)
+	}
+}
+
+// TestReplicaBoundedStaleness pins the min_timestamp contract: a caught-
+// up replica satisfies it, a stalled one answers typed replica_lagging
+// with a Retry-After hint.
+func TestReplicaBoundedStaleness(t *testing.T) {
+	pc, rc, f := newReplicaPair(t)
+	waitCaughtUp(t, f)
+	ctx := context.Background()
+
+	// Caught up: a min_timestamp at the primary's current watermark is
+	// satisfied within the staleness wait.
+	now := time.Now().UTC().Format(time.RFC3339Nano)
+	if _, err := rc.Query(ctx, selectQ, &client.QueryOptions{MinTimestamp: now}); err != nil {
+		t.Fatalf("caught-up replica rejected min_timestamp=now: %v", err)
+	}
+
+	// Garbage min_timestamp is a 400, not a wait.
+	_, err := rc.Query(ctx, selectQ, &client.QueryOptions{MinTimestamp: "not-a-time"})
+	var ae *client.APIError
+	if !errors.As(err, &ae) || ae.Status != 400 {
+		t.Fatalf("bad min_timestamp: %v; want 400", err)
+	}
+
+	// Stall replication, write through the primary, and demand a
+	// timestamp the replica can no longer reach.
+	f.Stop()
+	if _, err := pc.Ingest(ctx, []server.IngestOp{{Op: "insert-node", Class: "Host", Fields: map[string]any{"id": int64(888888), "name": "late"}}}); err != nil {
+		t.Fatal(err)
+	}
+	future := time.Now().UTC().Add(time.Hour).Format(time.RFC3339Nano)
+	_, err = rc.Query(ctx, selectQ, &client.QueryOptions{MinTimestamp: future})
+	if !errors.Is(err, client.ErrReplicaLagging) {
+		t.Fatalf("stalled replica: %v; want ErrReplicaLagging", err)
+	}
+	if !errors.As(err, &ae) || ae.RetryAfter <= 0 {
+		t.Fatalf("replica_lagging missing Retry-After hint: %v", err)
+	}
+
+	// The primary ignores min_timestamp waits entirely — it is always
+	// current.
+	if _, err := pc.Query(ctx, selectQ, &client.QueryOptions{MinTimestamp: future}); err != nil {
+		t.Fatalf("primary rejected min_timestamp: %v", err)
+	}
+}
+
+func TestReadyzRolesAndLag(t *testing.T) {
+	pc, rc, f := newReplicaPair(t)
+	ctx := context.Background()
+
+	ready, st, err := pc.Ready(ctx)
+	if err != nil || !ready {
+		t.Fatalf("primary /readyz: ready=%v st=%+v err=%v", ready, st, err)
+	}
+	if st.Role != "primary" {
+		t.Fatalf("primary role = %q", st.Role)
+	}
+
+	waitCaughtUp(t, f)
+	ready, st, err = rc.Ready(ctx)
+	if err != nil || !ready {
+		t.Fatalf("caught-up replica /readyz: ready=%v err=%v", ready, err)
+	}
+	if st.Role != "replica" || !st.CaughtUp {
+		t.Fatalf("replica status: %+v", st)
+	}
+	if st.AppliedThrough == "" {
+		t.Fatal("replica /readyz missing applied_through")
+	}
+
+	// Replication lag is visible in the metrics registry.
+	metrics, err := rc.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"repl.follower.applied_index", "repl.follower.lag_records", "repl.follower.lag_seconds"} {
+		if !strings.Contains(metrics, key) {
+			t.Errorf("/metrics missing %s", key)
+		}
+	}
+}
+
+func TestPromoteTurnsReplicaWritable(t *testing.T) {
+	pc, rc, f := newReplicaPair(t, core.WithWALOptions(t.TempDir(), wal.Options{NoSync: true}))
+	waitCaughtUp(t, f)
+	ctx := context.Background()
+
+	// Promote on the primary is a 400 — it is not a replica.
+	if _, err := pc.Promote(ctx); err == nil {
+		t.Fatal("promote on primary succeeded")
+	}
+
+	resp, err := rc.Promote(ctx)
+	if err != nil {
+		t.Fatalf("promote: %v", err)
+	}
+	if !resp.Promoted {
+		t.Fatalf("promote response: %+v", resp)
+	}
+	// Idempotent.
+	if _, err := rc.Promote(ctx); err != nil {
+		t.Fatalf("second promote: %v", err)
+	}
+
+	// The ex-replica now acks writes and reports itself primary.
+	if _, err := rc.Ingest(ctx, []server.IngestOp{{Op: "insert-node", Class: "Host", Fields: map[string]any{"id": int64(777777), "name": "post-promote"}}}); err != nil {
+		t.Fatalf("ingest after promote: %v", err)
+	}
+	ready, st, err := rc.Ready(ctx)
+	if err != nil || !ready {
+		t.Fatalf("promoted /readyz: ready=%v err=%v", ready, err)
+	}
+	if st.Role != "primary" {
+		t.Fatalf("promoted role = %q", st.Role)
+	}
+	res, err := rc.Query(ctx, "Select source(P).name From PATHS P Where P MATCHES Host(id=777777)", nil)
+	if err != nil || len(res.Rows) != 1 {
+		t.Fatalf("read-your-write after promote: rows=%v err=%v", res, err)
+	}
+}

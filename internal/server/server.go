@@ -41,6 +41,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/obs"
 	"repro/internal/plan"
+	"repro/internal/repl"
 )
 
 // Config sizes the server. The zero value serves with the defaults
@@ -79,6 +80,19 @@ type Config struct {
 	// IDs, counters, histograms, and the access log remain: they are
 	// cheap and load-bearing for correlation.
 	DisableTelemetry bool
+	// Follower makes this server a read replica of Follower's primary:
+	// mutations are rejected ("read_only"), responses carry the
+	// applied-through watermark, and /readyz reports replication lag.
+	// The caller starts/stops the follower; see replica.go.
+	Follower *repl.Follower
+	// MaxStalenessWait bounds how long a min_timestamp read blocks on a
+	// lagging replica before the typed "replica_lagging" error; 0 means
+	// 2s.
+	MaxStalenessWait time.Duration
+	// ReadyMaxLag is the record lag under which /readyz still answers
+	// 200; 0 means 1024, negative means the replica must be fully caught
+	// up.
+	ReadyMaxLag int
 }
 
 // Server serves one core.DB over HTTP. Create with New, attach with
@@ -92,6 +106,7 @@ type Server struct {
 	adm       *admission
 	accessLog *obs.AccessLog
 	traces    *obs.TraceStore
+	source    *repl.Source
 	start     time.Time
 	version   string
 	commit    string
@@ -153,6 +168,7 @@ func New(db *core.DB, cfg Config) *Server {
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /debug/traces", s.handleTraces)
 	s.mux.HandleFunc("GET /debug/traces/{id}", s.handleTraceByID)
+	s.mountReplication()
 	s.hs = &http.Server{Handler: s.telemetry()}
 	return s
 }
@@ -190,6 +206,11 @@ func (s *Server) ListenAndServe(addr string) error {
 // requests drain until ctx expires, then the DB closes so a WAL-backed
 // store syncs its final segment. Safe to call more than once.
 func (s *Server) Shutdown(ctx context.Context) error {
+	if s.source != nil {
+		// Release parked replication long-polls first: a held feed request
+		// would otherwise pin the connection drain for its full wait.
+		s.source.Close()
+	}
 	err := s.hs.Shutdown(ctx)
 	if cerr := s.db.Close(); err == nil {
 		err = cerr
@@ -338,6 +359,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		src = fmt.Sprintf("AT '%s' %s", req.At, src)
 	}
 	rt.setStatement(src)
+	if !s.waitFresh(r.Context(), w, r, req.MinTimestamp) {
+		return
+	}
 	if !s.admit(w, r) {
 		return
 	}
@@ -371,6 +395,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		resp := s.resultOut(res, false, time.Since(start))
 		resp.Explain = text
 		resp.TraceID = rt.id()
+		s.stampStaleness(w, &resp)
 		writeJSON(w, http.StatusOK, resp)
 		return
 	}
@@ -393,6 +418,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	enc := rt.child("Encode", "")
 	resp := s.resultOut(res, hit, time.Since(start))
 	resp.TraceID = rt.id()
+	s.stampStaleness(w, &resp)
 	writeJSON(w, http.StatusOK, resp)
 	enc.Finish()
 }
@@ -446,6 +472,9 @@ func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request) {
 	if rt != nil {
 		rt.stmtHash = req.Handle
 	}
+	if !s.waitFresh(r.Context(), w, r, req.MinTimestamp) {
+		return
+	}
 	if !s.admit(w, r) {
 		return
 	}
@@ -464,11 +493,15 @@ func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request) {
 	enc := rt.child("Encode", "")
 	resp := s.resultOut(res, true, time.Since(start))
 	resp.TraceID = rt.id()
+	s.stampStaleness(w, &resp)
 	writeJSON(w, http.StatusOK, resp)
 	enc.Finish()
 }
 
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if s.rejectReadOnly(w, r) {
+		return
+	}
 	rt := rtFrom(r.Context())
 	dec := rt.child("Decode", "")
 	var req IngestRequest
@@ -523,6 +556,9 @@ func (s *Server) applyOp(ctx context.Context, op IngestOp) (graph.UID, error) {
 }
 
 func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	if s.rejectReadOnly(w, r) {
+		return
+	}
 	start := time.Now()
 	if err := s.db.Checkpoint(); err != nil {
 		writeErr(w, r, http.StatusBadRequest, "bad_request", err.Error())
@@ -535,8 +571,13 @@ func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	role := "primary"
+	if s.replica() {
+		role = "replica"
+	}
 	resp := HealthResponse{
 		Status:        "ok",
+		Role:          role,
 		Backend:       s.db.Backend(),
 		InFlight:      s.adm.inFlight(),
 		Queued:        s.adm.queuedNow(),

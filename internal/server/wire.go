@@ -87,6 +87,11 @@ type QueryRequest struct {
 	// Limits are per-request resource guardrails; nil inherits the
 	// server's defaults.
 	Limits *Limits `json:"limits,omitempty"`
+	// MinTimestamp (RFC3339 or "2006-01-02 15:04:05") demands the answer
+	// reflect every mutation at or before it. On a primary it is free;
+	// on a replica the request waits (bounded) for replication to catch
+	// up, failing with the typed "replica_lagging" error if it cannot.
+	MinTimestamp string `json:"min_timestamp,omitempty"`
 }
 
 // PrepareRequest is the body of POST /v1/prepare.
@@ -109,6 +114,8 @@ type ExecuteRequest struct {
 	Handle    string  `json:"handle"`
 	TimeoutMS int64   `json:"timeout_ms,omitempty"`
 	Limits    *Limits `json:"limits,omitempty"`
+	// MinTimestamp is the bounded-staleness demand; see QueryRequest.
+	MinTimestamp string `json:"min_timestamp,omitempty"`
 }
 
 // Interval is the wire form of temporal.Interval. A nil End means the
@@ -219,6 +226,10 @@ type QueryResponse struct {
 	// TraceID identifies the request's end-to-end trace; while retained,
 	// the full span tree resolves at /debug/traces/{trace_id}.
 	TraceID string `json:"trace_id,omitempty"`
+	// AppliedThrough, on responses from a replica, is the replication
+	// watermark: the answer reflects every primary mutation at or before
+	// this timestamp (also sent as the X-Nepal-Applied-Through header).
+	AppliedThrough string `json:"applied_through,omitempty"`
 }
 
 // IngestOp is one mutation of a POST /v1/ingest batch.
@@ -255,9 +266,42 @@ type CheckpointResponse struct {
 	ElapsedMS float64 `json:"elapsed_ms"`
 }
 
+// ReadyResponse is the body of GET /readyz: whether this node can serve
+// reads at its advertised staleness bound, and — on replicas — the full
+// replication status behind that verdict.
+type ReadyResponse struct {
+	// Status is "ready", "syncing" (no primary contact yet), or
+	// "lagging" (behind by more than the configured tolerance).
+	Status string `json:"status"`
+	// Role is "primary" or "replica"; a promoted replica reports
+	// "primary".
+	Role string `json:"role"`
+	// AppliedIndex is the count of replicated records applied locally.
+	AppliedIndex uint64 `json:"applied_index,omitempty"`
+	// AppliedThrough is the staleness watermark (RFC3339Nano).
+	AppliedThrough string `json:"applied_through,omitempty"`
+	// PrimaryNext is the primary's stream end as of the last contact.
+	PrimaryNext uint64 `json:"primary_next,omitempty"`
+	// LagRecords is PrimaryNext - AppliedIndex (0 when caught up).
+	LagRecords uint64 `json:"lag_records"`
+	CaughtUp   bool   `json:"caught_up,omitempty"`
+	Promoted   bool   `json:"promoted,omitempty"`
+	Reconnects uint64 `json:"reconnects,omitempty"`
+	Bootstraps uint64 `json:"bootstraps,omitempty"`
+	LastError  string `json:"last_error,omitempty"`
+}
+
+// PromoteResponse acknowledges POST /v1/promote: the node stopped
+// replicating at StreamPosition and now acks writes of its own.
+type PromoteResponse struct {
+	Promoted       bool   `json:"promoted"`
+	StreamPosition uint64 `json:"stream_position"`
+}
+
 // HealthResponse is the body of GET /healthz.
 type HealthResponse struct {
 	Status        string  `json:"status"`
+	Role          string  `json:"role,omitempty"`
 	Backend       string  `json:"backend"`
 	InFlight      int64   `json:"in_flight"`
 	Queued        int64   `json:"queued"`

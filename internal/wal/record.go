@@ -77,6 +77,39 @@ func encodeRecord(m *graph.Mutation) ([]byte, error) {
 	return frame, nil
 }
 
+// uint32frame reads the little-endian length prefix of a frame.
+func uint32frame(b []byte) uint32 {
+	return binary.LittleEndian.Uint32(b[0:4])
+}
+
+// verifyFrameChecksum checks a complete frame's CRC without decoding the
+// payload.
+func verifyFrameChecksum(frame []byte) error {
+	payload := frame[frameHeaderSize:]
+	want := binary.LittleEndian.Uint32(frame[4:8])
+	if got := crc32.Checksum(payload, castagnoli); got != want {
+		return fmt.Errorf("%w: checksum mismatch (stored %08x, computed %08x)", errCorrupt, want, got)
+	}
+	return nil
+}
+
+// DecodeRecord reads one frame from the front of b, returning the decoded
+// mutation and the number of bytes consumed — the exported form the
+// replication follower uses to ingest a shipped batch. IsTorn
+// distinguishes "the batch ends mid-frame" (resume from the last whole
+// record) from real corruption.
+func DecodeRecord(b []byte) (*graph.Mutation, int, error) {
+	return decodeRecord(b)
+}
+
+// IsTorn reports whether err marks an incomplete frame — the benign end
+// of a cut-off batch or a crash tail, as opposed to corruption.
+func IsTorn(err error) bool { return errors.Is(err, errTorn) }
+
+// IsCorrupt reports whether err marks an invalid frame (bad length,
+// checksum, or payload document).
+func IsCorrupt(err error) bool { return errors.Is(err, errCorrupt) }
+
 // decodeRecord reads one frame from the front of b, returning the decoded
 // mutation and the number of bytes consumed. It returns errTorn when b
 // ends before the frame does and errCorrupt when the length bound, the

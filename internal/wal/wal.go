@@ -41,6 +41,7 @@ import (
 const (
 	segmentPrefix  = "wal-"
 	segmentSuffix  = ".log"
+	indexSuffix    = ".idx"
 	checkpointName = "checkpoint"
 	checkpointTemp = "checkpoint.tmp"
 )
@@ -121,9 +122,21 @@ type walObs struct {
 	checkpointMS *obs.Histogram
 }
 
+// segMeta is the in-memory index of one on-disk segment: its sequence
+// number and the global stream index of its first record. The persisted
+// form is the segment's ".idx" sidecar file, written when the segment is
+// created, so stream positions survive primary restarts — a follower that
+// resumes "from record N" after the primary recovered gets exactly the
+// records it would have gotten before the crash.
+type segMeta struct {
+	seq   uint64
+	start uint64
+}
+
 // Manager is an open write-ahead log bound to one directory. Its Append
 // method is installed as the store's mutation hook; Checkpoint and Close
-// are safe to call concurrently with appends.
+// are safe to call concurrently with appends, and ReadRecords/Snapshot
+// serve the replication stream concurrently with everything else.
 type Manager struct {
 	dir  string
 	opts Options
@@ -137,6 +150,14 @@ type Manager struct {
 	size   int64 // bytes in the active segment
 	broken error // set when the log can no longer accept appends
 	o      *walObs
+
+	// segs lists every on-disk segment with its global start index,
+	// ascending; the last entry is the active segment. next is the global
+	// index the next appended record will take; notify is closed (and
+	// replaced) on every durable append, waking long-poll readers.
+	segs   []segMeta
+	next   uint64
+	notify chan struct{}
 
 	stats RecoveryStats
 }
@@ -179,15 +200,42 @@ func Open(dir string, st *graph.Store, opts Options) (*Manager, RecoveryStats, e
 		return nil, stats, err
 	}
 	stats.Segments = len(seqs)
+	counts := make([]int, len(seqs))
 	for i, seq := range seqs {
-		if err := replaySegment(dir, seq, i == len(seqs)-1, st, &stats); err != nil {
+		n, err := replaySegment(dir, seq, i == len(seqs)-1, st, &stats)
+		if err != nil {
 			return nil, stats, err
 		}
+		counts[i] = n
+	}
+
+	// Reconstruct each segment's global start index: trust the ".idx"
+	// sidecar when present (it survives checkpoints deleting earlier
+	// segments — for the oldest on-disk segment it is the only source),
+	// and derive by chaining record counts when not (a legacy directory,
+	// or a sidecar lost to a crash mid-rotation; safe because the one
+	// sidecar that is ever load-bearing, the rotated segment's, is made
+	// durable inside Checkpoint before its predecessors are pruned, so a
+	// sidecar-less oldest segment always starts the stream at zero).
+	segs := make([]segMeta, len(seqs))
+	var start uint64
+	for i, seq := range seqs {
+		if s, ok := readSegIdx(dir, seq); ok {
+			if i > 0 && s != start {
+				return nil, stats, fmt.Errorf("wal: segment %d index sidecar says start %d, chained replay says %d",
+					seq, s, start)
+			}
+			start = s
+		}
+		segs[i] = segMeta{seq: seq, start: start}
+		start += uint64(counts[i])
 	}
 
 	seq := uint64(1)
 	if n := len(seqs); n > 0 {
 		seq = seqs[n-1]
+	} else {
+		segs = []segMeta{{seq: seq, start: 0}}
 	}
 	path := segmentPath(dir, seq)
 	f, err := opts.open(path, os.O_WRONLY|os.O_CREATE|os.O_APPEND)
@@ -198,7 +246,8 @@ func Open(dir string, st *graph.Store, opts Options) (*Manager, RecoveryStats, e
 	if fi, err := os.Stat(path); err == nil {
 		size = fi.Size()
 	}
-	return &Manager{dir: dir, opts: opts, f: f, seq: seq, size: size, stats: stats}, stats, nil
+	return &Manager{dir: dir, opts: opts, f: f, seq: seq, size: size, stats: stats,
+		segs: segs, next: start, notify: make(chan struct{})}, stats, nil
 }
 
 func segmentPath(dir string, seq uint64) string {
@@ -224,34 +273,35 @@ func listSegments(dir string) ([]uint64, error) {
 	return seqs, nil
 }
 
-// replaySegment applies one segment's records to the store. A torn or
-// corrupt record in the final segment is the crash tail: the file is
+// replaySegment applies one segment's records to the store, returning
+// how many records the segment holds (after any tail truncation). A torn
+// or corrupt record in the final segment is the crash tail: the file is
 // truncated at the first bad record and replay stops there. The same
 // damage in an earlier segment cannot be a crash artifact (segments are
 // synced before rotation) and is reported as an error.
-func replaySegment(dir string, seq uint64, last bool, st *graph.Store, stats *RecoveryStats) error {
+func replaySegment(dir string, seq uint64, last bool, st *graph.Store, stats *RecoveryStats) (int, error) {
 	path := segmentPath(dir, seq)
 	data, err := os.ReadFile(path)
 	if err != nil {
-		return fmt.Errorf("wal: reading segment %d: %w", seq, err)
+		return 0, fmt.Errorf("wal: reading segment %d: %w", seq, err)
 	}
-	off := 0
+	off, records := 0, 0
 	for off < len(data) {
 		m, n, err := decodeRecord(data[off:])
 		if err != nil {
 			if !last || !(errors.Is(err, errTorn) || errors.Is(err, errCorrupt)) {
-				return fmt.Errorf("wal: segment %d offset %d: %w", seq, off, err)
+				return records, fmt.Errorf("wal: segment %d offset %d: %w", seq, off, err)
 			}
 			if terr := os.Truncate(path, int64(off)); terr != nil {
-				return fmt.Errorf("wal: truncating torn tail of segment %d at %d: %w", seq, off, terr)
+				return records, fmt.Errorf("wal: truncating torn tail of segment %d at %d: %w", seq, off, terr)
 			}
 			stats.TailTruncated = true
 			stats.DroppedBytes = int64(len(data) - off)
-			return nil
+			return records, nil
 		}
 		applied, err := st.ApplyMutation(m)
 		if err != nil {
-			return fmt.Errorf("wal: replaying segment %d offset %d: %w", seq, off, err)
+			return records, fmt.Errorf("wal: replaying segment %d offset %d: %w", seq, off, err)
 		}
 		if applied {
 			stats.RecordsApplied++
@@ -259,8 +309,9 @@ func replaySegment(dir string, seq uint64, last bool, st *graph.Store, stats *Re
 			stats.RecordsSkipped++
 		}
 		off += n
+		records++
 	}
-	return nil
+	return records, nil
 }
 
 // Append logs one mutation, making it durable before the store applies
@@ -316,6 +367,11 @@ func (mgr *Manager) Append(ctx context.Context, m *graph.Mutation) error {
 	}
 	o.appends.Add(1)
 	o.appendBytes.Add(int64(n))
+	mgr.next++
+	// Wake long-poll stream readers: the closed channel is the broadcast,
+	// a fresh one arms the next wait.
+	close(mgr.notify)
+	mgr.notify = make(chan struct{})
 	mgr.mu.Unlock()
 
 	if parent := obs.SpanFromContext(ctx); parent != nil {
@@ -356,6 +412,14 @@ func (mgr *Manager) Checkpoint(st *graph.Store) error {
 	}
 	sealed := mgr.seq
 	mgr.seq++
+	// The rotated segment's first record is the next global index; persist
+	// that in its sidecar before any record lands, so stream offsets
+	// survive recovery even after the sealed segments are deleted.
+	if err := writeSegIdx(mgr.opts, mgr.dir, mgr.seq, mgr.next); err != nil {
+		mgr.broken = fmt.Errorf("rotation failed: %w", err)
+		mgr.mu.Unlock()
+		return err
+	}
 	f, err := mgr.opts.open(segmentPath(mgr.dir, mgr.seq), os.O_WRONLY|os.O_CREATE|os.O_APPEND)
 	if err != nil {
 		mgr.broken = fmt.Errorf("rotation failed: %w", err)
@@ -364,6 +428,7 @@ func (mgr *Manager) Checkpoint(st *graph.Store) error {
 	}
 	mgr.f = f
 	mgr.size = 0
+	mgr.segs = append(mgr.segs, segMeta{seq: mgr.seq, start: mgr.next})
 	mgr.mu.Unlock()
 
 	// Snapshot outside the log lock; WriteHistory holds the store's read
@@ -379,8 +444,14 @@ func (mgr *Manager) Checkpoint(st *graph.Store) error {
 			if err := os.Remove(segmentPath(mgr.dir, seq)); err != nil {
 				return fmt.Errorf("wal: removing sealed segment %d: %w", seq, err)
 			}
+			os.Remove(segmentIdxPath(mgr.dir, seq))
 		}
 	}
+	mgr.mu.Lock()
+	for len(mgr.segs) > 0 && mgr.segs[0].seq <= sealed {
+		mgr.segs = mgr.segs[1:]
+	}
+	mgr.mu.Unlock()
 	o := mgr.metrics()
 	o.checkpoints.Add(1)
 	o.checkpointMS.Observe(float64(time.Since(start)) / 1e6)
@@ -495,6 +566,8 @@ func (mgr *Manager) Instrument(reg *obs.Registry) {
 		checkpoints:  reg.Counter("wal.checkpoints"),
 		checkpointMS: reg.Histogram("wal.checkpoint_ms"),
 	}
+	reg.GaugeFunc("wal.next_index", func() float64 { return float64(mgr.NextIndex()) })
+	reg.GaugeFunc("wal.base_index", func() float64 { return float64(mgr.BaseIndex()) })
 	reg.Counter("wal.recoveries").Add(1)
 	reg.Counter("wal.recovered_records").Add(int64(mgr.stats.RecordsApplied))
 	reg.Counter("wal.recovery_skipped_records").Add(int64(mgr.stats.RecordsSkipped))

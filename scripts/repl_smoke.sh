@@ -1,0 +1,127 @@
+#!/bin/sh
+# repl_smoke.sh — end-to-end replication smoke test.
+#
+# Builds nepal, starts a WAL-backed primary over the demo topology plus
+# two -follow read replicas on ephemeral ports, then checks the cluster
+# behaviors the replication layer promises:
+#   1. both replicas answer /readyz with role=replica once caught up;
+#   2. a query against a replica returns replicated demo data and
+#      carries the applied-through staleness watermark;
+#   3. writes against a replica are rejected with the typed read_only
+#      error;
+#   4. replication lag metrics appear in the replica's /metrics;
+#   5. -connect -promote turns a replica into a writable primary.
+# Finally every node is shut down with SIGTERM and must exit cleanly.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+TMP="$(mktemp -d)"
+trap 'kill "$PRIMARY_PID" "$R1_PID" "$R2_PID" 2>/dev/null || true; rm -rf "$TMP"' EXIT
+
+echo "repl-smoke: building nepal..."
+go build -o "$TMP/nepal" ./cmd/nepal
+
+# wait_addr LOGFILE PID — scrape the bound address from a server log.
+wait_addr() {
+    _addr=""
+    for _ in $(seq 1 100); do
+        _addr="$(sed -n 's|.*serving on http://\([0-9.:]*\).*|\1|p' "$1" | head -n 1)"
+        [ -n "$_addr" ] && break
+        kill -0 "$2" 2>/dev/null || { echo "repl-smoke: server died during startup:" >&2; cat "$1" >&2; exit 1; }
+        sleep 0.1
+    done
+    [ -n "$_addr" ] || { echo "repl-smoke: server never logged its address" >&2; cat "$1" >&2; exit 1; }
+    echo "$_addr"
+}
+
+"$TMP/nepal" -demo -wal-dir "$TMP/primary-wal" -serve 127.0.0.1:0 2>"$TMP/primary.log" &
+PRIMARY_PID=$!
+PRIMARY="$(wait_addr "$TMP/primary.log" "$PRIMARY_PID")"
+echo "repl-smoke: primary up at $PRIMARY"
+
+"$TMP/nepal" -serve 127.0.0.1:0 -follow "http://$PRIMARY" 2>"$TMP/r1.log" &
+R1_PID=$!
+"$TMP/nepal" -serve 127.0.0.1:0 -follow "http://$PRIMARY" 2>"$TMP/r2.log" &
+R2_PID=$!
+R1="$(wait_addr "$TMP/r1.log" "$R1_PID")"
+R2="$(wait_addr "$TMP/r2.log" "$R2_PID")"
+echo "repl-smoke: replicas up at $R1, $R2"
+
+# 1. Both replicas must reach ready (caught up within lag tolerance).
+for R in "$R1" "$R2"; do
+    READY=""
+    for _ in $(seq 1 100); do
+        READY="$(curl -fsS "http://$R/readyz" 2>/dev/null || true)"
+        case "$READY" in *'"status":"ready"'*) break ;; esac
+        sleep 0.1
+    done
+    case "$READY" in
+        *'"status":"ready"'*'"role":"replica"'*|*'"role":"replica"'*'"status":"ready"'*)
+            echo "repl-smoke: $R ready as replica" ;;
+        *) echo "repl-smoke: $R never became ready: $READY"; exit 1 ;;
+    esac
+done
+
+# 2. Replicated reads answer on a replica, stamped with the watermark.
+Q="Retrieve P From PATHS P Where P MATCHES VNF()->[Vertical()]{1,6}->Host(id=1001)"
+OUT="$("$TMP/nepal" -connect "http://$R1" -q "$Q")"
+echo "$OUT"
+case "$OUT" in
+    *"rows)"*) echo "repl-smoke: replicated query ok" ;;
+    *) echo "repl-smoke: unexpected replica query output"; exit 1 ;;
+esac
+BODY="$(curl -fsS -D "$TMP/headers" -X POST "http://$R1/v1/query" \
+    -H 'Content-Type: application/json' \
+    -d '{"query":"Retrieve P From PATHS P Where P MATCHES VNF()->[Vertical()]{1,6}->Host(id=1001)"}')"
+grep -qi '^X-Nepal-Applied-Through:' "$TMP/headers" || {
+    echo "repl-smoke: replica response missing X-Nepal-Applied-Through header"; exit 1; }
+case "$BODY" in
+    *'"applied_through"'*) echo "repl-smoke: staleness watermark stamped" ;;
+    *) echo "repl-smoke: replica response missing applied_through"; exit 1 ;;
+esac
+
+# 3. Writes against a replica fail typed read_only.
+WRITE="$(curl -sS -X POST "http://$R1/v1/ingest" \
+    -H 'Content-Type: application/json' \
+    -d '{"ops":[{"op":"insert-node","class":"ComputeHost","fields":{"id":424242,"name":"smoke","rack":"rz","status":"Active"}}]}')"
+case "$WRITE" in
+    *'"code":"read_only"'*) echo "repl-smoke: replica rejected write as read_only" ;;
+    *) echo "repl-smoke: replica accepted a write (or wrong error): $WRITE"; exit 1 ;;
+esac
+
+# 4. Replication lag metrics are visible in the Prometheus dump.
+METRICS="$(curl -fsS -H 'Accept: text/plain' "http://$R1/metrics")"
+for M in repl_follower_applied_index repl_follower_lag_records repl_follower_lag_seconds; do
+    case "$METRICS" in
+        *"$M"*) ;;
+        *) echo "repl-smoke: /metrics missing $M"; exit 1 ;;
+    esac
+done
+echo "repl-smoke: lag metrics exported"
+
+# 5. Promote replica 2; it must flip to role=primary and accept writes.
+"$TMP/nepal" -connect "http://$R2" -promote
+READY="$(curl -fsS "http://$R2/readyz")"
+case "$READY" in
+    *'"role":"primary"'*) echo "repl-smoke: promoted replica reports role=primary" ;;
+    *) echo "repl-smoke: promoted replica still a replica: $READY"; exit 1 ;;
+esac
+WRITE="$(curl -fsS -X POST "http://$R2/v1/ingest" \
+    -H 'Content-Type: application/json' \
+    -d '{"ops":[{"op":"insert-node","class":"ComputeHost","fields":{"id":434343,"name":"post-promote","rack":"rz","status":"Active"}}]}')"
+case "$WRITE" in
+    *'"applied":1'*) echo "repl-smoke: promoted replica acks writes" ;;
+    *) echo "repl-smoke: promoted replica rejected a write: $WRITE"; exit 1 ;;
+esac
+
+for PAIR in "primary:$PRIMARY_PID" "replica1:$R1_PID" "replica2:$R2_PID"; do
+    NAME="${PAIR%%:*}"; PID="${PAIR##*:}"
+    kill -TERM "$PID"
+    if wait "$PID"; then
+        echo "repl-smoke: $NAME graceful shutdown ok"
+    else
+        echo "repl-smoke: $NAME exited nonzero on SIGTERM"; exit 1
+    fi
+done
+echo "repl-smoke: ok"
