@@ -164,7 +164,13 @@ func retryRead(err error) bool {
 // backoff sleeps before the next attempt: jittered exponential from the
 // config bounds, raised to the server's Retry-After hint when present.
 func (cl *Cluster) backoff(ctx context.Context, attempt int, err error) error {
-	d := cl.cfg.BackoffMin << attempt
+	// Stop doubling once the cap is reached rather than shifting by the
+	// raw attempt count: a large retry budget would overflow the shift
+	// into a negative duration.
+	d := cl.cfg.BackoffMin
+	for i := 0; i < attempt && d < cl.cfg.BackoffMax; i++ {
+		d <<= 1
+	}
 	if d > cl.cfg.BackoffMax {
 		d = cl.cfg.BackoffMax
 	}

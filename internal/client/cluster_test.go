@@ -274,3 +274,22 @@ func TestTransportErrorRetryable(t *testing.T) {
 		}
 	}
 }
+
+// TestBackoffSurvivesLargeAttempt pins the overflow guard: a retry
+// budget in the dozens must not shift the backoff into a negative
+// duration (which would panic the jitter draw).
+func TestBackoffSurvivesLargeAttempt(t *testing.T) {
+	cl, err := NewCluster(ClusterConfig{
+		Primary:    "http://127.0.0.1:0",
+		BackoffMin: time.Millisecond,
+		BackoffMax: 2 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, attempt := range []int{0, 1, 40, 63, 200} {
+		if err := cl.backoff(context.Background(), attempt, nil); err != nil {
+			t.Fatalf("backoff(attempt=%d): %v", attempt, err)
+		}
+	}
+}

@@ -118,6 +118,13 @@ func (st *Store) WriteHistory(w io.Writer) error {
 // and the live unique indexes, adjacency, class indexes, and statistics
 // are rebuilt. The store's clock is advanced past the newest stored
 // timestamp so post-restore writes stay strictly monotonic.
+//
+// The load is atomic: everything is staged into scratch state and
+// installed only after the whole stream has decoded and validated, so on
+// any error — a truncated download, a torn file, a validation failure —
+// st is left exactly as it was (empty) and a retry with a fresh stream
+// is clean. Replication followers rely on this to survive a snapshot
+// download severed mid-stream.
 func (st *Store) LoadHistory(r io.Reader) error {
 	st.mu.Lock()
 	defer st.mu.Unlock()
@@ -142,6 +149,9 @@ func (st *Store) LoadHistory(r io.Reader) error {
 			hdr.Objects, hdr.NextUID)
 	}
 
+	// Stage into a scratch store sharing the schema; st is untouched
+	// until the commit at the bottom.
+	tmp := NewStore(st.schema, nil)
 	var latest time.Time
 	for i := 0; i < hdr.Objects; i++ {
 		var doc objectDoc
@@ -152,7 +162,7 @@ func (st *Store) LoadHistory(r io.Reader) error {
 			}
 			return fmt.Errorf("graph: reading history object %d/%d: %w", i+1, hdr.Objects, err)
 		}
-		obj, err := st.restoreObject(&doc)
+		obj, err := tmp.restoreObject(&doc)
 		if err != nil {
 			return err
 		}
@@ -165,29 +175,37 @@ func (st *Store) LoadHistory(r io.Reader) error {
 			}
 		}
 	}
-	if UID(hdr.NextUID) > st.nextUID {
-		st.nextUID = UID(hdr.NextUID)
-	}
 	if dec.More() {
 		return fmt.Errorf("graph: trailing data after the %d declared history objects", hdr.Objects)
 	}
 
 	// Endpoint integrity: every edge's endpoints must exist and be nodes,
 	// and the endpoints must already exist whenever the edge does.
-	for _, obj := range st.objects {
+	for _, obj := range tmp.objects {
 		if !obj.IsEdge() {
 			continue
 		}
 		for _, end := range []UID{obj.Src, obj.Dst} {
-			other := st.objects[end]
+			other := tmp.objects[end]
 			if other == nil || other.IsEdge() {
 				return fmt.Errorf("graph: history edge %d references invalid endpoint %d", obj.UID, end)
 			}
 		}
-		st.out[obj.Src] = append(st.out[obj.Src], obj.UID)
-		st.in[obj.Dst] = append(st.in[obj.Dst], obj.UID)
+		tmp.out[obj.Src] = append(tmp.out[obj.Src], obj.UID)
+		tmp.in[obj.Dst] = append(tmp.in[obj.Dst], obj.UID)
 	}
 
+	// Commit: install the fully validated state.
+	st.objects, st.out, st.in = tmp.objects, tmp.out, tmp.in
+	st.byClass, st.unique = tmp.byClass, tmp.unique
+	st.classCount = tmp.classCount
+	st.versionCount, st.liveCount = tmp.versionCount, tmp.liveCount
+	if tmp.nextUID > st.nextUID {
+		st.nextUID = tmp.nextUID
+	}
+	if UID(hdr.NextUID) > st.nextUID {
+		st.nextUID = UID(hdr.NextUID)
+	}
 	// Advance the clock beyond everything restored.
 	if !latest.IsZero() {
 		st.clock.EnsureAfter(latest)

@@ -145,3 +145,32 @@ func TestLoadHistoryValidation(t *testing.T) {
 		t.Error("load into non-empty store accepted")
 	}
 }
+
+// TestLoadHistoryAtomicOnFailure pins the staging contract: a load that
+// fails partway (a snapshot download severed mid-stream) must leave the
+// store exactly as it was — empty — so a retry with an intact stream
+// succeeds instead of tripping ErrStoreNotEmpty on leftover state.
+func TestLoadHistoryAtomicOnFailure(t *testing.T) {
+	st, _ := buildHistoryFixture(t)
+	var buf bytes.Buffer
+	if err := st.WriteHistory(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+
+	st2 := NewStore(testSchema(t), temporal.NewManualClock(t0))
+	if err := st2.LoadHistory(bytes.NewReader(full[:len(full)-20])); err == nil {
+		t.Fatal("truncated history load succeeded")
+	}
+	if live, versions := st2.Counts(); live != 0 || versions != 0 {
+		t.Fatalf("failed load left state behind: live=%d versions=%d", live, versions)
+	}
+	if err := st2.LoadHistory(bytes.NewReader(full)); err != nil {
+		t.Fatalf("retry after a failed load: %v", err)
+	}
+	l1, v1 := st.Counts()
+	l2, v2 := st2.Counts()
+	if l1 != l2 || v1 != v2 {
+		t.Fatalf("counts after retried load: (%d,%d) vs (%d,%d)", l1, v1, l2, v2)
+	}
+}

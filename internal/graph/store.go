@@ -171,6 +171,20 @@ func (st *Store) Clock() *temporal.Clock { return st.clock }
 // Now reports the store's current transaction time.
 func (st *Store) Now() time.Time { return st.clock.Now() }
 
+// CommittedClock returns a replication-safe coverage watermark: every
+// mutation stamped at or before the returned time has fully committed
+// (its hook — WAL durability — ran and it is visible in memory), and
+// every future mutation will be stamped strictly after it. It takes the
+// read lock to exclude in-flight writers, then fences the clock; the
+// replication source stamps feed batches with it so a follower that has
+// replayed the log through the capture point can adopt it as its
+// applied-through timestamp without missing a concurrent commit.
+func (st *Store) CommittedClock() time.Time {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return st.clock.Fence()
+}
+
 // InsertNode validates and inserts a node record, returning its UID.
 func (st *Store) InsertNode(class string, fields Fields) (UID, error) {
 	return st.insert(context.Background(), class, 0, 0, fields, schema.NodeKind)

@@ -78,6 +78,7 @@ type Follower struct {
 	hc  *http.Client
 
 	mu          sync.Mutex
+	logID       string // primary log identity, pinned on first contact
 	applied     uint64
 	watermark   time.Time
 	primaryNext uint64
@@ -214,6 +215,30 @@ var errFatal = errors.New("repl: unrecoverable")
 // errNeedBootstrap routes a 410 feed answer to the snapshot path.
 var errNeedBootstrap = errors.New("repl: stream position truncated; bootstrap required")
 
+// pinLogID enforces stream identity: the first non-empty log ID the
+// primary sends is pinned for the link's lifetime, and any later
+// mismatch — this follower, or the address it polls, now points at an
+// unrelated log whose stream positions mean something else — is fatal.
+// Resuming an offset against a foreign log would either loop on errors
+// or silently apply misaligned records; parking with a clear error is
+// the only safe answer.
+func (f *Follower) pinLogID(id string) error {
+	if id == "" {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.logID == "" {
+		f.logID = id
+		return nil
+	}
+	if f.logID != id {
+		return fmt.Errorf("%w: primary %s serves WAL log %s, but this link is pinned to log %s (repointed at an unrelated primary?)",
+			errFatal, f.cfg.Primary, id, f.logID)
+	}
+	return nil
+}
+
 // syncOnce performs one feed exchange: long-poll the primary from the
 // current applied position, replay whatever arrives, and update the
 // staleness watermark. A 410 triggers a checkpoint bootstrap first.
@@ -267,6 +292,10 @@ func (f *Follower) pull(from uint64) error {
 		return err
 	}
 	defer resp.Body.Close()
+	if err := f.pinLogID(resp.Header.Get(HeaderLogID)); err != nil {
+		io.Copy(io.Discard, resp.Body)
+		return err
+	}
 	switch resp.StatusCode {
 	case http.StatusOK:
 	case http.StatusGone:
@@ -347,8 +376,12 @@ func (f *Follower) pull(from uint64) error {
 }
 
 // bootstrap loads the primary's checkpoint into the (empty) local store
-// and repositions the feed at the snapshot's resume index. A follower
-// whose store already has state cannot re-bootstrap in place — that is a
+// and repositions the feed at the snapshot's resume index. The load is
+// atomic — graph.(*Store).LoadHistory stages into scratch state and
+// installs nothing on failure — so a download severed mid-stream leaves
+// the store empty and the next loop iteration retries cleanly. A
+// follower whose store already has state therefore genuinely cannot
+// re-bootstrap in place (it fell past the feed's retention): that is a
 // fatal condition surfaced to the operator (restart with a fresh store),
 // never a silent full resync.
 func (f *Follower) bootstrap() error {
@@ -363,6 +396,10 @@ func (f *Follower) bootstrap() error {
 		return err
 	}
 	defer resp.Body.Close()
+	if err := f.pinLogID(resp.Header.Get(HeaderLogID)); err != nil {
+		io.Copy(io.Discard, resp.Body)
+		return err
+	}
 	if resp.StatusCode != http.StatusOK {
 		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
 		return fmt.Errorf("repl: snapshot returned %s: %s", resp.Status, body)
@@ -384,8 +421,12 @@ func (f *Follower) bootstrap() error {
 	f.mBootstraps.Add(1)
 	f.mu.Lock()
 	f.applied = resume
-	if now := f.st.Now(); now.After(f.watermark) {
-		f.watermark = now
+	// The snapshot proves coverage only through its newest stored
+	// transaction time (which LoadHistory fenced the local clock past) —
+	// NOT through the local wall clock, which would claim primary commits
+	// that postdate the checkpoint before the feed has replayed them.
+	if latest := f.st.Clock().Latest(); latest.After(f.watermark) {
+		f.watermark = latest
 	}
 	f.bootstraps++
 	f.lastContact = time.Now()

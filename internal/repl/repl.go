@@ -35,8 +35,12 @@ import (
 const (
 	// HeaderFrom echoes the requested stream position on feed responses.
 	HeaderFrom = "X-Nepal-Wal-From"
-	// HeaderNext carries the primary's next stream index (== records ever
-	// logged) on every feed response; followers derive lag from it.
+	// HeaderNext carries the primary's durable stream end (== records ever
+	// logged) on every feed response; followers derive lag from it. It is
+	// captured before the batch is read, so it never exceeds what a
+	// follower can reach by applying this batch plus later ones — but a
+	// max_bytes-capped batch may stop short of it, which is exactly how a
+	// partially shipped follower knows it is not yet caught up.
 	HeaderNext = "X-Nepal-Wal-Next"
 	// HeaderCount carries the number of records in a feed batch.
 	HeaderCount = "X-Nepal-Wal-Count"
@@ -46,10 +50,19 @@ const (
 	// HeaderResume carries the stream index to resume from after loading
 	// a snapshot.
 	HeaderResume = "X-Nepal-Wal-Resume"
-	// HeaderClock carries the primary's store clock (RFC3339Nano) at
-	// response time; a caught-up follower adopts it as its staleness
-	// watermark so "no new writes" does not read as "infinitely stale".
+	// HeaderClock carries the primary's committed clock (RFC3339Nano) on
+	// feed responses, fenced BEFORE the batch and HeaderNext were
+	// captured: every mutation at or before it is covered by HeaderNext,
+	// so a follower that has applied through HeaderNext adopts it as its
+	// staleness watermark — "no new writes" does not read as "infinitely
+	// stale", and the watermark never claims an unshipped commit.
 	HeaderClock = "X-Nepal-Wal-Clock"
+	// HeaderLogID carries the primary WAL's immutable identity on every
+	// feed and snapshot response. A follower pins the first value it sees
+	// and parks fatal on a mismatch, so a link repointed at an unrelated
+	// primary (or a sibling promoted onto its own log) can never apply
+	// misaligned records from a foreign stream.
+	HeaderLogID = "X-Nepal-Wal-Log-Id"
 	// HeaderAppliedThrough is stamped by replica servers on query
 	// responses: every mutation at or before this timestamp is reflected
 	// in the answer.

@@ -7,6 +7,9 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -345,6 +348,134 @@ func TestSourceRejectsBadRequests(t *testing.T) {
 	}
 	if got := resp.Header.Get(HeaderBase); got != "3" {
 		t.Fatalf("%s = %q, want 3", HeaderBase, got)
+	}
+}
+
+// TestTruncatedBatchAdvertisesDurableEnd pins the max_bytes contract: a
+// capped batch ships fewer records than exist, but X-Nepal-Wal-Next must
+// still carry the log's durable end — a follower that applied only the
+// batch must know it is lagging, not mark itself caught up and adopt the
+// primary's clock as its watermark.
+func TestTruncatedBatchAdvertisesDurableEnd(t *testing.T) {
+	p := newPrimary(t)
+	p.write(t, 10)
+
+	resp, err := http.Get(p.srv.URL + "/v1/wal?from=0&max_bytes=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if got := resp.Header.Get(HeaderNext); got != "10" {
+		t.Fatalf("%s = %q on a capped batch, want the durable end 10", HeaderNext, got)
+	}
+	count, err := strconv.Atoi(resp.Header.Get(HeaderCount))
+	if err != nil || count < 1 || count >= 10 {
+		t.Fatalf("%s = %q, want a partial batch in [1,10)", HeaderCount, resp.Header.Get(HeaderCount))
+	}
+	if resp.Header.Get(HeaderLogID) == "" {
+		t.Fatalf("feed response missing %s", HeaderLogID)
+	}
+}
+
+// TestFollowerConvergesWithTinyBatches replicates through a 1-byte batch
+// cap: every exchange ships a single record, so catch-up takes many
+// round trips and the follower must keep pulling until it truly reaches
+// the durable end.
+func TestFollowerConvergesWithTinyBatches(t *testing.T) {
+	p := newPrimary(t)
+	p.write(t, 20)
+
+	cfg := testFollowerConfig(p.srv.URL)
+	cfg.MaxBatchBytes = 1
+	f := NewFollower(newStore(t), nil, cfg)
+	defer f.Stop()
+	f.Start()
+	waitFor(t, "catch-up through capped batches", func() bool { return f.Status().Applied == 20 })
+	if !bytes.Equal(history(t, f.st), history(t, p.st)) {
+		t.Fatal("replica history differs from primary after capped-batch catch-up")
+	}
+	waitFor(t, "caught-up status", func() bool { return f.Status().CaughtUp })
+}
+
+// TestBootstrapRetriesAfterSeveredSnapshot severs the first snapshot
+// download halfway: the partial load must leave the store untouched so
+// the retry bootstraps cleanly, instead of parking fatal on a
+// store-not-empty error after one transient failure.
+func TestBootstrapRetriesAfterSeveredSnapshot(t *testing.T) {
+	p := newPrimary(t)
+	p.write(t, 25)
+	if err := p.mgr.Checkpoint(p.st); err != nil {
+		t.Fatal(err)
+	}
+	p.write(t, 5)
+
+	var cut atomic.Bool
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/wal", p.src.ServeWAL)
+	mux.HandleFunc("GET /v1/wal/snapshot", func(w http.ResponseWriter, r *http.Request) {
+		rec := httptest.NewRecorder()
+		p.src.ServeSnapshot(rec, r)
+		for k, v := range rec.Header() {
+			w.Header()[k] = v
+		}
+		body := rec.Body.Bytes()
+		w.WriteHeader(rec.Code)
+		if cut.CompareAndSwap(false, true) {
+			w.Write(body[:len(body)/2]) // severed mid-stream: clean EOF, half the objects
+			return
+		}
+		w.Write(body)
+	})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	f := NewFollower(newStore(t), nil, testFollowerConfig(srv.URL))
+	defer f.Stop()
+	f.Start()
+	waitFor(t, "bootstrap retry + catch-up", func() bool { return f.Status().Applied == 30 })
+	if got := f.Status().Bootstraps; got != 1 {
+		t.Fatalf("successful bootstraps = %d, want 1", got)
+	}
+	if !bytes.Equal(history(t, f.st), history(t, p.st)) {
+		t.Fatal("replica history differs from primary after severed bootstrap")
+	}
+}
+
+// TestFollowerRejectsForeignLog repoints a follower's address at an
+// unrelated primary mid-link: the pinned log identity must park the link
+// fatally instead of resuming its offset against a foreign stream and
+// applying misaligned records.
+func TestFollowerRejectsForeignLog(t *testing.T) {
+	a := newPrimary(t)
+	a.write(t, 5)
+	b := newPrimary(t)
+	b.write(t, 9)
+
+	// One address whose backend silently changes — a DNS flip, a VIP
+	// takeover, an operator mistake.
+	var backend atomic.Pointer[primary]
+	backend.Store(a)
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/wal", func(w http.ResponseWriter, r *http.Request) {
+		backend.Load().src.ServeWAL(w, r)
+	})
+	mux.HandleFunc("GET /v1/wal/snapshot", func(w http.ResponseWriter, r *http.Request) {
+		backend.Load().src.ServeSnapshot(w, r)
+	})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	f := NewFollower(newStore(t), nil, testFollowerConfig(srv.URL))
+	defer f.Stop()
+	f.Start()
+	waitFor(t, "catch-up on the real primary", func() bool { return f.Status().Applied == 5 })
+
+	backend.Store(b)
+	waitFor(t, "foreign-log detection", func() bool {
+		return strings.Contains(f.Status().LastError, "pinned to log")
+	})
+	if got := f.Status().Applied; got != 5 {
+		t.Fatalf("follower applied %d records; it must not consume a foreign log past its pinned 5", got)
 	}
 }
 

@@ -96,6 +96,11 @@ func sourceErr(w http.ResponseWriter, status int, code, msg string) {
 // lands or the wait expires (an empty 200 body). 410 Gone directs the
 // follower to the snapshot endpoint.
 func (s *Source) ServeWAL(w http.ResponseWriter, r *http.Request) {
+	// Every feed answer — batches, 410s, even a "position beyond end" 400
+	// from a follower pointed at the wrong primary — carries the log's
+	// identity, so a mispointed follower detects the foreign log instead
+	// of retrying against it.
+	w.Header().Set(HeaderLogID, s.mgr.LogID())
 	q := r.URL.Query()
 	from, err := strconv.ParseUint(q.Get("from"), 10, 64)
 	if err != nil {
@@ -138,7 +143,16 @@ func (s *Source) ServeWAL(w http.ResponseWriter, r *http.Request) {
 		// between the read and the wait closes this channel, so the poll
 		// can never sleep through it.
 		changed := s.mgr.Changed()
-		batch, next, err := s.mgr.ReadRecords(from, maxBytes)
+		// Capture order is load-bearing for the staleness contract. The
+		// committed clock is fenced first: every mutation at or before it
+		// is already durable, and nothing later can be stamped at or
+		// before it. The durable end is read second, so it covers every
+		// record the clock covers. A follower that applies through
+		// "durable" may therefore adopt "clock" as its applied-through
+		// watermark without ever claiming a record it did not replay.
+		clock := s.st.CommittedClock()
+		durable := s.mgr.NextIndex()
+		batch, batchEnd, err := s.mgr.ReadRecords(from, maxBytes)
 		switch {
 		case err == nil:
 		case wal.IsTruncatedStream(err):
@@ -152,7 +166,7 @@ func (s *Source) ServeWAL(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		if len(batch) > 0 || wait <= 0 || !time.Now().Before(deadline) {
-			s.writeBatch(w, from, next, batch)
+			s.writeBatch(w, from, batchEnd, durable, clock, batch)
 			return
 		}
 		if timer == nil {
@@ -164,11 +178,11 @@ func (s *Source) ServeWAL(w http.ResponseWriter, r *http.Request) {
 			s.gWaiters.Add(-1)
 		case <-timer.C:
 			s.gWaiters.Add(-1)
-			s.writeBatch(w, from, s.mgr.NextIndex(), nil)
+			s.writeEmpty(w, from)
 			return
 		case <-s.closing:
 			s.gWaiters.Add(-1)
-			s.writeBatch(w, from, s.mgr.NextIndex(), nil)
+			s.writeEmpty(w, from)
 			return
 		case <-r.Context().Done():
 			s.gWaiters.Add(-1)
@@ -177,18 +191,28 @@ func (s *Source) ServeWAL(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-func (s *Source) writeBatch(w http.ResponseWriter, from, next uint64, batch []byte) {
+// writeEmpty answers an expiring long-poll with a fresh empty batch,
+// re-capturing the clock and durable end in contract order.
+func (s *Source) writeEmpty(w http.ResponseWriter, from uint64) {
+	clock := s.st.CommittedClock()
+	s.writeBatch(w, from, from, s.mgr.NextIndex(), clock, nil)
+}
+
+// writeBatch ships frames [from, batchEnd) and advertises the log's
+// durable end — which a max_bytes cap may hold the batch short of, so a
+// partially shipped follower knows it is still lagging.
+func (s *Source) writeBatch(w http.ResponseWriter, from, batchEnd, durable uint64, clock time.Time, batch []byte) {
 	w.Header().Set("Content-Type", "application/octet-stream")
 	w.Header().Set(HeaderFrom, strconv.FormatUint(from, 10))
-	w.Header().Set(HeaderNext, strconv.FormatUint(next, 10))
-	w.Header().Set(HeaderCount, strconv.FormatUint(next-from, 10))
-	w.Header().Set(HeaderClock, s.st.Now().Format(ClockFormat))
+	w.Header().Set(HeaderNext, strconv.FormatUint(durable, 10))
+	w.Header().Set(HeaderCount, strconv.FormatUint(batchEnd-from, 10))
+	w.Header().Set(HeaderClock, clock.Format(ClockFormat))
 	w.WriteHeader(http.StatusOK)
 	if len(batch) > 0 {
 		_, _ = w.Write(batch)
 	}
 	s.mBatches.Add(1)
-	s.mRecords.Add(int64(next - from))
+	s.mRecords.Add(int64(batchEnd - from))
 	s.mBytes.Add(int64(len(batch)))
 }
 
@@ -209,6 +233,7 @@ func (s *Source) ServeSnapshot(w http.ResponseWriter, r *http.Request) {
 	}
 	defer rc.Close()
 	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set(HeaderLogID, s.mgr.LogID())
 	w.Header().Set(HeaderResume, strconv.FormatUint(resume, 10))
 	w.Header().Set(HeaderClock, s.st.Now().Format(ClockFormat))
 	w.WriteHeader(http.StatusOK)

@@ -62,6 +62,35 @@ func (c *Clock) Now() time.Time {
 	return t
 }
 
+// Fence returns the clock's current reading and guarantees that every
+// subsequently issued timestamp lies strictly after it. Unlike Now, the
+// reading is a safe coverage watermark: no future Next can return a time
+// at or before a fenced reading, so "everything at or before this time"
+// is a closed set the moment Fence returns.
+func (c *Clock) Fence() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var t time.Time
+	if c.manual {
+		t = c.now
+	} else {
+		t = time.Now().UTC()
+	}
+	if t.Before(c.last) {
+		t = c.last
+	}
+	c.last = t
+	return t
+}
+
+// Latest returns the newest timestamp the clock has issued or been fenced
+// or ensured past (zero before the first). It never advances the clock.
+func (c *Clock) Latest() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.last
+}
+
 // EnsureAfter guarantees that subsequently issued timestamps lie strictly
 // after t — used when restoring persisted history so new writes never
 // collide with stored transaction times. Works on both wall and manual

@@ -8,6 +8,8 @@ package wal
 // bootstrap path on Snapshot.
 
 import (
+	"crypto/rand"
+	"encoding/hex"
 	"errors"
 	"fmt"
 	"io"
@@ -32,6 +34,64 @@ func IsTruncatedStream(err error) bool { return errors.Is(err, ErrTruncatedStrea
 
 // IsNoCheckpoint reports whether err is ErrNoCheckpoint.
 func IsNoCheckpoint(err error) bool { return errors.Is(err, ErrNoCheckpoint) }
+
+// logIDName is the file persisting the log's immutable identity inside
+// the WAL directory.
+const logIDName = "log.id"
+
+// LogID returns the log's immutable identity: 32 hex characters minted
+// the first time the directory was opened and persisted alongside the
+// segments. Two WAL directories never share an ID, so replication
+// followers use it to refuse a feed from an unrelated log.
+func (mgr *Manager) LogID() string { return mgr.logID }
+
+// loadOrMintLogID reads the directory's persisted log identity, minting
+// and durably writing a fresh one when none (or a mangled one) exists.
+// The write is temp+rename, so a crash can never leave a torn identity —
+// only a missing one, which re-mints. Re-minting after such a crash is
+// safe: no follower can have pinned an identity that never became
+// durable.
+func loadOrMintLogID(dir string) (string, error) {
+	path := filepath.Join(dir, logIDName)
+	if data, err := os.ReadFile(path); err == nil {
+		id := strings.TrimSpace(string(data))
+		if len(id) == 32 {
+			if _, err := hex.DecodeString(id); err == nil {
+				return id, nil
+			}
+		}
+		// Mangled: fall through and mint a replacement. Followers pinned to
+		// the old identity park fatal rather than silently diverging.
+	} else if !errors.Is(err, os.ErrNotExist) {
+		return "", fmt.Errorf("wal: reading log identity: %w", err)
+	}
+	var raw [16]byte
+	if _, err := rand.Read(raw[:]); err != nil {
+		return "", fmt.Errorf("wal: minting log identity: %w", err)
+	}
+	id := hex.EncodeToString(raw[:])
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return "", fmt.Errorf("wal: creating log identity: %w", err)
+	}
+	if _, err := f.Write([]byte(id + "\n")); err != nil {
+		f.Close()
+		return "", fmt.Errorf("wal: writing log identity: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return "", fmt.Errorf("wal: syncing log identity: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return "", fmt.Errorf("wal: closing log identity: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return "", fmt.Errorf("wal: committing log identity: %w", err)
+	}
+	syncDir(dir)
+	return id, nil
+}
 
 // NextIndex returns the global stream index the next appended record will
 // take — equivalently, the number of records ever appended to this log.

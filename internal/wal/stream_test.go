@@ -349,3 +349,35 @@ func TestChangedWakesWaiters(t *testing.T) {
 		t.Fatalf("NextIndex = %d, want 4", f.mgr.NextIndex())
 	}
 }
+
+// TestLogIDStableAcrossReopen pins log identity: minted once per
+// directory, 32 hex chars, stable across restarts, distinct per log.
+func TestLogIDStableAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	open := func(d string) *Manager {
+		t.Helper()
+		mgr, _, err := Open(d, newTestStore(t), Options{NoSync: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return mgr
+	}
+	mgr := open(dir)
+	id := mgr.LogID()
+	if len(id) != 32 {
+		t.Fatalf("LogID() = %q, want 32 hex chars", id)
+	}
+	if err := mgr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	mgr2 := open(dir)
+	defer mgr2.Close()
+	if mgr2.LogID() != id {
+		t.Fatalf("log identity changed across reopen: %q -> %q", id, mgr2.LogID())
+	}
+	mgr3 := open(t.TempDir())
+	defer mgr3.Close()
+	if mgr3.LogID() == id {
+		t.Fatal("two distinct WAL directories share a log identity")
+	}
+}

@@ -159,6 +159,11 @@ type Manager struct {
 	next   uint64
 	notify chan struct{}
 
+	// logID is the log's immutable identity, minted when the directory is
+	// first opened and persisted in it; replication feeds echo it so a
+	// follower can detect being repointed at an unrelated log.
+	logID string
+
 	stats RecoveryStats
 }
 
@@ -171,6 +176,10 @@ func Open(dir string, st *graph.Store, opts Options) (*Manager, RecoveryStats, e
 	var stats RecoveryStats
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, stats, fmt.Errorf("wal: creating directory: %w", err)
+	}
+	logID, err := loadOrMintLogID(dir)
+	if err != nil {
+		return nil, stats, err
 	}
 
 	// A checkpoint temporary is a checkpoint that never committed: the
@@ -247,7 +256,7 @@ func Open(dir string, st *graph.Store, opts Options) (*Manager, RecoveryStats, e
 		size = fi.Size()
 	}
 	return &Manager{dir: dir, opts: opts, f: f, seq: seq, size: size, stats: stats,
-		segs: segs, next: start, notify: make(chan struct{})}, stats, nil
+		segs: segs, next: start, notify: make(chan struct{}), logID: logID}, stats, nil
 }
 
 func segmentPath(dir string, seq uint64) string {
