@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-race bench chaos crash serve-smoke obs-smoke repl-smoke vulncheck
+.PHONY: all build vet test test-race bench chaos crash fuzz-smoke serve-smoke obs-smoke repl-smoke vulncheck
 
 all: build vet test
 
@@ -40,6 +40,13 @@ crash:
 	$(GO) test -race -count=2 -short ./internal/wal/ ./internal/chaos/
 	$(GO) test -race -count=2 -run 'WAL|Crash|Recover|Invariant|Fsck|Checkpoint|HistoryChurn|PersistTyped' \
 		./internal/graph/ ./internal/core/ ./internal/server/ ./cmd/nepal/
+
+# Short coverage-guided fuzz pass over the WAL frame decoder — the
+# parser every replication batch and crash-recovery scan feeds untrusted
+# bytes into. Seeds are real encoded frames; 15s is a smoke budget that
+# still reaches six-digit exec counts.
+fuzz-smoke:
+	$(GO) test -fuzz=FuzzDecodeRecord -fuzztime=15s -run '^$$' ./internal/wal/
 
 # End-to-end serving smoke: start a server over the demo topology, wait
 # for /healthz through the Go client, run one query over the wire, shut

@@ -111,6 +111,9 @@ type options struct {
 	// promote, with -connect, asks the remote replica to promote itself
 	// to primary and exits.
 	promote bool
+	// demote, with -connect, fences the remote primary: it keeps serving
+	// reads but rejects writes as stale_primary until re-promoted.
+	demote bool
 	// out receives all query output; nil means os.Stdout.
 	out io.Writer
 	// in supplies queries when q is empty; nil means os.Stdin.
@@ -151,6 +154,7 @@ func main() {
 	flag.StringVar(&opt.connectURL, "connect", "", "act as a client of a running server at this URL (e.g. http://127.0.0.1:7474)")
 	flag.StringVar(&opt.followURL, "follow", "", "serve: replicate from the primary at this URL and serve read-only queries (read replica)")
 	flag.BoolVar(&opt.promote, "promote", false, "connect: promote the remote replica to primary, then exit")
+	flag.BoolVar(&opt.demote, "demote", false, "connect: fence the remote primary (reads keep serving, writes rejected), then exit")
 	flag.Parse()
 
 	if err := run(opt); err != nil {

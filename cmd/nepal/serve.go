@@ -119,6 +119,19 @@ func runConnect(opt options) error {
 		return nil
 	}
 
+	if opt.demote {
+		resp, err := c.Demote(ctx)
+		if err != nil {
+			return fmt.Errorf("demote %s: %w", opt.connectURL, err)
+		}
+		if resp.Epoch > 0 {
+			fmt.Fprintf(out, "demoted %s (fenced; last epoch %d)\n", opt.connectURL, resp.Epoch)
+		} else {
+			fmt.Fprintf(out, "demoted %s (fenced)\n", opt.connectURL)
+		}
+		return nil
+	}
+
 	h, err := c.Health(ctx)
 	if err != nil {
 		return fmt.Errorf("health check against %s: %w", opt.connectURL, err)

@@ -53,6 +53,16 @@ var (
 	// ErrReadOnly matches 403 "read_only": the node is a read replica;
 	// send writes to the primary.
 	ErrReadOnly = errors.New("client: node is a read-only replica")
+	// ErrStalePrimary matches 403 "stale_primary": the node used to be
+	// the primary but was superseded by a higher-epoch promotion (or
+	// demoted by an operator). Rediscover the current primary; the write
+	// was rejected before execution, so retrying elsewhere is safe.
+	ErrStalePrimary = errors.New("client: primary is stale (superseded by a newer epoch)")
+	// ErrStaleRead is a client-side rejection: the answer was served
+	// under a lower primary epoch than the cluster has already observed,
+	// so accepting it could interleave pre- and post-failover histories.
+	// Retryable against another endpoint.
+	ErrStaleRead = errors.New("client: answer served under a superseded epoch")
 )
 
 // APIError is a structured server rejection: the HTTP status plus the
@@ -93,6 +103,8 @@ func (e *APIError) Is(target error) bool {
 		return e.Code == "replica_lagging"
 	case ErrReadOnly:
 		return e.Code == "read_only"
+	case ErrStalePrimary:
+		return e.Code == "stale_primary"
 	}
 	return false
 }
@@ -144,6 +156,11 @@ func (e *TransportError) Retryable() bool {
 type Client struct {
 	base string
 	hc   *http.Client
+
+	// provideEpoch/observeEpoch are the failover-epoch exchange hooks;
+	// see WithEpochExchange. Either may be nil.
+	provideEpoch func() uint64
+	observeEpoch func(uint64)
 }
 
 // Option configures New.
@@ -153,6 +170,18 @@ type Option func(*Client)
 // instrumentation). The default client has a 30s overall timeout.
 func WithHTTPClient(hc *http.Client) Option {
 	return func(c *Client) { c.hc = hc }
+}
+
+// WithEpochExchange wires the client into the failover-epoch exchange.
+// provide (may be nil) returns the highest primary epoch the caller has
+// seen; when positive it is stamped as X-Nepal-Epoch on every POST, so
+// a superseded primary fences itself the moment a failover-aware client
+// writes to it. observe (may be nil) is called with the epoch of every
+// response that carries one, letting the caller track the cluster-wide
+// maximum. Cluster uses both to keep pre- and post-failover histories
+// from interleaving.
+func WithEpochExchange(provide func() uint64, observe func(uint64)) Option {
+	return func(c *Client) { c.provideEpoch, c.observeEpoch = provide, observe }
 }
 
 // New returns a client for the server at baseURL (e.g.
@@ -202,6 +231,10 @@ type Result struct {
 	// replication watermark: every primary mutation at or before this
 	// timestamp is reflected. Empty on primary answers.
 	AppliedThrough string
+	// Epoch is the primary epoch the answering node served under (0 when
+	// it has none). A lower value than the highest epoch the caller has
+	// seen means the answer predates the latest failover.
+	Epoch uint64
 }
 
 // QueryOptions carries the optional per-request fields of /v1/query.
@@ -363,10 +396,25 @@ func (c *Client) Ready(ctx context.Context) (ready bool, status *server.ReadyRes
 
 // Promote asks a replica to become the primary (POST /v1/promote):
 // replication stops, replicated state is made durable, and the node
-// starts acking writes. Idempotent server-side.
+// starts acking writes under a freshly minted epoch. Idempotent
+// server-side; on a fenced primary it is the re-promotion path.
 func (c *Client) Promote(ctx context.Context) (*server.PromoteResponse, error) {
 	var resp server.PromoteResponse
 	if err := c.post(ctx, "/v1/promote", struct{}{}, &resp); err != nil {
+		return nil, err
+	}
+	if c.observeEpoch != nil && resp.Epoch > 0 {
+		c.observeEpoch(resp.Epoch)
+	}
+	return &resp, nil
+}
+
+// Demote fences a primary (POST /v1/demote): it keeps serving reads but
+// rejects mutations with ErrStalePrimary until re-promoted — run it on
+// an old primary before rejoining it to a cluster that failed over.
+func (c *Client) Demote(ctx context.Context) (*server.DemoteResponse, error) {
+	var resp server.DemoteResponse
+	if err := c.post(ctx, "/v1/demote", struct{}{}, &resp); err != nil {
 		return nil, err
 	}
 	return &resp, nil
@@ -454,6 +502,13 @@ func (c *Client) post(ctx context.Context, path string, body, into any) error {
 	}
 	req.Header.Set("Content-Type", "application/json")
 	c.injectTrace(ctx, req)
+	// Stamp the highest epoch this caller has seen: a superseded primary
+	// receiving it fences itself instead of acking the write.
+	if c.provideEpoch != nil {
+		if e := c.provideEpoch(); e > 0 {
+			req.Header.Set(server.HeaderEpoch, strconv.FormatUint(e, 10))
+		}
+	}
 	return c.do(req, into)
 }
 
@@ -477,6 +532,13 @@ func (c *Client) do(req *http.Request, into any) error {
 		return &TransportError{Op: "send", Err: err}
 	}
 	defer hresp.Body.Close()
+	// Learn the answering node's epoch whatever the outcome — error
+	// responses from a newer-epoch primary still advance the maximum.
+	if c.observeEpoch != nil {
+		if e, perr := strconv.ParseUint(hresp.Header.Get(server.HeaderEpoch), 10, 64); perr == nil && e > 0 {
+			c.observeEpoch(e)
+		}
+	}
 	raw, err := io.ReadAll(hresp.Body)
 	if err != nil {
 		// The connection died mid-response: the body is incomplete.
@@ -531,6 +593,7 @@ func decodeResult(resp *server.QueryResponse) *Result {
 		ElapsedMS:      resp.ElapsedMS,
 		TraceID:        resp.TraceID,
 		AppliedThrough: resp.AppliedThrough,
+		Epoch:          resp.Epoch,
 	}
 	for _, row := range resp.Rows {
 		r := Row{Values: make([]any, len(row.Values)), Coexist: server.IntervalsIn(row.Coexist)}

@@ -8,9 +8,17 @@ package client
 // server sent. When every replica is down or lagging the cluster
 // degrades to primary-only reads. Writes always go to the primary and
 // are never blindly retried over the network (a mutation that may have
-// reached the server must not be replayed); the one exception is 429
-// "overloaded", which the server guarantees was rejected before
-// execution.
+// reached the server must not be replayed); the exceptions are 429
+// "overloaded" and 403 "stale_primary", both of which the server
+// guarantees were rejected before execution.
+//
+// The cluster is failover-epoch aware: it tracks the highest primary
+// epoch any response has carried, stamps it on writes (fencing a stale
+// primary on contact), rejects read answers served under a lower epoch
+// (ErrStaleRead — accepting one could interleave pre- and
+// post-failover histories), rediscovers the current primary when the
+// configured one answers "stale_primary", and Failover promotes the
+// most-caught-up healthy replica rather than the first that answers.
 
 import (
 	"context"
@@ -18,6 +26,7 @@ import (
 	"fmt"
 	"math/rand"
 	"net/http"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -58,11 +67,21 @@ type Cluster struct {
 	replicas []*clusterReplica
 	rr       atomic.Uint64
 
+	// epoch is the highest primary epoch any response has carried — the
+	// cluster's watermark of "how recent a failover have I witnessed".
+	epoch atomic.Uint64
+
 	// mReadFailovers counts reads that left their first-choice endpoint.
 	mReadFailovers atomic.Int64
 	// mDegraded counts reads that fell back to the primary because no
 	// replica was available.
 	mDegraded atomic.Int64
+	// mStaleReads counts read answers rejected for carrying a lower epoch
+	// than the cluster had already seen.
+	mStaleReads atomic.Int64
+	// mRediscoveries counts writes that rewired the primary after a
+	// "stale_primary" rejection.
+	mRediscoveries atomic.Int64
 }
 
 type clusterReplica struct {
@@ -89,16 +108,33 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	if cfg.ReplicaCooldown <= 0 {
 		cfg.ReplicaCooldown = 3 * time.Second
 	}
-	var opts []Option
+	cl := &Cluster{cfg: cfg}
+	// Every endpoint client participates in the epoch exchange: each
+	// stamps the cluster's highest-seen epoch on writes and feeds the
+	// epoch of every response back into the maximum.
+	opts := []Option{WithEpochExchange(cl.epoch.Load, cl.observeEpoch)}
 	if cfg.HTTPClient != nil {
 		opts = append(opts, WithHTTPClient(cfg.HTTPClient))
 	}
-	cl := &Cluster{cfg: cfg, primary: New(cfg.Primary, opts...)}
+	cl.primary = New(cfg.Primary, opts...)
 	for _, url := range cfg.Replicas {
 		cl.replicas = append(cl.replicas, &clusterReplica{c: New(url, opts...)})
 	}
 	return cl, nil
 }
+
+// observeEpoch folds one observed epoch into the cluster maximum.
+func (cl *Cluster) observeEpoch(e uint64) {
+	for {
+		cur := cl.epoch.Load()
+		if e <= cur || cl.epoch.CompareAndSwap(cur, e) {
+			return
+		}
+	}
+}
+
+// Epoch returns the highest primary epoch the cluster has observed.
+func (cl *Cluster) Epoch() uint64 { return cl.epoch.Load() }
 
 // Primary returns the write endpoint's client.
 func (cl *Cluster) Primary() *Client {
@@ -124,6 +160,14 @@ func (cl *Cluster) ReadFailovers() int64 { return cl.mReadFailovers.Load() }
 // DegradedReads reports how many reads fell back to the primary because
 // no replica was available.
 func (cl *Cluster) DegradedReads() int64 { return cl.mDegraded.Load() }
+
+// StaleReads reports how many read answers were rejected for carrying a
+// lower epoch than the cluster had already observed.
+func (cl *Cluster) StaleReads() int64 { return cl.mStaleReads.Load() }
+
+// Rediscoveries reports how many writes rewired the primary after a
+// "stale_primary" rejection.
+func (cl *Cluster) Rediscoveries() int64 { return cl.mRediscoveries.Load() }
 
 // readPlan builds the endpoint order for one read: healthy replicas
 // starting at the round-robin cursor, then cooled-down replicas (better
@@ -158,7 +202,8 @@ func retryRead(err error) bool {
 		return te.Retryable()
 	}
 	return errors.Is(err, ErrReplicaLagging) || errors.Is(err, ErrOverloaded) ||
-		errors.Is(err, ErrReadOnly) // endpoint list is stale: a promoted node moved
+		errors.Is(err, ErrReadOnly) || // endpoint list is stale: a promoted node moved
+		errors.Is(err, ErrStaleRead) // answer predates the latest failover
 }
 
 // backoff sleeps before the next attempt: jittered exponential from the
@@ -220,22 +265,37 @@ func (cl *Cluster) read(ctx context.Context, fn func(*Client) error) error {
 
 // Query executes a read on the cluster: round-robin across healthy
 // replicas with failover, degrading to the primary when none can serve.
+// Answers served under a lower epoch than the cluster has already seen
+// are rejected (ErrStaleRead) and retried elsewhere: after a failover
+// the cluster never hands the caller an interleaving of the old
+// primary's history and the new one's.
 func (cl *Cluster) Query(ctx context.Context, query string, o *QueryOptions) (*Result, error) {
 	var res *Result
 	err := cl.read(ctx, func(c *Client) error {
 		r, err := c.Query(ctx, query, o)
-		if err == nil {
-			res = r
+		if err != nil {
+			return err
 		}
-		return err
+		// The response already advanced cl.epoch through observeEpoch, so
+		// a strict < here means some other response proved a newer era.
+		if high := cl.epoch.Load(); r.Epoch > 0 && r.Epoch < high {
+			cl.mStaleReads.Add(1)
+			return fmt.Errorf("%w: %s answered at epoch %d, cluster has seen %d",
+				ErrStaleRead, c.Base(), r.Epoch, high)
+		}
+		res = r
+		return nil
 	})
 	return res, err
 }
 
 // writeRetry retries a primary write only on errors the server
-// guarantees were rejected before execution (429 overloaded), honoring
-// Retry-After. Transport failures are NOT retried: the mutation may have
-// been applied, and replaying it is worse than reporting it.
+// guarantees were rejected before execution: 429 "overloaded" (honoring
+// Retry-After) and 403 "stale_primary" — the latter after rediscovering
+// the current primary among the endpoints, since the configured one was
+// superseded by a failover. Transport failures are NOT retried: the
+// mutation may have been applied, and replaying it is worse than
+// reporting it.
 func (cl *Cluster) writeRetry(ctx context.Context, fn func(*Client) error) error {
 	var lastErr error
 	for attempt := 0; attempt < cl.cfg.RetryBudget; attempt++ {
@@ -244,16 +304,61 @@ func (cl *Cluster) writeRetry(ctx context.Context, fn func(*Client) error) error
 			return nil
 		}
 		lastErr = err
-		if !errors.Is(err, ErrOverloaded) || ctx.Err() != nil {
+		switch {
+		case ctx.Err() != nil:
 			return err
-		}
-		if attempt+1 < cl.cfg.RetryBudget {
-			if serr := cl.backoff(ctx, attempt, err); serr != nil {
-				return fmt.Errorf("%w (last endpoint error: %v)", serr, lastErr)
+		case errors.Is(err, ErrOverloaded):
+			if attempt+1 < cl.cfg.RetryBudget {
+				if serr := cl.backoff(ctx, attempt, err); serr != nil {
+					return fmt.Errorf("%w (last endpoint error: %v)", serr, lastErr)
+				}
 			}
+		case errors.Is(err, ErrStalePrimary):
+			// The write never executed; finding the real primary and
+			// resending is safe. Without a rediscovery there is no point
+			// retrying: the stale node will keep refusing.
+			if !cl.rediscoverPrimary(ctx) {
+				return err
+			}
+			cl.mRediscoveries.Add(1)
+		default:
+			return err
 		}
 	}
 	return lastErr
+}
+
+// rediscoverPrimary scans the read endpoints for the true primary — the
+// highest-epoch unfenced node reporting the primary role — and rewires
+// the cluster onto it (the old primary leaves the write path). Returns
+// false when no endpoint currently claims the role.
+func (cl *Cluster) rediscoverPrimary(ctx context.Context) bool {
+	cl.mu.Lock()
+	replicas := append([]*clusterReplica(nil), cl.replicas...)
+	cl.mu.Unlock()
+	best := -1
+	var bestEpoch uint64
+	for i, r := range replicas {
+		_, st, err := r.c.Ready(ctx)
+		if err != nil || st == nil {
+			continue
+		}
+		if st.Role != "primary" || st.Fenced || st.Epoch == 0 {
+			continue
+		}
+		if best < 0 || st.Epoch > bestEpoch {
+			best, bestEpoch = i, st.Epoch
+		}
+	}
+	if best < 0 {
+		return false
+	}
+	cl.observeEpoch(bestEpoch)
+	cl.mu.Lock()
+	cl.primary = replicas[best].c
+	cl.replicas = append(append([]*clusterReplica(nil), replicas[:best]...), replicas[best+1:]...)
+	cl.mu.Unlock()
+	return true
 }
 
 // Ingest applies mutations through the primary.
@@ -274,28 +379,64 @@ func (cl *Cluster) Checkpoint(ctx context.Context) error {
 	return cl.writeRetry(ctx, func(c *Client) error { return c.Checkpoint(ctx) })
 }
 
-// Failover promotes a replica to primary after the primary is lost: it
-// walks the replicas in order, promotes the first that answers, and
-// rewires the cluster — the promoted node becomes the write endpoint and
-// leaves the read rotation. Returns the new primary's client.
+// Failover promotes a replica to primary after the primary is lost. It
+// asks every replica for its replication status and promotes the MOST
+// CAUGHT-UP healthy one — highest applied stream index, ties broken by
+// configuration order — not the first that answers: promoting a laggard
+// silently discards every acked write past its position. Diverged
+// (parked) replicas are never candidates. Unreachable replicas fall to
+// the back as promote-blind fallbacks, tried only when no replica could
+// report status at all. The promoted node becomes the write endpoint
+// and leaves the read rotation. Returns the new primary's client.
 func (cl *Cluster) Failover(ctx context.Context) (*Client, error) {
 	cl.mu.Lock()
 	replicas := append([]*clusterReplica(nil), cl.replicas...)
 	cl.mu.Unlock()
+	if len(replicas) == 0 {
+		return nil, errors.New("client: failover found no promotable replica: no replicas to fail over to")
+	}
+	type candidate struct {
+		idx     int
+		applied uint64
+		ranked  bool
+	}
+	cands := make([]candidate, 0, len(replicas))
+	var blind []candidate
 	var lastErr error
 	for i, r := range replicas {
-		if _, err := r.c.Promote(ctx); err != nil {
+		_, st, err := r.c.Ready(ctx)
+		if err != nil || st == nil {
+			// Can't rank it; keep as a last-resort blind promote target.
+			lastErr = err
+			blind = append(blind, candidate{idx: i})
+			continue
+		}
+		if st.Diverged {
+			lastErr = fmt.Errorf("client: replica %s parked diverged; it cannot be promoted", r.c.Base())
+			continue
+		}
+		cands = append(cands, candidate{idx: i, applied: st.AppliedIndex, ranked: true})
+	}
+	sort.SliceStable(cands, func(a, b int) bool { return cands[a].applied > cands[b].applied })
+	cands = append(cands, blind...)
+	for _, cand := range cands {
+		r := replicas[cand.idx]
+		resp, err := r.c.Promote(ctx)
+		if err != nil {
 			lastErr = err
 			continue
 		}
+		if resp.Epoch > 0 {
+			cl.observeEpoch(resp.Epoch)
+		}
 		cl.mu.Lock()
 		cl.primary = r.c
-		cl.replicas = append(append([]*clusterReplica(nil), replicas[:i]...), replicas[i+1:]...)
+		cl.replicas = append(append([]*clusterReplica(nil), replicas[:cand.idx]...), replicas[cand.idx+1:]...)
 		cl.mu.Unlock()
 		return r.c, nil
 	}
 	if lastErr == nil {
-		lastErr = errors.New("client: no replicas to fail over to")
+		lastErr = errors.New("no replicas to fail over to")
 	}
 	return nil, fmt.Errorf("client: failover found no promotable replica: %w", lastErr)
 }

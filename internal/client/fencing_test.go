@@ -1,0 +1,176 @@
+package client
+
+// Epoch-aware cluster tests against scripted endpoints: most-caught-up
+// failover ranking, stale_primary rediscovery, and lower-epoch read
+// rejection. The full-stack versions run in internal/server and
+// internal/chaos.
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"strconv"
+	"testing"
+)
+
+// replicaScript scripts a replica that reports /readyz status and
+// answers /v1/promote, recording whether it was promoted.
+func replicaScript(f *fakeEndpoint, applied uint64, diverged bool, promoted *bool) {
+	f.set(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		switch r.URL.Path {
+		case "/readyz":
+			io.WriteString(w, `{"status":"ready","role":"replica","caught_up":true,"applied_index":`+
+				strconv.FormatUint(applied, 10)+`,"diverged":`+strconv.FormatBool(diverged)+`}`)
+		case "/v1/promote":
+			if promoted != nil {
+				*promoted = true
+			}
+			io.WriteString(w, `{"promoted":true,"stream_position":`+strconv.FormatUint(applied, 10)+`,"epoch":2}`)
+		default:
+			io.WriteString(w, `{"columns":["c"],"applied":1}`)
+		}
+	})
+}
+
+// TestFailoverPicksMostCaughtUpReplica: with every replica reachable,
+// Failover must promote the one with the highest applied index — the
+// first-answering node losing the race is exactly how acked writes get
+// silently discarded.
+func TestFailoverPicksMostCaughtUpReplica(t *testing.T) {
+	primary, r1, r2, r3 := newFakeEndpoint(t), newFakeEndpoint(t), newFakeEndpoint(t), newFakeEndpoint(t)
+	primary.srv.Close()
+	var p1, p2, p3 bool
+	replicaScript(r1, 10, false, &p1)
+	replicaScript(r2, 30, false, &p2)
+	replicaScript(r3, 20, false, &p3)
+
+	cl := fastCluster(t, primary, r1, r2, r3)
+	nc, err := cl.Failover(context.Background())
+	if err != nil {
+		t.Fatalf("failover: %v", err)
+	}
+	if nc.Base() != r2.srv.URL {
+		t.Fatalf("promoted %s; want the most-caught-up %s", nc.Base(), r2.srv.URL)
+	}
+	if p1 || p3 || !p2 {
+		t.Fatalf("promote calls: r1=%v r2=%v r3=%v; want only r2", p1, p2, p3)
+	}
+	if got := cl.Epoch(); got != 2 {
+		t.Fatalf("cluster epoch after failover = %d, want the promoted node's 2", got)
+	}
+}
+
+// TestFailoverSkipsDivergedReplica: a parked fork is never a promote
+// candidate, even when it is the most caught up.
+func TestFailoverSkipsDivergedReplica(t *testing.T) {
+	primary, r1, r2 := newFakeEndpoint(t), newFakeEndpoint(t), newFakeEndpoint(t)
+	primary.srv.Close()
+	var p1, p2 bool
+	replicaScript(r1, 99, true, &p1) // most caught up, but forked
+	replicaScript(r2, 5, false, &p2)
+
+	cl := fastCluster(t, primary, r1, r2)
+	nc, err := cl.Failover(context.Background())
+	if err != nil {
+		t.Fatalf("failover: %v", err)
+	}
+	if nc.Base() != r2.srv.URL || p1 || !p2 {
+		t.Fatalf("promoted %s (r1=%v r2=%v); want the non-diverged %s", nc.Base(), p1, p2, r2.srv.URL)
+	}
+}
+
+// TestWriteRediscoversOnStalePrimary: a stale_primary rejection is a
+// signal the cluster's primary pointer is outdated, not a retryable
+// blip — the cluster must scan its replicas for the real primary (the
+// highest-epoch unfenced node claiming the role) and re-route the
+// write there.
+func TestWriteRediscoversOnStalePrimary(t *testing.T) {
+	stale, promoted := newFakeEndpoint(t), newFakeEndpoint(t)
+	stale.apiErr(http.StatusForbidden, "stale_primary", "")
+	promoted.set(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		switch r.URL.Path {
+		case "/readyz":
+			io.WriteString(w, `{"status":"ready","role":"primary","epoch":3}`)
+		default:
+			w.Header().Set("X-Nepal-Epoch", "3")
+			io.WriteString(w, `{"columns":["c"],"applied":1,"epoch":3}`)
+		}
+	})
+
+	cl := fastCluster(t, stale, promoted)
+	resp, err := cl.Ingest(context.Background(), nil)
+	if err != nil {
+		t.Fatalf("ingest through rediscovery: %v", err)
+	}
+	if resp.Epoch != 3 {
+		t.Fatalf("rerouted ack epoch = %d, want 3", resp.Epoch)
+	}
+	if cl.Primary().Base() != promoted.srv.URL {
+		t.Fatalf("cluster primary = %s; want rediscovered %s", cl.Primary().Base(), promoted.srv.URL)
+	}
+	if cl.Rediscoveries() == 0 {
+		t.Fatal("rediscovery not counted")
+	}
+	if got := cl.Epoch(); got != 3 {
+		t.Fatalf("cluster epoch = %d, want 3", got)
+	}
+}
+
+// TestWriteFailsWhenNoNewPrimaryFound: stale_primary with nowhere to
+// rediscover surfaces the typed error instead of retrying blindly
+// against the fenced node.
+func TestWriteFailsWhenNoNewPrimaryFound(t *testing.T) {
+	stale, replica := newFakeEndpoint(t), newFakeEndpoint(t)
+	stale.apiErr(http.StatusForbidden, "stale_primary", "")
+	replicaScript(replica, 4, false, nil) // role=replica: not a primary to re-route to
+
+	cl := fastCluster(t, stale, replica)
+	_, err := cl.Ingest(context.Background(), nil)
+	if !errors.Is(err, ErrStalePrimary) {
+		t.Fatalf("ingest with no discoverable primary = %v; want ErrStalePrimary", err)
+	}
+	if hits := stale.hits.Load(); hits != 1 {
+		t.Fatalf("fenced primary was retried %d times; want exactly 1 attempt", hits)
+	}
+}
+
+// TestReadRejectsLowerEpochAnswer: once the cluster has seen epoch N, a
+// replica still answering under an older era is a pre-failover node
+// whose answer may interleave forked history — the read must retry
+// elsewhere and the stale answer must never surface.
+func TestReadRejectsLowerEpochAnswer(t *testing.T) {
+	primary, staleReplica := newFakeEndpoint(t), newFakeEndpoint(t)
+	primary.set(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("X-Nepal-Epoch", "3")
+		w.Header().Set("Content-Type", "application/json")
+		io.WriteString(w, `{"columns":["fresh"],"applied":1,"epoch":3}`)
+	})
+	staleReplica.set(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		io.WriteString(w, `{"columns":["stale"],"epoch":1}`)
+	})
+
+	cl := fastCluster(t, primary, staleReplica)
+	ctx := context.Background()
+	// Teach the cluster the current era via a write ack.
+	if _, err := cl.Ingest(ctx, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Reads rotate to the replica first, see epoch 1 < 3, and must fall
+	// through to the primary rather than return the stale rows.
+	for i := 0; i < 4; i++ {
+		res, err := cl.Query(ctx, "q", nil)
+		if err != nil {
+			t.Fatalf("query %d: %v", i, err)
+		}
+		if len(res.Columns) != 1 || res.Columns[0] != "fresh" {
+			t.Fatalf("query %d returned stale answer: %+v", i, res)
+		}
+	}
+	if cl.StaleReads() == 0 {
+		t.Fatal("stale reads not counted")
+	}
+}

@@ -39,8 +39,11 @@ type AccessEntry struct {
 	EdgesScanned int  `json:"edges_scanned,omitempty"`
 	Degraded     bool `json:"degraded,omitempty"`
 	// BytesOut is the response body size written.
-	BytesOut int64  `json:"bytes_out"`
-	Error    string `json:"error,omitempty"`
+	BytesOut int64 `json:"bytes_out"`
+	// Epoch is the primary epoch the response was served under (0 when
+	// the node has none), correlating each request with its failover era.
+	Epoch uint64 `json:"epoch,omitempty"`
+	Error string `json:"error,omitempty"`
 }
 
 // AccessLog writes one JSON line per entry to an underlying writer,
@@ -109,6 +112,10 @@ func (l *AccessLog) Log(e AccessEntry) {
 	}
 	b = append(b, `,"bytes_out":`...)
 	b = strconv.AppendInt(b, e.BytesOut, 10)
+	if e.Epoch != 0 {
+		b = append(b, `,"epoch":`...)
+		b = strconv.AppendUint(b, e.Epoch, 10)
+	}
 	if e.Error != "" {
 		b = append(b, `,"error":`...)
 		b = appendJSONString(b, e.Error)

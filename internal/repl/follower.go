@@ -2,6 +2,7 @@ package repl
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -36,6 +37,33 @@ type FollowerConfig struct {
 	// Logf receives one line per state transition (connect, sever,
 	// bootstrap, promote); nil discards.
 	Logf func(format string, args ...any)
+	// Resume seeds the link with a previous link's stream state (see
+	// StreamState), so a follower repointed at a new primary — typically
+	// the sibling that won a failover — keeps its pinned log identity,
+	// epoch, position, and prefix hash instead of starting as a blank
+	// link over a non-empty store. nil starts fresh at position 0.
+	Resume *StreamState
+}
+
+// StreamState is the resumable identity of a replication link: enough
+// for a new Follower over the same store to continue exactly where this
+// one stood, including the lineage checks. Captured with
+// (*Follower).StreamState after Stop.
+type StreamState struct {
+	// LogID is the pinned primary log identity ("" before first contact).
+	LogID string
+	// Applied is the next stream index the link will request.
+	Applied uint64
+	// Epoch is the pinned primary epoch (0 before first contact with an
+	// epoch-stamping primary).
+	Epoch uint64
+	// Hash is the chained prefix hash at Applied; HashKnown reports
+	// whether the link ever learned it (it is seeded for links that
+	// started at position 0 and adopted from snapshot bootstraps).
+	Hash      uint64
+	HashKnown bool
+	// AppliedThrough is the staleness watermark at capture time.
+	AppliedThrough time.Time
 }
 
 // Status is a point-in-time snapshot of a replication link, exposed via
@@ -65,6 +93,13 @@ type Status struct {
 	LastContact time.Time
 	// LastError is the most recent feed failure ("" when healthy).
 	LastError string
+	// Epoch is the primary epoch this link is pinned to — after Promote,
+	// the new epoch this node took the log over at.
+	Epoch uint64
+	// Diverged reports the link parked with ErrDiverged: the primary's
+	// history and the locally applied history forked, and the replica
+	// must be rebuilt rather than resumed.
+	Diverged bool
 }
 
 // Follower replicates a primary's WAL into a local store. Create with
@@ -88,7 +123,15 @@ type Follower struct {
 	lastContact time.Time
 	reconnects  uint64
 	bootstraps  uint64
-	changed     chan struct{} // closed+replaced whenever the watermark advances
+	// epoch is the pinned primary epoch; hash is the chained prefix hash
+	// at applied (meaningful only when hashKnown — a link that started at
+	// position 0 knows it from the seed, a bootstrap adopts it from the
+	// snapshot). diverged latches when the link parks on a forked stream.
+	epoch     uint64
+	hash      uint64
+	hashKnown bool
+	diverged  bool
+	changed   chan struct{} // closed+replaced whenever the watermark advances
 
 	startOnce sync.Once
 	stopOnce  sync.Once
@@ -100,6 +143,7 @@ type Follower struct {
 	mBytes      *obs.Counter
 	mReconnects *obs.Counter
 	mBootstraps *obs.Counter
+	mDiverged   *obs.Counter
 }
 
 // NewFollower returns an unstarted replication link that replays the
@@ -125,11 +169,39 @@ func NewFollower(st *graph.Store, mgr *wal.Manager, cfg FollowerConfig) *Followe
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
 	}
-	return &Follower{
+	f := &Follower{
 		st: st, mgr: mgr, cfg: cfg, hc: hc,
+		// A link starting at position 0 provably has the empty history:
+		// its prefix-hash chain starts at the seed.
+		hash: wal.PrefixHashSeed, hashKnown: true,
 		changed: make(chan struct{}),
 		stop:    make(chan struct{}),
 		done:    make(chan struct{}),
+	}
+	if r := cfg.Resume; r != nil {
+		f.logID = r.LogID
+		f.applied = r.Applied
+		f.epoch = r.Epoch
+		f.hash, f.hashKnown = r.Hash, r.HashKnown
+		f.watermark = r.AppliedThrough
+	}
+	return f
+}
+
+// StreamState captures the link's resumable identity — log ID, position,
+// epoch, and prefix hash — for handing to a new Follower's Resume when
+// repointing this store at a different primary. Meaningful once the link
+// is stopped (a running link keeps moving underneath the snapshot).
+func (f *Follower) StreamState() StreamState {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return StreamState{
+		LogID:          f.logID,
+		Applied:        f.applied,
+		Epoch:          f.epoch,
+		Hash:           f.hash,
+		HashKnown:      f.hashKnown,
+		AppliedThrough: f.watermark,
 	}
 }
 
@@ -140,6 +212,7 @@ func (f *Follower) Instrument(reg *obs.Registry) {
 	f.mBytes = reg.Counter("repl.follower.bytes_received")
 	f.mReconnects = reg.Counter("repl.follower.reconnects")
 	f.mBootstraps = reg.Counter("repl.follower.bootstraps")
+	f.mDiverged = reg.Counter("repl.follower.diverged")
 	reg.GaugeFunc("repl.follower.applied_index", func() float64 {
 		f.mu.Lock()
 		defer f.mu.Unlock()
@@ -243,11 +316,7 @@ func (f *Follower) pinLogID(id string) error {
 // current applied position, replay whatever arrives, and update the
 // staleness watermark. A 410 triggers a checkpoint bootstrap first.
 func (f *Follower) syncOnce() error {
-	f.mu.Lock()
-	from := f.applied
-	f.mu.Unlock()
-
-	err := f.pull(from)
+	err := f.pull()
 	if errors.Is(err, errNeedBootstrap) {
 		if err := f.bootstrap(); err != nil {
 			return err
@@ -271,10 +340,25 @@ func (f *Follower) reqCtx(d time.Duration) (context.Context, context.CancelFunc)
 	return ctx, cancel
 }
 
-func (f *Follower) pull(from uint64) error {
+func (f *Follower) pull() error {
+	f.mu.Lock()
+	from, h, hashKnown, pinnedEpoch := f.applied, f.hash, f.hashKnown, f.epoch
+	f.mu.Unlock()
+
 	url := fmt.Sprintf("%s/v1/wal?from=%d&wait_ms=%d", f.cfg.Primary, from, f.cfg.PollWait.Milliseconds())
 	if f.cfg.MaxBatchBytes > 0 {
 		url += "&max_bytes=" + strconv.Itoa(f.cfg.MaxBatchBytes)
+	}
+	// Offer the link's lineage state: the prefix hash at from lets the
+	// source verify "same history through here" BEFORE shipping a single
+	// record, and the pinned epoch lets a superseded primary learn it was
+	// superseded (it answers 409 and self-fences instead of feeding us a
+	// stale era).
+	if hashKnown {
+		url += "&hash=" + strconv.FormatUint(h, 16)
+	}
+	if pinnedEpoch > 0 {
+		url += "&epoch=" + strconv.FormatUint(pinnedEpoch, 10)
 	}
 	ctx, cancel := f.reqCtx(f.cfg.PollWait + 10*time.Second)
 	defer cancel()
@@ -301,9 +385,31 @@ func (f *Follower) pull(from uint64) error {
 	case http.StatusGone:
 		io.Copy(io.Discard, resp.Body)
 		return errNeedBootstrap
+	case http.StatusConflict:
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
+		var env struct {
+			Error struct{ Code, Message string } `json:"error"`
+		}
+		_ = json.Unmarshal(body, &env)
+		switch env.Error.Code {
+		case "wal_diverged":
+			f.markDiverged()
+			return fmt.Errorf("%w: %w at stream position %d: %s", errFatal, ErrDiverged, from, env.Error.Message)
+		case "wal_stale_epoch":
+			return fmt.Errorf("%w: primary %s is stale: %s", errFatal, f.cfg.Primary, env.Error.Message)
+		default:
+			return fmt.Errorf("repl: feed returned %s: %s", resp.Status, body)
+		}
 	default:
 		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
 		return fmt.Errorf("repl: feed returned %s: %s", resp.Status, body)
+	}
+	srvEpoch, _ := strconv.ParseUint(resp.Header.Get(HeaderEpoch), 10, 64)
+	if srvEpoch > 0 && pinnedEpoch > 0 && srvEpoch < pinnedEpoch {
+		// Belt and braces: a primary that did not implement the epoch=
+		// 409 still must not drag this link back into a superseded era.
+		return fmt.Errorf("%w: primary %s serves epoch %d but this link is pinned to epoch %d (stale primary)",
+			errFatal, f.cfg.Primary, srvEpoch, pinnedEpoch)
 	}
 
 	batch, rerr := io.ReadAll(resp.Body)
@@ -329,6 +435,7 @@ func (f *Follower) pull(from uint64) error {
 
 	applied := from
 	var lastAt time.Time
+	torn := false
 	for len(batch) > 0 {
 		m, n, err := wal.DecodeRecord(batch)
 		if err != nil {
@@ -336,6 +443,7 @@ func (f *Follower) pull(from uint64) error {
 			// connection died mid-body. Re-request from the last record
 			// that fully applied.
 			if wal.IsTorn(err) {
+				torn = true
 				break
 			}
 			return fmt.Errorf("repl: undecodable record at stream position %d: %w", applied, err)
@@ -343,6 +451,9 @@ func (f *Follower) pull(from uint64) error {
 		if _, err := f.st.ApplyMutation(m); err != nil {
 			return fmt.Errorf("repl: replaying record %d: %w", applied, err)
 		}
+		// Mirror the primary's prefix-hash chain record by record, so the
+		// link can always prove which history it applied.
+		h = wal.ChainHash(h, wal.FrameChecksum(batch[:n]))
 		f.mBytes.Add(int64(n))
 		batch = batch[n:]
 		applied++
@@ -353,8 +464,36 @@ func (f *Follower) pull(from uint64) error {
 		f.mRecords.Add(int64(applied - from))
 	}
 
+	// With the whole batch applied, the locally chained hash must land
+	// exactly on the hash the source stamped for the batch end: a
+	// mismatch means the histories forked (the source-side check at
+	// "from" is the first line of defense; this one also covers sources
+	// we never offered a hash to). A batch cut short by a dying
+	// connection — even on a clean frame boundary — is excluded by
+	// matching the applied count against the served count.
+	count, cerr := strconv.ParseUint(resp.Header.Get(HeaderCount), 10, 64)
+	complete := !torn && rerr == nil && cerr == nil && applied-from == count
+	if hdr := resp.Header.Get(HeaderHash); hdr != "" && complete {
+		if srvHash, perr := strconv.ParseUint(hdr, 16, 64); perr == nil {
+			if hashKnown && h != srvHash {
+				f.markDiverged()
+				return fmt.Errorf("%w: %w: primary chains to %016x at stream position %d, this replica to %016x",
+					errFatal, ErrDiverged, srvHash, applied, h)
+			}
+			if !hashKnown {
+				h, hashKnown = srvHash, true
+			}
+		}
+	}
+
 	f.mu.Lock()
 	f.applied = applied
+	f.hash, f.hashKnown = h, hashKnown
+	if srvEpoch > f.epoch {
+		// A higher epoch whose history verifiably contains ours (the
+		// hash checks above) is a clean failover: adopt the new era.
+		f.epoch = srvEpoch
+	}
 	if lastAt.After(f.watermark) {
 		f.watermark = lastAt
 	}
@@ -408,6 +547,15 @@ func (f *Follower) bootstrap() error {
 	if err != nil {
 		return fmt.Errorf("repl: snapshot response missing %s", HeaderResume)
 	}
+	srvEpoch, _ := strconv.ParseUint(resp.Header.Get(HeaderEpoch), 10, 64)
+	f.mu.Lock()
+	pinnedEpoch := f.epoch
+	f.mu.Unlock()
+	if srvEpoch > 0 && pinnedEpoch > 0 && srvEpoch < pinnedEpoch {
+		return fmt.Errorf("%w: snapshot from %s is at epoch %d but this link is pinned to epoch %d (stale primary)",
+			errFatal, f.cfg.Primary, srvEpoch, pinnedEpoch)
+	}
+	srvHash, herr := strconv.ParseUint(resp.Header.Get(HeaderHash), 16, 64)
 	if err := f.st.LoadHistory(resp.Body); err != nil {
 		if errors.Is(err, graph.ErrStoreNotEmpty) {
 			// In-place full resyncs are deliberately not supported: fall
@@ -421,6 +569,12 @@ func (f *Follower) bootstrap() error {
 	f.mBootstraps.Add(1)
 	f.mu.Lock()
 	f.applied = resume
+	// The snapshot repositions the link: adopt the source's chain state
+	// at the resume index (the position-0 seed no longer applies there).
+	f.hash, f.hashKnown = srvHash, herr == nil
+	if srvEpoch > f.epoch {
+		f.epoch = srvEpoch
+	}
 	// The snapshot proves coverage only through its newest stored
 	// transaction time (which LoadHistory fenced the local clock past) —
 	// NOT through the local wall clock, which would claim primary commits
@@ -443,6 +597,15 @@ func (f *Follower) setErr(err error) {
 	f.mu.Unlock()
 }
 
+// markDiverged latches the fork flag the moment it is detected (the
+// fatal ErrDiverged that parks the loop lands in LastError separately).
+func (f *Follower) markDiverged() {
+	f.mDiverged.Add(1)
+	f.mu.Lock()
+	f.diverged = true
+	f.mu.Unlock()
+}
+
 // Status snapshots the link.
 func (f *Follower) Status() Status {
 	f.mu.Lock()
@@ -456,6 +619,8 @@ func (f *Follower) Status() Status {
 		Reconnects:     f.reconnects,
 		Bootstraps:     f.bootstraps,
 		LastContact:    f.lastContact,
+		Epoch:          f.epoch,
+		Diverged:       f.diverged,
 	}
 	if f.primaryNext > f.applied {
 		s.LagRecords = f.primaryNext - f.applied
@@ -509,11 +674,15 @@ func (f *Follower) WaitUntil(ctx context.Context, ts time.Time) error {
 	}
 }
 
-// Promote turns the follower into a primary: the pull loop stops, and
-// when a local WAL is attached the replicated state is checkpointed into
-// it so every replayed mutation is durable before the node acks writes
-// of its own. Idempotent; returns the stream position the node took over
-// at.
+// Promote turns the follower into a primary: the pull loop stops, the
+// node's own WAL (when attached) adopts the primary's log identity,
+// stream position, and prefix hash under a freshly bumped epoch, and the
+// replicated state is checkpointed into it so every replayed mutation is
+// durable before the node acks writes of its own. Adopting the stream —
+// rather than starting a fresh log — is what makes a later fork by the
+// old primary detectable: both logs then claim the same identity and
+// positions, and any follower comparing prefix hashes sees which era it
+// is on. Idempotent; returns the stream position the node took over at.
 func (f *Follower) Promote() (uint64, error) {
 	f.mu.Lock()
 	if f.promoted {
@@ -524,16 +693,45 @@ func (f *Follower) Promote() (uint64, error) {
 	f.promoted = true
 	close(f.changed)
 	f.changed = make(chan struct{})
-	applied := f.applied
 	f.mu.Unlock()
 
+	// Stop the pull loop BEFORE reading the stream position: a promote
+	// racing an in-flight bootstrap must observe either the empty store
+	// (the canceled download's LoadHistory installed nothing) or the
+	// fully loaded one with its applied index already advanced — never a
+	// checkpoint of half-staged state at a stale position.
 	f.Stop()
+
+	f.mu.Lock()
+	applied, h, hashKnown, pinnedEpoch, logID := f.applied, f.hash, f.hashKnown, f.epoch, f.logID
+	f.mu.Unlock()
+
+	newEpoch := pinnedEpoch + 1
 	if f.mgr != nil {
+		if own := f.mgr.Epoch(); own > pinnedEpoch {
+			newEpoch = own + 1
+		}
+		if logID != "" && hashKnown {
+			if err := f.mgr.AdoptStream(logID, applied, newEpoch, h); err != nil {
+				return applied, fmt.Errorf("repl: adopting primary's stream on promote: %w", err)
+			}
+		} else if err := f.mgr.SetEpoch(newEpoch); err != nil {
+			// Never contacted an epoch-stamping primary (or the chain state
+			// is unknown): keep the node's own log identity and just open a
+			// new era on it.
+			return applied, fmt.Errorf("repl: bumping epoch on promote: %w", err)
+		}
 		if err := f.mgr.Checkpoint(f.st); err != nil {
 			return applied, fmt.Errorf("repl: checkpointing replicated state on promote: %w", err)
 		}
+	} else if pinnedEpoch == 0 {
+		// In-memory replica of a WAL-less primary: epochs are not in play.
+		newEpoch = 0
 	}
-	f.cfg.Logf("repl: promoted at stream position %d", applied)
+	f.mu.Lock()
+	f.epoch = newEpoch
+	f.mu.Unlock()
+	f.cfg.Logf("repl: promoted at stream position %d (epoch %d)", applied, newEpoch)
 	return applied, nil
 }
 

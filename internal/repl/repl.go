@@ -67,6 +67,19 @@ const (
 	// responses: every mutation at or before this timestamp is reflected
 	// in the answer.
 	HeaderAppliedThrough = "X-Nepal-Applied-Through"
+	// HeaderEpoch carries the log's primary epoch on every feed and
+	// snapshot response. Followers pin it: a higher epoch whose prefix
+	// hash matches at the follower's position is a clean failover and is
+	// adopted; a lower epoch marks a stale, superseded primary and is
+	// rejected. Feed requests echo the pinned value back (epoch= query
+	// param), which is how a stale primary first learns it was superseded.
+	HeaderEpoch = "X-Nepal-Wal-Epoch"
+	// HeaderHash carries the chained prefix hash (hex) at the batch end
+	// on feed responses — at the requested position for an empty batch —
+	// and at the resume index on snapshot responses. A follower chains the
+	// same hash over the records it applies; any disagreement means the
+	// two logs forked.
+	HeaderHash = "X-Nepal-Wal-Hash"
 )
 
 // ClockFormat renders HeaderClock / HeaderAppliedThrough timestamps.
@@ -84,3 +97,11 @@ var ErrPromoted = errors.New("repl: follower has been promoted")
 // ErrStopped reports an operation on a follower whose replication loop
 // has been stopped without promotion.
 var ErrStopped = errors.New("repl: follower stopped")
+
+// ErrDiverged reports that the follower's applied history and the
+// primary's log have forked: the chained prefix hashes disagree at the
+// follower's position, so the two nodes applied different records under
+// the same log identity — the signature of an unfenced split brain. The
+// follower parks rather than applying (or re-applying) either side of
+// the fork; the operator must rebuild it from the surviving primary.
+var ErrDiverged = errors.New("repl: follower history diverged from primary (forked WAL)")

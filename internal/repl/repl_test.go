@@ -5,10 +5,12 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -510,5 +512,265 @@ func TestSourceLongPollDelivers(t *testing.T) {
 		}
 	case <-time.After(15 * time.Second):
 		t.Fatal("long-poll never returned")
+	}
+}
+
+// TestPromoteRacingBootstrap promotes a follower while its checkpoint
+// bootstrap download is still in flight. Promote stops the pull loop
+// before reading the stream position, so it must observe either the
+// empty store (the canceled download installed nothing) or the fully
+// loaded one with its applied index already advanced — never a
+// checkpoint of half-staged state at a stale position. Run under -race
+// this also pins the Stop-before-read ordering inside Promote.
+func TestPromoteRacingBootstrap(t *testing.T) {
+	p := newPrimary(t)
+	p.write(t, 40)
+	if err := p.mgr.Checkpoint(p.st); err != nil {
+		t.Fatal(err)
+	}
+	want := history(t, p.st)
+	empty := history(t, newStore(t))
+
+	for round := 0; round < 3; round++ {
+		// The snapshot handler writes half the body, signals, then holds
+		// the rest until released. Round 0 releases only after Promote
+		// returns (the promote deterministically lands mid-download);
+		// later rounds release immediately, racing Promote against the
+		// tail of the bootstrap so either outcome can win.
+		var started, release = make(chan struct{}), make(chan struct{})
+		var once sync.Once
+		mux := http.NewServeMux()
+		mux.HandleFunc("GET /v1/wal", p.src.ServeWAL)
+		mux.HandleFunc("GET /v1/wal/snapshot", func(w http.ResponseWriter, r *http.Request) {
+			rec := httptest.NewRecorder()
+			p.src.ServeSnapshot(rec, r)
+			for k, v := range rec.Header() {
+				w.Header()[k] = v
+			}
+			body := rec.Body.Bytes()
+			w.WriteHeader(rec.Code)
+			w.Write(body[:len(body)/2])
+			if fl, ok := w.(http.Flusher); ok {
+				fl.Flush()
+			}
+			once.Do(func() { close(started) })
+			<-release
+			w.Write(body[len(body)/2:])
+		})
+		srv := httptest.NewServer(mux)
+
+		fdir := t.TempDir()
+		fst := newStore(t)
+		fmgr, _, err := wal.Open(fdir, fst, wal.Options{NoSync: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fst.SetMutationHook(func(ctx context.Context, m *graph.Mutation) error {
+			return fmgr.Append(ctx, m)
+		})
+		f := NewFollower(fst, fmgr, testFollowerConfig(srv.URL))
+		f.Start()
+		<-started
+		if round > 0 {
+			close(release)
+		}
+		applied, perr := f.Promote()
+		if round == 0 {
+			close(release)
+		}
+		srv.Close()
+		if perr != nil {
+			t.Fatalf("round %d: Promote: %v", round, perr)
+		}
+
+		got := history(t, fst)
+		switch applied {
+		case 0:
+			if !bytes.Equal(got, empty) {
+				t.Fatalf("round %d: promoted at 0 but the store is not empty — half-staged bootstrap leaked", round)
+			}
+		case 40:
+			if !bytes.Equal(got, want) {
+				t.Fatalf("round %d: promoted at 40 but the store differs from the primary", round)
+			}
+		default:
+			t.Fatalf("round %d: promoted at %d, want 0 (canceled) or 40 (complete)", round, applied)
+		}
+
+		// The checkpoint Promote wrote must reproduce exactly the state
+		// it observed: a crash-restart of the promoted node lands on the
+		// same history, whichever side of the race won.
+		if err := fmgr.Close(); err != nil {
+			t.Fatal(err)
+		}
+		st2 := newStore(t)
+		mgr2, _, err := wal.Open(fdir, st2, wal.Options{NoSync: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(history(t, st2), got) {
+			t.Fatalf("round %d: recovered promoted node differs from its pre-restart state", round)
+		}
+		mgr2.Close()
+	}
+}
+
+// TestSourceRejectsStaleEpoch: a feed request pinned to a higher epoch
+// proves this primary was superseded. The source must refuse to ship
+// (409 wal_stale_epoch) and notify the serving layer via OnStaleEpoch
+// so the node can fence itself.
+func TestSourceRejectsStaleEpoch(t *testing.T) {
+	p := newPrimary(t)
+	p.write(t, 3)
+	var learned atomic.Uint64
+	p.src.OnStaleEpoch = func(remote uint64) { learned.Store(remote) }
+
+	resp, err := http.Get(p.srv.URL + "/v1/wal?from=0&epoch=5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("feed with higher epoch = %s, want 409", resp.Status)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	if !strings.Contains(string(body), "wal_stale_epoch") {
+		t.Fatalf("409 body missing wal_stale_epoch: %s", body)
+	}
+	if got := learned.Load(); got != 5 {
+		t.Fatalf("OnStaleEpoch learned %d, want 5", got)
+	}
+
+	// An equal or lower pinned epoch ships normally.
+	resp2, err := http.Get(p.srv.URL + "/v1/wal?from=0&epoch=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("feed with matching epoch = %s, want 200", resp2.Status)
+	}
+}
+
+// TestFollowerAdoptsHigherEpoch: the primary re-promoting into a newer
+// era (same log, higher epoch, unchanged history) is legitimate — the
+// follower must adopt the higher pin and keep applying, not park.
+func TestFollowerAdoptsHigherEpoch(t *testing.T) {
+	p := newPrimary(t)
+	p.write(t, 6)
+	f := NewFollower(newStore(t), nil, testFollowerConfig(p.srv.URL))
+	defer f.Stop()
+	f.Start()
+	waitFor(t, "catch-up", func() bool { return f.Status().Applied == 6 })
+	if got := f.Status().Epoch; got != 1 {
+		t.Fatalf("pinned epoch = %d, want 1", got)
+	}
+
+	if err := p.mgr.SetEpoch(3); err != nil {
+		t.Fatal(err)
+	}
+	p.write(t, 4)
+	waitFor(t, "new-era records", func() bool { return f.Status().Applied == 10 })
+	// The poll that shipped the batch may have been parked before the
+	// epoch bump (its header snapshots the old era); the very next poll
+	// round adopts the new pin.
+	waitFor(t, "epoch adoption", func() bool { return f.Status().Epoch == 3 })
+	st := f.Status()
+	if st.Diverged {
+		t.Fatal("higher epoch with a matching history parked the link")
+	}
+	if !bytes.Equal(history(t, f.st), history(t, p.st)) {
+		t.Fatal("replica history differs after epoch adoption")
+	}
+}
+
+// TestFollowerParksDivergedOnForgedFork resumes a link whose recorded
+// prefix hash disagrees with the primary's chain at the same position —
+// the on-disk shape of a follower that applied a forked history. The
+// source must refuse before shipping a single record and the follower
+// must park with the typed ErrDiverged, applying nothing.
+func TestFollowerParksDivergedOnForgedFork(t *testing.T) {
+	p := newPrimary(t)
+	p.write(t, 8)
+
+	f := NewFollower(newStore(t), nil, testFollowerConfig(p.srv.URL))
+	f.Start()
+	waitFor(t, "catch-up", func() bool { return f.Status().Applied == 8 })
+	f.Stop()
+	resume := f.StreamState()
+	if !resume.HashKnown {
+		t.Fatal("caught-up follower never learned the prefix hash")
+	}
+	resume.Hash ^= 0xdeadbeef // forge: same position, different history
+
+	cfg := testFollowerConfig(p.srv.URL)
+	cfg.Resume = &resume
+	forked := NewFollower(newStore(t), nil, cfg)
+	defer forked.Stop()
+	forked.Start()
+	waitFor(t, "diverged park", func() bool { return forked.Status().Diverged })
+	st := forked.Status()
+	if st.Applied != 8 {
+		t.Fatalf("diverged link applied %d records past the fork, want none (still at 8)", st.Applied-8)
+	}
+	if !strings.Contains(st.LastError, ErrDiverged.Error()) {
+		t.Fatalf("LastError = %q, want it to carry ErrDiverged", st.LastError)
+	}
+}
+
+// TestPromotedNodeServesFreshFollower closes the failover loop: a
+// follower promotes (adopting the dead primary's stream identity into
+// its own WAL), keeps writing, and a brand-new replica bootstrapping
+// from it converges to the full history — replicated prefix plus
+// post-promotion writes — under the bumped epoch.
+func TestPromotedNodeServesFreshFollower(t *testing.T) {
+	p := newPrimary(t)
+	p.write(t, 10)
+
+	fst := newStore(t)
+	fmgr, _, err := wal.Open(t.TempDir(), fst, wal.Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { fmgr.Close() })
+	fst.SetMutationHook(func(ctx context.Context, m *graph.Mutation) error {
+		return fmgr.Append(ctx, m)
+	})
+	f := NewFollower(fst, fmgr, testFollowerConfig(p.srv.URL))
+	f.Start()
+	waitFor(t, "catch-up", func() bool { return f.Status().Applied == 10 })
+	if _, err := f.Promote(); err != nil {
+		t.Fatal(err)
+	}
+	if got := fmgr.Epoch(); got != 2 {
+		t.Fatalf("promoted WAL epoch = %d, want 2", got)
+	}
+	if got := fmgr.LogID(); got != p.mgr.LogID() {
+		t.Fatalf("promoted WAL log id = %q, want the adopted %q", got, p.mgr.LogID())
+	}
+	// The new primary writes under its own era.
+	for i := 5000; i < 5005; i++ {
+		if _, err := fst.InsertNode("Host", graph.Fields{"id": i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	src := NewSource(fst, fmgr)
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/wal", src.ServeWAL)
+	mux.HandleFunc("GET /v1/wal/snapshot", src.ServeSnapshot)
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	f2 := NewFollower(newStore(t), nil, testFollowerConfig(srv.URL))
+	defer f2.Stop()
+	f2.Start()
+	waitFor(t, "fresh follower catch-up", func() bool { return f2.Status().Applied == 15 })
+	st := f2.Status()
+	if st.Epoch != 2 {
+		t.Fatalf("fresh follower pinned epoch = %d, want 2", st.Epoch)
+	}
+	if !bytes.Equal(history(t, f2.st), history(t, fst)) {
+		t.Fatal("fresh follower history differs from the promoted node")
 	}
 }

@@ -28,13 +28,21 @@ type Source struct {
 	MaxBatchBytes int
 	// MaxWait caps a feed request's wait_ms long-poll; 0 means 30s.
 	MaxWait time.Duration
+	// OnStaleEpoch, when set, is invoked with the remote epoch whenever a
+	// feed request proves this log's epoch has been superseded (the
+	// requester has seen a higher one). The serving layer uses it to
+	// self-fence a stale primary the moment one of its old followers —
+	// now pinned to the new era — reconnects.
+	OnStaleEpoch func(remoteEpoch uint64)
 
-	mBatches   *obs.Counter
-	mRecords   *obs.Counter
-	mBytes     *obs.Counter
-	mSnapshots *obs.Counter
-	mTruncated *obs.Counter
-	gWaiters   *obs.Gauge
+	mBatches    *obs.Counter
+	mRecords    *obs.Counter
+	mBytes      *obs.Counter
+	mSnapshots  *obs.Counter
+	mTruncated  *obs.Counter
+	mDiverged   *obs.Counter
+	mStaleEpoch *obs.Counter
+	gWaiters    *obs.Gauge
 
 	closing   chan struct{}
 	closeOnce sync.Once
@@ -63,6 +71,8 @@ func (s *Source) Instrument(reg *obs.Registry) {
 	s.mBytes = reg.Counter("repl.source.bytes_shipped")
 	s.mSnapshots = reg.Counter("repl.source.snapshots_served")
 	s.mTruncated = reg.Counter("repl.source.truncated_requests")
+	s.mDiverged = reg.Counter("repl.source.diverged_requests")
+	s.mStaleEpoch = reg.Counter("repl.source.stale_epoch_requests")
 	s.gWaiters = reg.Gauge("repl.source.poll_waiters")
 }
 
@@ -101,11 +111,53 @@ func (s *Source) ServeWAL(w http.ResponseWriter, r *http.Request) {
 	// identity, so a mispointed follower detects the foreign log instead
 	// of retrying against it.
 	w.Header().Set(HeaderLogID, s.mgr.LogID())
+	epoch := s.mgr.Epoch()
+	w.Header().Set(HeaderEpoch, strconv.FormatUint(epoch, 10))
 	q := r.URL.Query()
 	from, err := strconv.ParseUint(q.Get("from"), 10, 64)
 	if err != nil {
 		sourceErr(w, http.StatusBadRequest, "bad_request", "feed requires a numeric from= stream position")
 		return
+	}
+	// A follower pinned to a higher epoch proves this log was superseded:
+	// a newer primary exists and took the stream over. Refuse to ship (the
+	// requester must not re-adopt a stale era) and notify the serving
+	// layer so the node can fence itself.
+	if v := q.Get("epoch"); v != "" {
+		remote, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			sourceErr(w, http.StatusBadRequest, "bad_request", "epoch must be a non-negative integer")
+			return
+		}
+		if remote > epoch {
+			s.mStaleEpoch.Add(1)
+			if s.OnStaleEpoch != nil {
+				s.OnStaleEpoch(remote)
+			}
+			sourceErr(w, http.StatusConflict, "wal_stale_epoch",
+				fmt.Sprintf("this log is at epoch %d but the requester has seen epoch %d: this primary was superseded and must not be followed", epoch, remote))
+			return
+		}
+	}
+	// The follower's chained prefix hash at from, when offered, is
+	// verified BEFORE any record ships: on a fork the follower parks with
+	// nothing applied, instead of discovering the divergence after
+	// replaying half of the wrong history. Positions this log cannot hash
+	// (truncated into a checkpoint, or beyond the end) fall through to the
+	// feed loop, which answers 410/400 itself.
+	if v := q.Get("hash"); v != "" {
+		remote, err := strconv.ParseUint(v, 16, 64)
+		if err != nil {
+			sourceErr(w, http.StatusBadRequest, "bad_request", "hash must be a hex-encoded prefix hash")
+			return
+		}
+		if local, err := s.mgr.PrefixHash(from); err == nil && local != remote {
+			s.mDiverged.Add(1)
+			w.Header().Set(HeaderHash, strconv.FormatUint(local, 16))
+			sourceErr(w, http.StatusConflict, "wal_diverged",
+				fmt.Sprintf("prefix hash mismatch at stream position %d: this log chains to %016x, the requester to %016x — the histories have forked", from, local, remote))
+			return
+		}
 	}
 	maxBytes := s.maxBatch()
 	if v := q.Get("max_bytes"); v != "" {
@@ -207,6 +259,13 @@ func (s *Source) writeBatch(w http.ResponseWriter, from, batchEnd, durable uint6
 	w.Header().Set(HeaderNext, strconv.FormatUint(durable, 10))
 	w.Header().Set(HeaderCount, strconv.FormatUint(batchEnd-from, 10))
 	w.Header().Set(HeaderClock, clock.Format(ClockFormat))
+	// The prefix hash at the batch end lets the follower confirm its own
+	// chain after applying — omitted only when a concurrent checkpoint
+	// contracted the position away between the read and now (the follower
+	// then just skips the check for this batch).
+	if h, err := s.mgr.PrefixHash(batchEnd); err == nil {
+		w.Header().Set(HeaderHash, strconv.FormatUint(h, 16))
+	}
 	w.WriteHeader(http.StatusOK)
 	if len(batch) > 0 {
 		_, _ = w.Write(batch)
@@ -221,7 +280,7 @@ func (s *Source) writeBatch(w http.ResponseWriter, from, batchEnd, durable uint6
 // checkpoint exists yet — a fresh follower then simply streams from
 // position zero.
 func (s *Source) ServeSnapshot(w http.ResponseWriter, r *http.Request) {
-	rc, resume, err := s.mgr.Snapshot()
+	rc, resume, hash, err := s.mgr.Snapshot()
 	if err != nil {
 		if wal.IsNoCheckpoint(err) {
 			sourceErr(w, http.StatusNotFound, "no_checkpoint",
@@ -234,7 +293,9 @@ func (s *Source) ServeSnapshot(w http.ResponseWriter, r *http.Request) {
 	defer rc.Close()
 	w.Header().Set("Content-Type", "application/octet-stream")
 	w.Header().Set(HeaderLogID, s.mgr.LogID())
+	w.Header().Set(HeaderEpoch, strconv.FormatUint(s.mgr.Epoch(), 10))
 	w.Header().Set(HeaderResume, strconv.FormatUint(resume, 10))
+	w.Header().Set(HeaderHash, strconv.FormatUint(hash, 16))
 	w.Header().Set(HeaderClock, s.st.Now().Format(ClockFormat))
 	w.WriteHeader(http.StatusOK)
 	_, _ = io.Copy(w, rc)

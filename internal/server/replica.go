@@ -7,11 +7,21 @@ package server
 // applied-through watermark, reads demanding a min_timestamp wait
 // (bounded) or fail typed "replica_lagging", /readyz reports lag, and
 // POST /v1/promote turns the replica into a writable primary.
+//
+// Failover safety lives here too. Every node serves under a primary
+// epoch; a promotion mints a strictly higher one. A primary that learns
+// a higher epoch exists — from an old follower reconnecting with
+// epoch= pinned to the new era, or from a client stamping X-Nepal-Epoch
+// on a write — fences itself: reads keep flowing, mutations fail typed
+// "stale_primary", and /readyz answers 503 "fenced" until an operator
+// re-promotes it (which mints an epoch above the one that fenced it).
+// POST /v1/demote is the operator-initiated form of the same fence.
 
 import (
 	"context"
 	"errors"
 	"net/http"
+	"strconv"
 	"time"
 
 	"repro/internal/repl"
@@ -39,6 +49,76 @@ func (s *Server) rejectReadOnly(w http.ResponseWriter, r *http.Request) bool {
 	writeErr(w, r, http.StatusForbidden, "read_only",
 		"this node is a read replica; send writes to the primary (or promote it via POST /v1/promote)")
 	return true
+}
+
+// nodeEpoch returns the primary epoch this node serves under: the
+// stream epoch a replica is pinned to, the WAL's durable epoch on a
+// primary (including a promoted replica, whose Promote bumped it), or
+// 0 for a node with no epoch at all (in-memory, never replicated).
+func (s *Server) nodeEpoch() uint64 {
+	if f := s.cfg.Follower; f != nil && !f.Promoted() {
+		return f.Status().Epoch
+	}
+	if mgr := s.db.WAL(); mgr != nil {
+		return mgr.Epoch()
+	}
+	if f := s.cfg.Follower; f != nil {
+		return f.Status().Epoch
+	}
+	return 0
+}
+
+// fence marks this node a superseded primary. remoteEpoch is the epoch
+// proving the supersession (CAS-max into fencedBy so re-promotion mints
+// above the highest era seen); 0 fences without epoch evidence — the
+// operator-demote case. Idempotent and monotonic: once fenced, only an
+// explicit re-promotion unfences.
+func (s *Server) fence(remoteEpoch uint64) {
+	for {
+		cur := s.fencedBy.Load()
+		if remoteEpoch <= cur || s.fencedBy.CompareAndSwap(cur, remoteEpoch) {
+			break
+		}
+	}
+	s.fenced.Store(true)
+}
+
+// rejectStalePrimary answers mutation attempts on a fenced primary.
+// Before deciding, it learns from the requester: a client that has
+// watched a failover stamps the new primary's epoch on its writes, and
+// a higher epoch than our own is proof this node was superseded — the
+// write that would have split the brain is the very thing that fences
+// it. Returns true when the request was rejected.
+func (s *Server) rejectStalePrimary(w http.ResponseWriter, r *http.Request) bool {
+	if v := r.Header.Get(HeaderEpoch); v != "" {
+		if remote, err := strconv.ParseUint(v, 10, 64); err == nil {
+			if own := s.nodeEpoch(); own > 0 && remote > own {
+				s.fence(remote)
+			}
+		}
+	}
+	if !s.fenced.Load() {
+		return false
+	}
+	msg := "this primary was demoted; re-promote it via POST /v1/promote or send writes to the current primary"
+	if by := s.fencedBy.Load(); by > 0 {
+		msg = "this primary (epoch " + strconv.FormatUint(s.nodeEpoch(), 10) +
+			") was superseded by epoch " + strconv.FormatUint(by, 10) +
+			"; send writes to the current primary"
+	}
+	writeErr(w, r, http.StatusForbidden, "stale_primary", msg)
+	return true
+}
+
+// stampEpoch writes the node's primary epoch onto a response and
+// returns it, so bodies can carry the same value. Epoch-less nodes
+// stamp nothing.
+func (s *Server) stampEpoch(w http.ResponseWriter) uint64 {
+	epoch := s.nodeEpoch()
+	if epoch > 0 {
+		w.Header().Set(HeaderEpoch, strconv.FormatUint(epoch, 10))
+	}
+	return epoch
 }
 
 // maxStalenessWait is the cap on a min_timestamp read's wait.
@@ -93,10 +173,15 @@ func (s *Server) waitFresh(ctx context.Context, w http.ResponseWriter, r *http.R
 	return true
 }
 
-// stampStaleness adds the replica's applied-through watermark to a
-// response: reads answered by this node reflect every mutation at or
-// before it.
+// stampStaleness adds read-provenance to a response: the node's primary
+// epoch (all nodes), and — on replicas — the applied-through watermark,
+// so reads answered by this node reflect every mutation at or before
+// it. The epoch lets a failover-aware client reject answers from a node
+// still serving a superseded era.
 func (s *Server) stampStaleness(w http.ResponseWriter, resp *QueryResponse) {
+	if epoch := s.stampEpoch(w); resp != nil {
+		resp.Epoch = epoch
+	}
 	if s.cfg.Follower == nil {
 		return
 	}
@@ -112,8 +197,18 @@ func (s *Server) stampStaleness(w http.ResponseWriter, resp *QueryResponse) {
 // its advertised staleness bound, 503 while it is syncing or lagging.
 // Primaries (and promoted replicas) are always ready.
 func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	fenced := s.fenced.Load()
 	if s.cfg.Follower == nil {
-		writeJSON(w, http.StatusOK, ReadyResponse{Status: "ready", Role: "primary"})
+		resp := ReadyResponse{Status: "ready", Role: "primary", Epoch: s.nodeEpoch(), Fenced: fenced}
+		if fenced {
+			// A fenced primary still serves reads, but it must not win a
+			// readiness probe: traffic belongs on the new primary.
+			resp.Status = "fenced"
+			w.Header().Set("Retry-After", "1")
+			writeJSON(w, http.StatusServiceUnavailable, resp)
+			return
+		}
+		writeJSON(w, http.StatusOK, resp)
 		return
 	}
 	st := s.cfg.Follower.Status()
@@ -127,6 +222,9 @@ func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
 		Reconnects:   st.Reconnects,
 		Bootstraps:   st.Bootstraps,
 		LastError:    st.LastError,
+		Epoch:        s.nodeEpoch(),
+		Fenced:       fenced && st.Promoted,
+		Diverged:     st.Diverged,
 	}
 	if !st.AppliedThrough.IsZero() {
 		resp.AppliedThrough = st.AppliedThrough.Format(repl.ClockFormat)
@@ -138,8 +236,14 @@ func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
 		maxLag = 0
 	}
 	switch {
+	case st.Promoted && fenced:
+		resp.Status, resp.Role = "fenced", "primary"
 	case st.Promoted:
 		resp.Status, resp.Role = "ready", "primary"
+	case st.Diverged:
+		// The replica's history forked from its primary's log; it parked
+		// rather than apply either side of the fork and must be rebuilt.
+		resp.Status = "diverged"
 	case st.LastContact.IsZero():
 		resp.Status = "syncing"
 	case !st.CaughtUp && st.LagRecords > maxLag:
@@ -157,10 +261,28 @@ func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
 
 // handlePromote serves POST /v1/promote: stop replicating, checkpoint
 // the replicated state into the local WAL (when present), and start
-// acking writes. Idempotent.
+// acking writes under a freshly minted epoch. Idempotent. On a fenced
+// primary it is the re-promotion path: the epoch is bumped above every
+// era known to have superseded this node, and the fence lifts.
 func (s *Server) handlePromote(w http.ResponseWriter, r *http.Request) {
 	if s.cfg.Follower == nil {
-		writeErr(w, r, http.StatusBadRequest, "bad_request", "this node is not a replica")
+		if !s.fenced.Load() {
+			writeErr(w, r, http.StatusBadRequest, "bad_request", "this node is not a replica")
+			return
+		}
+		mgr := s.db.WAL()
+		if mgr == nil {
+			writeErr(w, r, http.StatusBadRequest, "bad_request",
+				"this fenced node has no WAL to mint a new epoch in; restart it instead")
+			return
+		}
+		epoch := max(mgr.Epoch(), s.fencedBy.Load()) + 1
+		if err := mgr.SetEpoch(epoch); err != nil {
+			writeErr(w, r, http.StatusInternalServerError, "internal", err.Error())
+			return
+		}
+		s.fenced.Store(false)
+		writeJSON(w, http.StatusOK, PromoteResponse{Promoted: true, StreamPosition: mgr.NextIndex(), Epoch: epoch})
 		return
 	}
 	pos, err := s.cfg.Follower.Promote()
@@ -168,15 +290,47 @@ func (s *Server) handlePromote(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, r, http.StatusInternalServerError, "internal", err.Error())
 		return
 	}
-	writeJSON(w, http.StatusOK, PromoteResponse{Promoted: true, StreamPosition: pos})
+	epoch := s.nodeEpoch()
+	if s.fenced.Load() {
+		// A promoted-then-fenced replica re-promotes the same way a fenced
+		// primary does: mint above the superseding era, then lift the fence.
+		if mgr := s.db.WAL(); mgr != nil {
+			epoch = max(epoch, s.fencedBy.Load()) + 1
+			if err := mgr.SetEpoch(epoch); err != nil {
+				writeErr(w, r, http.StatusInternalServerError, "internal", err.Error())
+				return
+			}
+		}
+		s.fenced.Store(false)
+	}
+	writeJSON(w, http.StatusOK, PromoteResponse{Promoted: true, StreamPosition: pos, Epoch: epoch})
+}
+
+// handleDemote serves POST /v1/demote: operator-initiated fencing of a
+// primary — reads keep flowing, mutations fail typed "stale_primary",
+// /readyz answers "fenced" — typically run on an old primary before
+// bringing it back into a cluster that failed over while it was down.
+// Idempotent; POST /v1/promote reverses it.
+func (s *Server) handleDemote(w http.ResponseWriter, r *http.Request) {
+	if s.replica() {
+		writeErr(w, r, http.StatusBadRequest, "bad_request", "this node is already a read replica")
+		return
+	}
+	s.fence(0)
+	writeJSON(w, http.StatusOK, DemoteResponse{Demoted: true, Epoch: s.nodeEpoch()})
 }
 
 // mountReplication wires the replication surface onto the mux: the WAL
-// feed on any WAL-backed node, /readyz and /v1/promote everywhere.
+// feed on any WAL-backed node, /readyz, /v1/promote, and /v1/demote
+// everywhere.
 func (s *Server) mountReplication() {
 	if mgr := s.db.WAL(); mgr != nil {
 		src := repl.NewSource(s.db.Store(), mgr)
 		src.Instrument(s.reg)
+		// A feed request pinned to a higher epoch is proof of supersession:
+		// one of this node's old followers now follows the new primary.
+		// Fence immediately — before the next client write can be acked.
+		src.OnStaleEpoch = s.fence
 		s.source = src
 		s.mux.HandleFunc("GET /v1/wal", src.ServeWAL)
 		s.mux.HandleFunc("GET /v1/wal/snapshot", src.ServeSnapshot)
@@ -194,8 +348,16 @@ func (s *Server) mountReplication() {
 			return max(lag.Seconds(), 0)
 		})
 	}
+	s.reg.GaugeFunc("repl.epoch", func() float64 { return float64(s.nodeEpoch()) })
+	s.reg.GaugeFunc("server.fenced", func() float64 {
+		if s.fenced.Load() {
+			return 1
+		}
+		return 0
+	})
 	s.mux.HandleFunc("GET /readyz", s.handleReady)
 	s.mux.HandleFunc("POST /v1/promote", s.handlePromote)
+	s.mux.HandleFunc("POST /v1/demote", s.handleDemote)
 }
 
 // Close abruptly stops the server without draining — the kill-the-

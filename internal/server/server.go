@@ -34,6 +34,7 @@ import (
 	"net"
 	"net/http"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -112,6 +113,14 @@ type Server struct {
 	commit    string
 	mux       *http.ServeMux
 	hs        *http.Server
+
+	// fenced marks this node a superseded (or operator-demoted) primary:
+	// it keeps serving reads but rejects mutations with the typed
+	// "stale_primary" error until re-promoted. fencedBy records the
+	// highest epoch known to have superseded this node (0 for a pure
+	// operator demote); re-promotion must mint an epoch above it.
+	fenced   atomic.Bool
+	fencedBy atomic.Uint64
 
 	// Per-request metric handles, resolved once: registry lookups hash
 	// the metric name, and these three fire on every request.
@@ -499,7 +508,7 @@ func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
-	if s.rejectReadOnly(w, r) {
+	if s.rejectReadOnly(w, r) || s.rejectStalePrimary(w, r) {
 		return
 	}
 	rt := rtFrom(r.Context())
@@ -538,6 +547,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		resp.Applied++
 	}
 	ex.Finish()
+	resp.Epoch = s.stampEpoch(w)
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -556,7 +566,7 @@ func (s *Server) applyOp(ctx context.Context, op IngestOp) (graph.UID, error) {
 }
 
 func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
-	if s.rejectReadOnly(w, r) {
+	if s.rejectReadOnly(w, r) || s.rejectStalePrimary(w, r) {
 		return
 	}
 	start := time.Now()
@@ -584,6 +594,8 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		Version:       s.version,
 		Commit:        s.commit,
+		Epoch:         s.nodeEpoch(),
+		Fenced:        s.fenced.Load(),
 	}
 	if s.db.WAL() != nil {
 		rs := s.db.RecoveryStats()

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
@@ -139,6 +140,11 @@ func (s *Server) telemetry() http.Handler {
 			}
 		}
 
+		// The handler stamped the node's primary epoch on the response (when
+		// it has one); lifting it off the header here gives every access-log
+		// line its era without threading epoch through each handler.
+		epoch, _ := strconv.ParseUint(sw.Header().Get(HeaderEpoch), 10, 64)
+
 		s.accessLog.Log(obs.AccessEntry{
 			Time:            start,
 			TraceID:         rt.traceID,
@@ -153,6 +159,7 @@ func (s *Server) telemetry() http.Handler {
 			EdgesScanned:    rt.edges,
 			Degraded:        rt.degraded,
 			BytesOut:        sw.bytes,
+			Epoch:           epoch,
 			Error:           rt.errMsg,
 		})
 

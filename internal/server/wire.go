@@ -17,6 +17,15 @@ import (
 // the two sides can never drift; external callers see plain JSON with
 // snake_case keys and RFC 3339 timestamps.
 
+// HeaderEpoch is the node-level primary-epoch header. Servers stamp it
+// on query and ingest responses (the same value appears in the JSON
+// body as "epoch"); clients echo the highest epoch they have ever seen
+// back on mutations, which is how a stale primary that was partitioned
+// away during a failover learns it was superseded and fences itself.
+// Distinct from repl.HeaderEpoch (X-Nepal-Wal-Epoch), which rides the
+// WAL feed between nodes.
+const HeaderEpoch = "X-Nepal-Epoch"
+
 // ExplainMode selects how /v1/query treats the statement: execute it
 // (""), return the textual plan without executing (ExplainPlan), or
 // execute with operator tracing and return the annotated plan alongside
@@ -230,6 +239,10 @@ type QueryResponse struct {
 	// watermark: the answer reflects every primary mutation at or before
 	// this timestamp (also sent as the X-Nepal-Applied-Through header).
 	AppliedThrough string `json:"applied_through,omitempty"`
+	// Epoch is the primary epoch of the log this answer derives from
+	// (also sent as the X-Nepal-Epoch header). A client that has seen a
+	// higher epoch knows this answer predates the latest failover.
+	Epoch uint64 `json:"epoch,omitempty"`
 }
 
 // IngestOp is one mutation of a POST /v1/ingest batch.
@@ -258,6 +271,10 @@ type IngestRequest struct {
 type IngestResponse struct {
 	UIDs    []int64 `json:"uids"`
 	Applied int     `json:"applied"`
+	// Epoch is the primary epoch these ops were acked under (also the
+	// X-Nepal-Epoch header). Clients track the highest epoch seen and
+	// refuse to fall back to a lower-epoch primary.
+	Epoch uint64 `json:"epoch,omitempty"`
 }
 
 // CheckpointResponse acknowledges a completed checkpoint.
@@ -289,13 +306,32 @@ type ReadyResponse struct {
 	Reconnects uint64 `json:"reconnects,omitempty"`
 	Bootstraps uint64 `json:"bootstraps,omitempty"`
 	LastError  string `json:"last_error,omitempty"`
+	// Epoch is the primary epoch this node is pinned to (replica) or
+	// serving under (primary).
+	Epoch uint64 `json:"epoch,omitempty"`
+	// Fenced reports a superseded primary: it knows a higher epoch exists
+	// and rejects mutations with "stale_primary" until re-promoted.
+	Fenced bool `json:"fenced,omitempty"`
+	// Diverged reports a parked replica whose applied history forked from
+	// its primary's log (prefix-hash mismatch); it must be rebuilt.
+	Diverged bool `json:"diverged,omitempty"`
 }
 
 // PromoteResponse acknowledges POST /v1/promote: the node stopped
-// replicating at StreamPosition and now acks writes of its own.
+// replicating at StreamPosition and now acks writes of its own, under
+// Epoch (strictly above every epoch the node had seen).
 type PromoteResponse struct {
 	Promoted       bool   `json:"promoted"`
 	StreamPosition uint64 `json:"stream_position"`
+	Epoch          uint64 `json:"epoch,omitempty"`
+}
+
+// DemoteResponse acknowledges POST /v1/demote: the node is fenced — it
+// keeps serving reads but rejects mutations with "stale_primary" until
+// re-promoted via POST /v1/promote.
+type DemoteResponse struct {
+	Demoted bool   `json:"demoted"`
+	Epoch   uint64 `json:"epoch,omitempty"`
 }
 
 // HealthResponse is the body of GET /healthz.
@@ -308,6 +344,11 @@ type HealthResponse struct {
 	UptimeSeconds float64 `json:"uptime_seconds"`
 	Version       string  `json:"version,omitempty"`
 	Commit        string  `json:"commit,omitempty"`
+	// Epoch is the node's primary epoch (0 when the node has none — an
+	// in-memory store that never replicated).
+	Epoch uint64 `json:"epoch,omitempty"`
+	// Fenced reports a superseded primary; see ReadyResponse.Fenced.
+	Fenced bool `json:"fenced,omitempty"`
 	// Recovery reports what WAL recovery restored at startup; nil when
 	// the database is not WAL-backed.
 	Recovery *RecoveryInfo `json:"recovery,omitempty"`

@@ -102,6 +102,14 @@ func DecodeRecord(b []byte) (*graph.Mutation, int, error) {
 	return decodeRecord(b)
 }
 
+// FrameChecksum reads the stored CRC-32C out of a frame's header — the
+// value the chained prefix hash is built over. The frame must be at
+// least a whole header (callers pass frames DecodeRecord or frameSize
+// already validated).
+func FrameChecksum(frame []byte) uint32 {
+	return binary.LittleEndian.Uint32(frame[4:8])
+}
+
 // IsTorn reports whether err marks an incomplete frame — the benign end
 // of a cut-off batch or a crash tail, as opposed to corruption.
 func IsTorn(err error) bool { return errors.Is(err, errTorn) }

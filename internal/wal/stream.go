@@ -70,27 +70,20 @@ func loadOrMintLogID(dir string) (string, error) {
 		return "", fmt.Errorf("wal: minting log identity: %w", err)
 	}
 	id := hex.EncodeToString(raw[:])
-	tmp := path + ".tmp"
-	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
-	if err != nil {
-		return "", fmt.Errorf("wal: creating log identity: %w", err)
+	if err := writeLogIDFile(dir, id); err != nil {
+		return "", err
 	}
-	if _, err := f.Write([]byte(id + "\n")); err != nil {
-		f.Close()
-		return "", fmt.Errorf("wal: writing log identity: %w", err)
-	}
-	if err := f.Sync(); err != nil {
-		f.Close()
-		return "", fmt.Errorf("wal: syncing log identity: %w", err)
-	}
-	if err := f.Close(); err != nil {
-		return "", fmt.Errorf("wal: closing log identity: %w", err)
-	}
-	if err := os.Rename(tmp, path); err != nil {
-		return "", fmt.Errorf("wal: committing log identity: %w", err)
-	}
-	syncDir(dir)
 	return id, nil
+}
+
+// writeLogIDFile durably persists the log identity (temp+rename+dir
+// sync). Besides minting, AdoptStream uses it to rewrite the identity
+// when a promoted follower takes over its primary's log.
+func writeLogIDFile(dir, id string) error {
+	if err := writeFileDurable(dir, logIDName, id+"\n"); err != nil {
+		return fmt.Errorf("wal: persisting log identity: %w", err)
+	}
+	return nil
 }
 
 // NextIndex returns the global stream index the next appended record will
@@ -203,24 +196,31 @@ func (mgr *Manager) ReadRecords(from uint64, maxBytes int) ([]byte, uint64, erro
 }
 
 // Snapshot opens the latest checkpoint for reading and returns the stream
-// index a reader should resume from after loading it. The checkpoint may
+// index a reader should resume from after loading it, plus the chained
+// prefix hash at that index (captured atomically with it, so a
+// bootstrapping follower can seed its own chain). The checkpoint may
 // contain records at or past the returned index (the rotation overlap
 // window); replaying them through graph.ApplyMutation is idempotent, so
 // resuming at the returned index is always correct. The caller closes the
 // reader.
-func (mgr *Manager) Snapshot() (io.ReadCloser, uint64, error) {
+func (mgr *Manager) Snapshot() (io.ReadCloser, uint64, uint64, error) {
 	// Read the resume index before opening: the checkpoint on disk at (or
 	// replaced after) this moment always covers at least through the
 	// current base, so a concurrent checkpoint swap stays safe.
-	base := mgr.BaseIndex()
+	mgr.mu.Lock()
+	base, hash := mgr.next, mgr.hash
+	if len(mgr.segs) > 0 {
+		base, hash = mgr.segs[0].start, mgr.segs[0].hash
+	}
+	mgr.mu.Unlock()
 	f, err := os.Open(checkpointPath(mgr.dir))
 	if err != nil {
 		if os.IsNotExist(err) {
-			return nil, 0, ErrNoCheckpoint
+			return nil, 0, 0, ErrNoCheckpoint
 		}
-		return nil, 0, fmt.Errorf("wal: opening checkpoint: %w", err)
+		return nil, 0, 0, fmt.Errorf("wal: opening checkpoint: %w", err)
 	}
-	return f, base, nil
+	return f, base, hash, nil
 }
 
 // HasCheckpoint reports whether a committed checkpoint exists on disk.
@@ -239,14 +239,17 @@ func segmentIdxPath(dir string, seq uint64) string {
 	return strings.TrimSuffix(segmentPath(dir, seq), segmentSuffix) + indexSuffix
 }
 
-// writeSegIdx persists a segment's global start index, synced, through
-// the Manager's (possibly fault-injected) file opener.
-func writeSegIdx(opts Options, dir string, seq, start uint64) error {
+// writeSegIdx persists a segment's global start index and the chained
+// prefix hash at that index, synced, through the Manager's (possibly
+// fault-injected) file opener. Format: "start hash\n" with the hash in
+// hex; readers also accept the legacy single-field form.
+func writeSegIdx(opts Options, dir string, seq, start, hash uint64) error {
 	f, err := opts.open(segmentIdxPath(dir, seq), os.O_WRONLY|os.O_CREATE|os.O_TRUNC)
 	if err != nil {
 		return fmt.Errorf("wal: creating segment %d index sidecar: %w", seq, err)
 	}
-	if _, err := f.Write([]byte(strconv.FormatUint(start, 10) + "\n")); err != nil {
+	line := strconv.FormatUint(start, 10) + " " + strconv.FormatUint(hash, 16) + "\n"
+	if _, err := f.Write([]byte(line)); err != nil {
 		f.Close()
 		return fmt.Errorf("wal: writing segment %d index sidecar: %w", seq, err)
 	}
@@ -260,19 +263,30 @@ func writeSegIdx(opts Options, dir string, seq, start uint64) error {
 	return nil
 }
 
-// readSegIdx loads a segment's persisted start index; ok is false when
-// the sidecar is missing or unparseable (recovery then derives the value
-// by chaining record counts from stream position zero).
-func readSegIdx(dir string, seq uint64) (start uint64, ok bool) {
+// readSegIdx loads a segment's persisted start index and prefix hash; ok
+// is false when the sidecar is missing or unparseable (recovery then
+// derives the start by chaining record counts from stream position
+// zero). hashOK is false for a legacy single-field sidecar, which
+// predates prefix hashing.
+func readSegIdx(dir string, seq uint64) (start, hash uint64, hashOK, ok bool) {
 	data, err := os.ReadFile(segmentIdxPath(dir, seq))
 	if err != nil {
-		return 0, false
+		return 0, 0, false, false
 	}
-	v, err := strconv.ParseUint(strings.TrimSpace(string(data)), 10, 64)
+	fields := strings.Fields(string(data))
+	if len(fields) == 0 {
+		return 0, 0, false, false
+	}
+	start, err = strconv.ParseUint(fields[0], 10, 64)
 	if err != nil {
-		return 0, false
+		return 0, 0, false, false
 	}
-	return v, true
+	if len(fields) >= 2 {
+		if hash, err = strconv.ParseUint(fields[1], 16, 64); err == nil {
+			return start, hash, true, true
+		}
+	}
+	return start, 0, false, true
 }
 
 // frameSize validates one frame's header and checksum and returns its

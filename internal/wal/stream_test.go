@@ -226,7 +226,7 @@ func TestBootstrapFromMidStreamCheckpoint(t *testing.T) {
 	f := newStreamFixture(t)
 
 	// No checkpoint yet: bootstrap must say so.
-	if _, _, err := f.mgr.Snapshot(); !errors.Is(err, ErrNoCheckpoint) {
+	if _, _, _, err := f.mgr.Snapshot(); !errors.Is(err, ErrNoCheckpoint) {
 		t.Fatalf("Snapshot on fresh log: err = %v, want ErrNoCheckpoint", err)
 	}
 
@@ -236,7 +236,7 @@ func TestBootstrapFromMidStreamCheckpoint(t *testing.T) {
 	}
 	f.run(7, 35)
 
-	rc, resume, err := f.mgr.Snapshot()
+	rc, resume, _, err := f.mgr.Snapshot()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -277,7 +277,7 @@ func TestSnapshotOverlapIsIdempotent(t *testing.T) {
 	}
 	f.run(9, 20)
 
-	rc, resume, err := f.mgr.Snapshot()
+	rc, resume, _, err := f.mgr.Snapshot()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -302,7 +302,7 @@ func TestSnapshotOverlapIsIdempotent(t *testing.T) {
 	// The follower re-bootstraps from the fresher checkpoint; records it
 	// already holds replay as no-ops is not required here — LoadHistory
 	// needs an empty store — so it starts clean, as the protocol demands.
-	rc2, resume2, err := f.mgr.Snapshot()
+	rc2, resume2, _, err := f.mgr.Snapshot()
 	if err != nil {
 		t.Fatal(err)
 	}

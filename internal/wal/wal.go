@@ -131,6 +131,11 @@ type walObs struct {
 type segMeta struct {
 	seq   uint64
 	start uint64
+	// hash is the chained prefix hash at start — the chain state after
+	// folding in every record before this segment. Persisted in the
+	// sidecar beside start, so lineage comparisons survive checkpoints
+	// deleting the earlier segments the chain ran over.
+	hash uint64
 }
 
 // Manager is an open write-ahead log bound to one directory. Its Append
@@ -159,10 +164,15 @@ type Manager struct {
 	next   uint64
 	notify chan struct{}
 
-	// logID is the log's immutable identity, minted when the directory is
-	// first opened and persisted in it; replication feeds echo it so a
-	// follower can detect being repointed at an unrelated log.
+	// logID is the log's identity, minted when the directory is first
+	// opened and persisted in it; replication feeds echo it so a follower
+	// can detect being repointed at an unrelated log. It changes only via
+	// AdoptStream, when a promoted follower takes over its primary's log.
 	logID string
+	// epoch is the log's durable primary epoch (see epoch.go); hash is
+	// the chained prefix hash at next, updated on every append.
+	epoch uint64
+	hash  uint64
 
 	stats RecoveryStats
 }
@@ -178,6 +188,10 @@ func Open(dir string, st *graph.Store, opts Options) (*Manager, RecoveryStats, e
 		return nil, stats, fmt.Errorf("wal: creating directory: %w", err)
 	}
 	logID, err := loadOrMintLogID(dir)
+	if err != nil {
+		return nil, stats, err
+	}
+	epoch, err := loadOrMintEpoch(dir)
 	if err != nil {
 		return nil, stats, err
 	}
@@ -209,42 +223,59 @@ func Open(dir string, st *graph.Store, opts Options) (*Manager, RecoveryStats, e
 		return nil, stats, err
 	}
 	stats.Segments = len(seqs)
-	counts := make([]int, len(seqs))
+	crcs := make([][]uint32, len(seqs))
 	for i, seq := range seqs {
-		n, err := replaySegment(dir, seq, i == len(seqs)-1, st, &stats)
+		c, err := replaySegment(dir, seq, i == len(seqs)-1, st, &stats)
 		if err != nil {
 			return nil, stats, err
 		}
-		counts[i] = n
+		crcs[i] = c
 	}
 
-	// Reconstruct each segment's global start index: trust the ".idx"
-	// sidecar when present (it survives checkpoints deleting earlier
-	// segments — for the oldest on-disk segment it is the only source),
-	// and derive by chaining record counts when not (a legacy directory,
-	// or a sidecar lost to a crash mid-rotation; safe because the one
-	// sidecar that is ever load-bearing, the rotated segment's, is made
-	// durable inside Checkpoint before its predecessors are pruned, so a
-	// sidecar-less oldest segment always starts the stream at zero).
+	// Reconstruct each segment's global start index and prefix-hash chain
+	// state: trust the ".idx" sidecar when present (it survives
+	// checkpoints deleting earlier segments — for the oldest on-disk
+	// segment it is the only source), and derive by chaining record
+	// counts/CRCs when not (a legacy directory, or a sidecar lost to a
+	// crash mid-rotation; safe because the one sidecar that is ever
+	// load-bearing, the rotated segment's, is made durable inside
+	// Checkpoint before its predecessors are pruned, so a sidecar-less
+	// oldest segment always starts the stream at zero).
 	segs := make([]segMeta, len(seqs))
 	var start uint64
+	hash := PrefixHashSeed
 	for i, seq := range seqs {
-		if s, ok := readSegIdx(dir, seq); ok {
+		if s, h, hashOK, ok := readSegIdx(dir, seq); ok {
 			if i > 0 && s != start {
 				return nil, stats, fmt.Errorf("wal: segment %d index sidecar says start %d, chained replay says %d",
 					seq, s, start)
 			}
 			start = s
+			if hashOK {
+				if i > 0 && h != hash {
+					return nil, stats, fmt.Errorf("wal: segment %d index sidecar says prefix hash %016x, chained replay says %016x",
+						seq, h, hash)
+				}
+				hash = h
+			}
+			// A legacy hash-less sidecar on the oldest segment keeps the
+			// seed chain state: cross-node lineage comparison only becomes
+			// meaningful once both logs carry hashed sidecars, which every
+			// rotation from now on writes.
 		}
-		segs[i] = segMeta{seq: seq, start: start}
-		start += uint64(counts[i])
+		segs[i] = segMeta{seq: seq, start: start, hash: hash}
+		start += uint64(len(crcs[i]))
+		for _, crc := range crcs[i] {
+			hash = ChainHash(hash, crc)
+		}
 	}
 
 	seq := uint64(1)
 	if n := len(seqs); n > 0 {
 		seq = seqs[n-1]
 	} else {
-		segs = []segMeta{{seq: seq, start: 0}}
+		segs = []segMeta{{seq: seq, start: 0, hash: PrefixHashSeed}}
+		hash = PrefixHashSeed
 	}
 	path := segmentPath(dir, seq)
 	f, err := opts.open(path, os.O_WRONLY|os.O_CREATE|os.O_APPEND)
@@ -256,7 +287,8 @@ func Open(dir string, st *graph.Store, opts Options) (*Manager, RecoveryStats, e
 		size = fi.Size()
 	}
 	return &Manager{dir: dir, opts: opts, f: f, seq: seq, size: size, stats: stats,
-		segs: segs, next: start, notify: make(chan struct{}), logID: logID}, stats, nil
+		segs: segs, next: start, hash: hash, epoch: epoch,
+		notify: make(chan struct{}), logID: logID}, stats, nil
 }
 
 func segmentPath(dir string, seq uint64) string {
@@ -283,44 +315,46 @@ func listSegments(dir string) ([]uint64, error) {
 }
 
 // replaySegment applies one segment's records to the store, returning
-// how many records the segment holds (after any tail truncation). A torn
+// the stored CRC of each record the segment holds (after any tail
+// truncation) — the inputs the prefix-hash chain is rebuilt from. A torn
 // or corrupt record in the final segment is the crash tail: the file is
 // truncated at the first bad record and replay stops there. The same
 // damage in an earlier segment cannot be a crash artifact (segments are
 // synced before rotation) and is reported as an error.
-func replaySegment(dir string, seq uint64, last bool, st *graph.Store, stats *RecoveryStats) (int, error) {
+func replaySegment(dir string, seq uint64, last bool, st *graph.Store, stats *RecoveryStats) ([]uint32, error) {
 	path := segmentPath(dir, seq)
 	data, err := os.ReadFile(path)
 	if err != nil {
-		return 0, fmt.Errorf("wal: reading segment %d: %w", seq, err)
+		return nil, fmt.Errorf("wal: reading segment %d: %w", seq, err)
 	}
-	off, records := 0, 0
+	off := 0
+	var crcs []uint32
 	for off < len(data) {
 		m, n, err := decodeRecord(data[off:])
 		if err != nil {
 			if !last || !(errors.Is(err, errTorn) || errors.Is(err, errCorrupt)) {
-				return records, fmt.Errorf("wal: segment %d offset %d: %w", seq, off, err)
+				return crcs, fmt.Errorf("wal: segment %d offset %d: %w", seq, off, err)
 			}
 			if terr := os.Truncate(path, int64(off)); terr != nil {
-				return records, fmt.Errorf("wal: truncating torn tail of segment %d at %d: %w", seq, off, terr)
+				return crcs, fmt.Errorf("wal: truncating torn tail of segment %d at %d: %w", seq, off, terr)
 			}
 			stats.TailTruncated = true
 			stats.DroppedBytes = int64(len(data) - off)
-			return records, nil
+			return crcs, nil
 		}
 		applied, err := st.ApplyMutation(m)
 		if err != nil {
-			return records, fmt.Errorf("wal: replaying segment %d offset %d: %w", seq, off, err)
+			return crcs, fmt.Errorf("wal: replaying segment %d offset %d: %w", seq, off, err)
 		}
 		if applied {
 			stats.RecordsApplied++
 		} else {
 			stats.RecordsSkipped++
 		}
+		crcs = append(crcs, FrameChecksum(data[off:off+n]))
 		off += n
-		records++
 	}
-	return records, nil
+	return crcs, nil
 }
 
 // Append logs one mutation, making it durable before the store applies
@@ -377,6 +411,7 @@ func (mgr *Manager) Append(ctx context.Context, m *graph.Mutation) error {
 	o.appends.Add(1)
 	o.appendBytes.Add(int64(n))
 	mgr.next++
+	mgr.hash = ChainHash(mgr.hash, FrameChecksum(frame))
 	// Wake long-poll stream readers: the closed channel is the broadcast,
 	// a fresh one arms the next wait.
 	close(mgr.notify)
@@ -422,9 +457,10 @@ func (mgr *Manager) Checkpoint(st *graph.Store) error {
 	sealed := mgr.seq
 	mgr.seq++
 	// The rotated segment's first record is the next global index; persist
-	// that in its sidecar before any record lands, so stream offsets
-	// survive recovery even after the sealed segments are deleted.
-	if err := writeSegIdx(mgr.opts, mgr.dir, mgr.seq, mgr.next); err != nil {
+	// that (and the prefix-hash chain state at it) in the sidecar before
+	// any record lands, so stream offsets and lineage survive recovery
+	// even after the sealed segments are deleted.
+	if err := writeSegIdx(mgr.opts, mgr.dir, mgr.seq, mgr.next, mgr.hash); err != nil {
 		mgr.broken = fmt.Errorf("rotation failed: %w", err)
 		mgr.mu.Unlock()
 		return err
@@ -437,7 +473,7 @@ func (mgr *Manager) Checkpoint(st *graph.Store) error {
 	}
 	mgr.f = f
 	mgr.size = 0
-	mgr.segs = append(mgr.segs, segMeta{seq: mgr.seq, start: mgr.next})
+	mgr.segs = append(mgr.segs, segMeta{seq: mgr.seq, start: mgr.next, hash: mgr.hash})
 	mgr.mu.Unlock()
 
 	// Snapshot outside the log lock; WriteHistory holds the store's read

@@ -10,14 +10,19 @@
 #   3. writes against a replica are rejected with the typed read_only
 #      error;
 #   4. replication lag metrics appear in the replica's /metrics;
-#   5. -connect -promote turns a replica into a writable primary.
+#   5. -connect -promote turns a replica into a writable primary;
+#   6. failover: the primary is killed, replica 1 is promoted and acks
+#      writes under a higher epoch, and when the old primary restarts
+#      from its WAL a write carrying the new epoch fences it — the
+#      write is rejected stale_primary and /readyz reports fenced.
 # Finally every node is shut down with SIGTERM and must exit cleanly.
 set -eu
 
 cd "$(dirname "$0")/.."
 
 TMP="$(mktemp -d)"
-trap 'kill "$PRIMARY_PID" "$R1_PID" "$R2_PID" 2>/dev/null || true; rm -rf "$TMP"' EXIT
+PRIMARY_PID=""; R1_PID=""; R2_PID=""; OLD_PID=""
+trap 'kill $PRIMARY_PID $R1_PID $R2_PID $OLD_PID 2>/dev/null || true; rm -rf "$TMP"' EXIT
 
 echo "repl-smoke: building nepal..."
 go build -o "$TMP/nepal" ./cmd/nepal
@@ -115,7 +120,50 @@ case "$WRITE" in
     *) echo "repl-smoke: promoted replica rejected a write: $WRITE"; exit 1 ;;
 esac
 
-for PAIR in "primary:$PRIMARY_PID" "replica1:$R1_PID" "replica2:$R2_PID"; do
+# 6. Failover with fencing: kill the primary, promote replica 1, write
+# to the new primary, restart the old primary from its WAL, and check
+# that a write carrying the new epoch fences it.
+kill -TERM "$PRIMARY_PID"
+wait "$PRIMARY_PID" || true
+PRIMARY_PID=""
+echo "repl-smoke: primary killed for failover"
+
+"$TMP/nepal" -connect "http://$R1" -promote
+EPOCH="$(curl -fsS "http://$R1/readyz" | sed -n 's|.*"epoch":\([0-9]*\).*|\1|p')"
+[ -n "$EPOCH" ] && [ "$EPOCH" -ge 2 ] || {
+    echo "repl-smoke: promoted node did not mint a higher epoch: $(curl -fsS "http://$R1/readyz")"; exit 1; }
+echo "repl-smoke: replica 1 promoted at epoch $EPOCH"
+WRITE="$(curl -fsS -X POST "http://$R1/v1/ingest" \
+    -H 'Content-Type: application/json' \
+    -d '{"ops":[{"op":"insert-node","class":"ComputeHost","fields":{"id":454545,"name":"post-failover","rack":"rz","status":"Active"}}]}')"
+case "$WRITE" in
+    *'"applied":1'*) echo "repl-smoke: new primary acks writes after failover" ;;
+    *) echo "repl-smoke: new primary rejected a write: $WRITE"; exit 1 ;;
+esac
+
+# The old primary comes back from its WAL still believing it is the
+# primary at the old epoch. A write stamped with the cluster's current
+# epoch — what internal/client sends automatically — must teach it the
+# truth: the write is rejected stale_primary and the node fences.
+"$TMP/nepal" -wal-dir "$TMP/primary-wal" -serve 127.0.0.1:0 2>"$TMP/old.log" &
+OLD_PID=$!
+OLD="$(wait_addr "$TMP/old.log" "$OLD_PID")"
+echo "repl-smoke: old primary restarted at $OLD"
+STALE="$(curl -sS -X POST "http://$OLD/v1/ingest" \
+    -H 'Content-Type: application/json' \
+    -H "X-Nepal-Epoch: $EPOCH" \
+    -d '{"ops":[{"op":"insert-node","class":"ComputeHost","fields":{"id":464646,"name":"split-brain","rack":"rz","status":"Active"}}]}')"
+case "$STALE" in
+    *'"code":"stale_primary"'*) echo "repl-smoke: stale primary rejected the write as stale_primary" ;;
+    *) echo "repl-smoke: stale primary accepted a write (or wrong error): $STALE"; exit 1 ;;
+esac
+READY="$(curl -sS "http://$OLD/readyz")"
+case "$READY" in
+    *'"status":"fenced"'*) echo "repl-smoke: stale primary reports fenced in /readyz" ;;
+    *) echo "repl-smoke: stale primary not fenced: $READY"; exit 1 ;;
+esac
+
+for PAIR in "old-primary:$OLD_PID" "replica1:$R1_PID" "replica2:$R2_PID"; do
     NAME="${PAIR%%:*}"; PID="${PAIR##*:}"
     kill -TERM "$PID"
     if wait "$PID"; then
