@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-race bench chaos crash fuzz-smoke serve-smoke obs-smoke repl-smoke vulncheck
+.PHONY: all build vet test test-race bench chaos crash fuzz-smoke serve-smoke obs-smoke repl-smoke watch-smoke vulncheck
 
 all: build vet test
 
@@ -66,6 +66,13 @@ obs-smoke:
 # read-only rejection, /readyz, lag metrics, and promote-to-primary.
 repl-smoke:
 	./scripts/repl_smoke.sh
+
+# Watch smoke: a WAL-backed primary plus one replica; asserts the CLI
+# feed tail, mid-stream resume, SSE delivery across the replication hop
+# with index/epoch intact, standing-query deltas, watch_compacted after
+# checkpoint, and watch.* metrics.
+watch-smoke:
+	./scripts/watch_smoke.sh
 
 # Known-vulnerability scan over the module graph and reachable call
 # paths; advisory in CI (non-blocking), runnable locally at will.

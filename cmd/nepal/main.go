@@ -108,6 +108,13 @@ type options struct {
 	// the primary's WAL from the URL, serves read-only queries with a
 	// staleness watermark, and can be promoted via POST /v1/promote.
 	followURL string
+	// watch, with -connect, tails the server's change feed and prints one
+	// JSON event per line until interrupted (or -timeout elapses).
+	watch bool
+	// watchFrom is the stream index -watch starts at. 0 replays from the
+	// oldest retained position; a compacted prefix surfaces as a
+	// watch_compacted control line carrying the fresh resume token.
+	watchFrom uint64
 	// promote, with -connect, asks the remote replica to promote itself
 	// to primary and exits.
 	promote bool
@@ -153,6 +160,8 @@ func main() {
 	flag.StringVar(&opt.accessLog, "access-log", "", "serve: append one JSON access-log line per request to this file (- for stderr)")
 	flag.StringVar(&opt.connectURL, "connect", "", "act as a client of a running server at this URL (e.g. http://127.0.0.1:7474)")
 	flag.StringVar(&opt.followURL, "follow", "", "serve: replicate from the primary at this URL and serve read-only queries (read replica)")
+	flag.BoolVar(&opt.watch, "watch", false, "connect: tail the server's change feed, printing one JSON event per line")
+	flag.Uint64Var(&opt.watchFrom, "watch-from", 0, "watch: stream index to resume from (0 = oldest retained)")
 	flag.BoolVar(&opt.promote, "promote", false, "connect: promote the remote replica to primary, then exit")
 	flag.BoolVar(&opt.demote, "demote", false, "connect: fence the remote primary (reads keep serving, writes rejected), then exit")
 	flag.Parse()

@@ -2,6 +2,8 @@ package main
 
 import (
 	"context"
+	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net"
@@ -139,6 +141,10 @@ func runConnect(opt options) error {
 	fmt.Fprintf(os.Stderr, "nepal: connected to %s: status=%s backend=%s in_flight=%d\n",
 		opt.connectURL, h.Status, h.Backend, h.InFlight)
 
+	if opt.watch {
+		return runWatch(ctx, c, out, opt)
+	}
+
 	qopts := &client.QueryOptions{}
 	if opt.maxPaths > 0 || opt.maxEdges > 0 {
 		qopts.Limits = &server.Limits{MaxPaths: opt.maxPaths, MaxEdgesScanned: opt.maxEdges}
@@ -159,6 +165,29 @@ func runConnect(opt options) error {
 			fmt.Fprintln(os.Stderr, "nepal:", err)
 		}
 	})
+}
+
+// runWatch tails the remote change feed, printing one JSON event per
+// line — resume tokens included, so a consumer can pick up where a
+// previous invocation stopped with -watch-from. Runs until the context
+// ends (Ctrl-C, or -timeout).
+func runWatch(ctx context.Context, c *client.Client, out io.Writer, opt options) error {
+	fmt.Fprintf(os.Stderr, "nepal: watching %s from stream index %d\n", opt.connectURL, opt.watchFrom)
+	stream := c.Watch(ctx, opt.watchFrom, nil)
+	defer stream.Close()
+	enc := json.NewEncoder(out)
+	for {
+		ev, err := stream.Next(ctx)
+		if err != nil {
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) || errors.Is(err, client.ErrWatchClosed) {
+				return nil
+			}
+			return fmt.Errorf("watch: %w", err)
+		}
+		if err := enc.Encode(ev); err != nil {
+			return err
+		}
+	}
 }
 
 // executeRemote runs one statement over the API, honoring the same

@@ -55,6 +55,12 @@ type options struct {
 	// the same read workload against the primary alone vs spread over N
 	// WAL-streaming read replicas through the cluster client.
 	replicas int
+	// watchers, with servingMode, additionally measures change-feed
+	// fan-out: subscriber counts swept over {1,8,64} capped at this value,
+	// each level ingesting watchEvents mutations into a WAL-backed server
+	// while every subscriber tails /v1/watch.
+	watchers    int
+	watchEvents int
 	// out receives all table output; nil means os.Stdout.
 	out io.Writer
 }
@@ -71,11 +77,14 @@ func main() {
 	flag.IntVar(&opt.servingClients, "clients", 8, "server mode: concurrent closed-loop clients")
 	flag.IntVar(&opt.servingRequests, "requests", 50, "server mode: requests per client")
 	flag.IntVar(&opt.replicas, "replicas", 0, "server mode: also measure read scaling across this many read replicas (0 skips)")
+	flag.IntVar(&opt.watchers, "watchers", 0, "server mode: also measure change-feed fan-out to up to this many watch subscribers (0 skips)")
+	flag.IntVar(&opt.watchEvents, "watch-events", 200, "server mode: mutations ingested per watch fan-out level")
 	flag.Parse()
 	if *quick {
 		opt.instances = 8
 		opt.services = 2500
 		opt.servingRequests = 20
+		opt.watchEvents = 40
 	}
 
 	if err := run(opt); err != nil {
@@ -117,6 +126,16 @@ func run(opt options) error {
 		}
 		if opt.replicas > 0 {
 			if err := runReadScaling(opt, report, out); err != nil {
+				return err
+			}
+		}
+		if opt.watchers > 0 {
+			walDir, err := os.MkdirTemp("", "nepalbench-watch-*")
+			if err != nil {
+				return err
+			}
+			defer os.RemoveAll(walDir)
+			if err := runWatchBench(opt, report, out, walDir); err != nil {
 				return err
 			}
 		}

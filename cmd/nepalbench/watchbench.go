@@ -1,0 +1,151 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/client"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/netmodel"
+	"repro/internal/obs"
+	"repro/internal/server"
+	"repro/internal/wal"
+	"repro/internal/watch"
+)
+
+// runWatchBench is the -watchers mode: a WAL-backed server whose change
+// feed is tailed by N streaming subscribers while one writer ingests
+// opt.watchEvents mutations, swept over subscriber counts {1, 8, 64}
+// capped at opt.watchers. Reports fan-out delivery throughput and the
+// ingest-to-delivery latency distribution per level.
+func runWatchBench(opt options, report *bench.Report, out io.Writer, walDir string) error {
+	db, err := core.Open(netmodel.MustSchema(),
+		core.WithBackend(opt.backend),
+		core.WithWALOptions(walDir, wal.Options{NoSync: true}))
+	if err != nil {
+		return err
+	}
+	if _, err := netmodel.BuildDemo(db.Store(), 1000); err != nil {
+		return err
+	}
+	s := server.New(db, server.Config{Registry: obs.NewRegistry()})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	go s.Serve(ln)
+	base := "http://" + ln.Addr().String()
+	defer func() {
+		sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		s.Shutdown(sctx)
+	}()
+
+	events := opt.watchEvents
+	if events <= 0 {
+		events = 200
+	}
+	var levels []int
+	for _, n := range []int{1, 8, 64} {
+		if n <= opt.watchers {
+			levels = append(levels, n)
+		}
+	}
+	if len(levels) == 0 || levels[len(levels)-1] != opt.watchers {
+		levels = append(levels, opt.watchers)
+	}
+
+	fmt.Fprintf(out, "\nwatch fan-out bench: %d events per level, subscriber sweep %v\n", events, levels)
+	wr := &bench.WatchResult{Events: events}
+	nextID := int64(70000)
+	for _, n := range levels {
+		lvl, err := driveWatchFanout(base, db, n, events, nextID)
+		if err != nil {
+			return fmt.Errorf("watch fan-out at %d subscribers: %w", n, err)
+		}
+		nextID += int64(events)
+		wr.Levels = append(wr.Levels, lvl)
+		fmt.Fprintf(out, "  %3d watchers  %6d deliveries in %.2fs  %8.0f ev/s  p50 %.2f ms  p95 %.2f ms\n",
+			lvl.Watchers, lvl.Deliveries, lvl.ElapsedMS/1e3, lvl.DeliveriesPerSec, lvl.P50MS, lvl.P95MS)
+	}
+	report.Watch = wr
+	return nil
+}
+
+// driveWatchFanout subscribes watchers streaming clients at the current
+// stream tail, ingests events mutations, and waits until every
+// subscriber saw every one. Latency per delivery is client receipt time
+// minus the store's transaction timestamp on the event.
+func driveWatchFanout(base string, db *core.DB, watchers, events int, idBase int64) (bench.WatchFanoutLevel, error) {
+	lvl := bench.WatchFanoutLevel{Watchers: watchers}
+	tail := db.WAL().NextIndex()
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+
+	type subOut struct {
+		lat []time.Duration
+		err error
+	}
+	results := make([]subOut, watchers)
+	var wg sync.WaitGroup
+	for i := 0; i < watchers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c := client.New(base)
+			ws := c.Watch(ctx, tail, &client.WatchOptions{PollWait: 5 * time.Second})
+			defer ws.Close()
+			co := &results[i]
+			for len(co.lat) < events {
+				ev, err := ws.Next(ctx)
+				if err != nil {
+					co.err = err
+					return
+				}
+				if ev.Op == watch.OpCompacted || ev.Index < tail {
+					continue
+				}
+				co.lat = append(co.lat, time.Since(ev.At))
+			}
+		}(i)
+	}
+
+	// Give the subscribers a beat to park on the feed, then ingest.
+	time.Sleep(100 * time.Millisecond)
+	start := time.Now()
+	for j := 0; j < events; j++ {
+		if _, err := db.InsertNode("ComputeHost", graph.Fields{
+			"id": idBase + int64(j), "name": fmt.Sprintf("watch-bench-%d", idBase+int64(j)),
+			"rack": "bench", "status": "Active",
+		}); err != nil {
+			cancel()
+			wg.Wait()
+			return lvl, err
+		}
+	}
+	wg.Wait()
+	lvl.ElapsedMS = float64(time.Since(start)) / 1e6
+
+	var lat []time.Duration
+	for i := range results {
+		if results[i].err != nil {
+			return lvl, results[i].err
+		}
+		lat = append(lat, results[i].lat...)
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	lvl.Deliveries = len(lat)
+	if lvl.ElapsedMS > 0 {
+		lvl.DeliveriesPerSec = float64(lvl.Deliveries) / (lvl.ElapsedMS / 1e3)
+	}
+	lvl.P50MS = percentileMS(lat, 0.50)
+	lvl.P95MS = percentileMS(lat, 0.95)
+	return lvl, nil
+}

@@ -1,0 +1,67 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRunWatchBench exercises -server -watchers end to end: the sweep
+// runs at 1 and at the cap, every subscriber at every level receives
+// every ingested event, and the report's watch section carries
+// throughput and latency percentiles per level.
+func TestRunWatchBench(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_results.json")
+	var out bytes.Buffer
+	err := run(options{backend: "gremlin", servingMode: true,
+		servingClients: 2, servingRequests: 5,
+		watchers: 4, watchEvents: 25, jsonPath: path, out: &out})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "watch fan-out bench:") {
+		t.Fatalf("output missing the watch bench section: %q", out.String())
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report struct {
+		Watch *struct {
+			Events int `json:"events"`
+			Levels []struct {
+				Watchers         int     `json:"watchers"`
+				Deliveries       int     `json:"deliveries"`
+				DeliveriesPerSec float64 `json:"deliveries_per_sec"`
+				P50MS            float64 `json:"p50_ms"`
+				P95MS            float64 `json:"p95_ms"`
+			} `json:"levels"`
+		} `json:"watch"`
+	}
+	if err := json.Unmarshal(data, &report); err != nil {
+		t.Fatalf("report does not parse: %v", err)
+	}
+	if report.Watch == nil {
+		t.Fatal("report has no watch section")
+	}
+	if report.Watch.Events != 25 {
+		t.Errorf("events per level = %d; want 25", report.Watch.Events)
+	}
+	// Sweep {1,8,64} capped at 4 → levels 1 and 4.
+	if len(report.Watch.Levels) != 2 || report.Watch.Levels[0].Watchers != 1 || report.Watch.Levels[1].Watchers != 4 {
+		t.Fatalf("levels = %+v; want watchers 1 and 4", report.Watch.Levels)
+	}
+	for _, lvl := range report.Watch.Levels {
+		if lvl.Deliveries != lvl.Watchers*25 {
+			t.Errorf("%d watchers: %d deliveries; want %d", lvl.Watchers, lvl.Deliveries, lvl.Watchers*25)
+		}
+		if lvl.DeliveriesPerSec <= 0 || lvl.P50MS <= 0 || lvl.P95MS < lvl.P50MS {
+			t.Errorf("%d watchers: rate=%.1f p50=%.3f p95=%.3f", lvl.Watchers, lvl.DeliveriesPerSec, lvl.P50MS, lvl.P95MS)
+		}
+	}
+}

@@ -29,6 +29,10 @@ type Report struct {
 	// mode ran with -replicas N.
 	ReadScaling *ReadScalingResult `json:"read_scaling,omitempty"`
 
+	// Watch holds the change-feed fan-out results when -server mode ran
+	// with -watchers N.
+	Watch *WatchResult `json:"watch,omitempty"`
+
 	// Metrics is the engine metrics registry snapshot at the end of the
 	// run (counters and gauges by value, histograms expanded).
 	Metrics map[string]any `json:"metrics,omitempty"`
@@ -79,6 +83,34 @@ type ReadScalingResult struct {
 	ScaledP50MS       float64 `json:"scaled_p50_ms"`
 	Speedup           float64 `json:"speedup"`
 	Errors            int     `json:"errors"`
+}
+
+// WatchResult measures the watch subsystem's event fan-out: one
+// WAL-backed server, N subscribers tailing /v1/watch through the
+// streaming client, and a single writer ingesting Events mutations.
+// Each level reports delivery throughput (total events handed to
+// subscribers per second) and the ingest-to-delivery latency
+// distribution — the push-path cost the paper's polling consumers
+// would otherwise pay in staleness.
+type WatchResult struct {
+	// Events is the number of mutations ingested per fan-out level.
+	Events int               `json:"events"`
+	Levels []WatchFanoutLevel `json:"levels"`
+}
+
+// WatchFanoutLevel is one subscriber-count measurement of the watch
+// fan-out bench.
+type WatchFanoutLevel struct {
+	Watchers   int     `json:"watchers"`
+	Deliveries int     `json:"deliveries"`
+	ElapsedMS  float64 `json:"elapsed_ms"`
+	// DeliveriesPerSec is events × watchers over the wall-clock span from
+	// first ingest to last delivery.
+	DeliveriesPerSec float64 `json:"deliveries_per_sec"`
+	// P50MS/P95MS are ingest-to-delivery latency percentiles across every
+	// delivery at this level (store tx timestamp to client receipt).
+	P50MS float64 `json:"p50_ms"`
+	P95MS float64 `json:"p95_ms"`
 }
 
 // WriteJSON writes the report, indented for human diffing but fully

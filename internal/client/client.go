@@ -63,6 +63,14 @@ var (
 	// so accepting it could interleave pre- and post-failover histories.
 	// Retryable against another endpoint.
 	ErrStaleRead = errors.New("client: answer served under a superseded epoch")
+	// ErrWatchCompacted matches 410 "watch_compacted": the watch resume
+	// token predates the oldest event the node retains. Re-sync derived
+	// state, then resume from WatchCompactedError.Base.
+	ErrWatchCompacted = errors.New("client: watch position compacted away")
+	// ErrWatchStaleEpoch matches 409 "watch_stale_epoch": the node serves
+	// an older epoch than this subscriber has already witnessed — it is a
+	// superseded primary. Resubscribe on the current one.
+	ErrWatchStaleEpoch = errors.New("client: watch endpoint serves a superseded epoch")
 )
 
 // APIError is a structured server rejection: the HTTP status plus the
@@ -105,6 +113,10 @@ func (e *APIError) Is(target error) bool {
 		return e.Code == "read_only"
 	case ErrStalePrimary:
 		return e.Code == "stale_primary"
+	case ErrWatchCompacted:
+		return e.Code == "watch_compacted"
+	case ErrWatchStaleEpoch:
+		return e.Code == "watch_stale_epoch"
 	}
 	return false
 }

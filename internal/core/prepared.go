@@ -6,7 +6,9 @@ import (
 
 	"repro/internal/exec"
 	"repro/internal/obs"
+	"repro/internal/plan"
 	"repro/internal/query"
+	"repro/internal/rpe"
 )
 
 // Prepared is a query parsed and semantically analyzed once, ready to
@@ -38,6 +40,32 @@ func (db *DB) Prepare(src string) (*Prepared, error) {
 
 // Text returns the statement's original query text.
 func (p *Prepared) Text() string { return p.src }
+
+// Footprint returns the sorted set of class names whose mutations can
+// change this statement's result: the union of every atom's subclass
+// subtree across the query's pathway expressions, view constraints, and
+// NOT EXISTS subqueries. The watch subsystem uses it to skip re-running
+// standing queries for mutations that provably cannot affect them.
+func (p *Prepared) Footprint() []string {
+	var cs []*rpe.Checked
+	var walk func(a *query.Analyzed)
+	walk = func(a *query.Analyzed) {
+		if a == nil {
+			return
+		}
+		for _, c := range a.Checked {
+			cs = append(cs, c)
+		}
+		for _, c := range a.ViewChecked {
+			cs = append(cs, c)
+		}
+		for _, sub := range a.Subqueries {
+			walk(sub)
+		}
+	}
+	walk(p.a)
+	return plan.ClassFootprint(cs...)
+}
 
 // Exec executes the prepared statement under ctx and the DB's installed
 // limits, observing into the DB's registry and slow log like Query does.

@@ -1,0 +1,38 @@
+package plan
+
+import (
+	"sort"
+
+	"repro/internal/rpe"
+)
+
+// ClassFootprint returns the sorted, deduplicated set of class names a
+// set of checked pathway expressions can possibly match: every atom's
+// declared class expanded to its full subclass subtree (an atom labeled
+// with an abstract class matches any concrete descendant). It is the
+// invalidation filter for standing queries — a mutation whose class is
+// outside the footprint cannot change any pathway these expressions
+// accept, so the result set provably did not change.
+func ClassFootprint(cs ...*rpe.Checked) []string {
+	seen := map[string]struct{}{}
+	for _, c := range cs {
+		if c == nil {
+			continue
+		}
+		for _, a := range c.Atoms() {
+			cls := c.ClassOf(a)
+			if cls == nil {
+				continue
+			}
+			for _, name := range cls.SubtreeNames() {
+				seen[name] = struct{}{}
+			}
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for name := range seen {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}

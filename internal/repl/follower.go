@@ -37,6 +37,14 @@ type FollowerConfig struct {
 	// Logf receives one line per state transition (connect, sever,
 	// bootstrap, promote); nil discards.
 	Logf func(format string, args ...any)
+	// OnApplied, when non-nil, observes every replicated mutation the
+	// moment it is applied to the local store, with its global stream
+	// index, in apply order. It runs on the pull loop — keep it cheap and
+	// never let it block (the watch subsystem's replica feed enqueues into
+	// a bounded ring here). Snapshot bootstraps jump the applied position
+	// without per-record callbacks; observers must treat a non-contiguous
+	// index as a gap.
+	OnApplied func(index uint64, m *graph.Mutation)
 	// Resume seeds the link with a previous link's stream state (see
 	// StreamState), so a follower repointed at a new primary — typically
 	// the sibling that won a failover — keeps its pinned log identity,
@@ -132,6 +140,7 @@ type Follower struct {
 	hashKnown bool
 	diverged  bool
 	changed   chan struct{} // closed+replaced whenever the watermark advances
+	onApplied func(index uint64, m *graph.Mutation)
 
 	startOnce sync.Once
 	stopOnce  sync.Once
@@ -178,6 +187,7 @@ func NewFollower(st *graph.Store, mgr *wal.Manager, cfg FollowerConfig) *Followe
 		stop:    make(chan struct{}),
 		done:    make(chan struct{}),
 	}
+	f.onApplied = cfg.OnApplied
 	if r := cfg.Resume; r != nil {
 		f.logID = r.LogID
 		f.applied = r.Applied
@@ -186,6 +196,15 @@ func NewFollower(st *graph.Store, mgr *wal.Manager, cfg FollowerConfig) *Followe
 		f.watermark = r.AppliedThrough
 	}
 	return f
+}
+
+// SetOnApplied installs (or replaces) the per-record apply observer; see
+// FollowerConfig.OnApplied. Install it before Start, or races the pull
+// loop's capture per batch.
+func (f *Follower) SetOnApplied(fn func(index uint64, m *graph.Mutation)) {
+	f.mu.Lock()
+	f.onApplied = fn
+	f.mu.Unlock()
 }
 
 // StreamState captures the link's resumable identity — log ID, position,
@@ -343,6 +362,7 @@ func (f *Follower) reqCtx(d time.Duration) (context.Context, context.CancelFunc)
 func (f *Follower) pull() error {
 	f.mu.Lock()
 	from, h, hashKnown, pinnedEpoch := f.applied, f.hash, f.hashKnown, f.epoch
+	onApplied := f.onApplied
 	f.mu.Unlock()
 
 	url := fmt.Sprintf("%s/v1/wal?from=%d&wait_ms=%d", f.cfg.Primary, from, f.cfg.PollWait.Milliseconds())
@@ -450,6 +470,9 @@ func (f *Follower) pull() error {
 		}
 		if _, err := f.st.ApplyMutation(m); err != nil {
 			return fmt.Errorf("repl: replaying record %d: %w", applied, err)
+		}
+		if onApplied != nil {
+			onApplied(applied, m)
 		}
 		// Mirror the primary's prefix-hash chain record by record, so the
 		// link can always prove which history it applied.

@@ -365,5 +365,6 @@ func (s *Server) mountReplication() {
 // DB is NOT closed cleanly; only WAL durability protects acked writes.
 // Production shutdown is Shutdown.
 func (s *Server) Close() error {
+	s.broadcastShutdown()
 	return s.hs.Close()
 }

@@ -34,6 +34,7 @@ import (
 	"net"
 	"net/http"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -43,6 +44,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/plan"
 	"repro/internal/repl"
+	"repro/internal/watch"
 )
 
 // Config sizes the server. The zero value serves with the defaults
@@ -94,6 +96,10 @@ type Config struct {
 	// 200; 0 means 1024, negative means the replica must be fully caught
 	// up.
 	ReadyMaxLag int
+	// WatchRingSize bounds the in-memory event ring a replica retains for
+	// /v1/watch subscribers (the primary serves the feed straight off the
+	// WAL and ignores this); 0 means watch.DefaultRingSize.
+	WatchRingSize int
 }
 
 // Server serves one core.DB over HTTP. Create with New, attach with
@@ -108,11 +114,20 @@ type Server struct {
 	accessLog *obs.AccessLog
 	traces    *obs.TraceStore
 	source    *repl.Source
+	feed      watch.Feed
+	ffeed     *watch.FollowerFeed // non-nil when feed tails a follower
+	hub       *watch.Hub
 	start     time.Time
 	version   string
 	commit    string
 	mux       *http.ServeMux
 	hs        *http.Server
+
+	// drain broadcasts shutdown to every parked long-poll and stream —
+	// replication feeds and watch subscribers alike — so graceful drain
+	// can never hang on an idle subscriber.
+	drain     chan struct{}
+	drainOnce sync.Once
 
 	// fenced marks this node a superseded (or operator-demoted) primary:
 	// it keeps serving reads but rejects mutations with the typed
@@ -160,6 +175,7 @@ func New(db *core.DB, cfg Config) *Server {
 		accessLog: obs.NewAccessLog(cfg.AccessLog),
 		start:     time.Now(),
 		mux:       http.NewServeMux(),
+		drain:     make(chan struct{}),
 	}
 	s.version, s.commit = obs.RegisterBuildInfo(reg, s.start)
 	s.mRequests = reg.Counter("server.requests")
@@ -178,6 +194,7 @@ func New(db *core.DB, cfg Config) *Server {
 	s.mux.HandleFunc("GET /debug/traces", s.handleTraces)
 	s.mux.HandleFunc("GET /debug/traces/{id}", s.handleTraceByID)
 	s.mountReplication()
+	s.mountWatch()
 	s.hs = &http.Server{Handler: s.telemetry()}
 	return s
 }
@@ -211,15 +228,30 @@ func (s *Server) ListenAndServe(addr string) error {
 	return s.Serve(ln)
 }
 
+// broadcastShutdown releases every parked long-poll and stream — the
+// replication feed's held requests, /v1/watch long-polls and SSE
+// streams, and the standing-query hub — so a drain can never hang on an
+// idle subscriber. Idempotent; shared by Shutdown and Close.
+func (s *Server) broadcastShutdown() {
+	s.drainOnce.Do(func() {
+		close(s.drain)
+		if s.source != nil {
+			s.source.Close()
+		}
+		if s.hub != nil {
+			s.hub.Close()
+		}
+		if s.ffeed != nil {
+			s.ffeed.Close()
+		}
+	})
+}
+
 // Shutdown gracefully stops the server: no new connections, in-flight
 // requests drain until ctx expires, then the DB closes so a WAL-backed
 // store syncs its final segment. Safe to call more than once.
 func (s *Server) Shutdown(ctx context.Context) error {
-	if s.source != nil {
-		// Release parked replication long-polls first: a held feed request
-		// would otherwise pin the connection drain for its full wait.
-		s.source.Close()
-	}
+	s.broadcastShutdown()
 	err := s.hs.Shutdown(ctx)
 	if cerr := s.db.Close(); err == nil {
 		err = cerr

@@ -100,6 +100,14 @@ func (sw *statusWriter) Write(b []byte) (int, error) {
 	return n, err
 }
 
+// Flush forwards to the underlying writer so streaming handlers (the
+// /v1/watch SSE modes) can push events through the telemetry wrapper.
+func (sw *statusWriter) Flush() {
+	if f, ok := sw.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
 // telemetry wraps the mux with the request telemetry layer: trace-ID
 // extraction/generation (X-Nepal-Trace, bare or traceparent form), the
 // "Request" root span, request counting and latency, one access-log

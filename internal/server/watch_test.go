@@ -1,0 +1,359 @@
+package server_test
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/server"
+	"repro/internal/wal"
+	"repro/internal/watch"
+)
+
+// newWatchServer stands a WAL-backed demo server up and returns it with
+// its DB, base URL, and client.
+func newWatchServer(t testing.TB, cfg server.Config) (*server.Server, *core.DB, string, *client.Client) {
+	t.Helper()
+	db := newDemoDB(t, core.WithWALOptions(t.TempDir(), wal.Options{NoSync: true}))
+	s := server.New(db, cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, db, ts.URL, client.New(ts.URL)
+}
+
+func insertWatchHost(t testing.TB, db *core.DB, id int64, name string) {
+	t.Helper()
+	if _, err := db.InsertNode("ComputeHost", graph.Fields{"id": id, "name": name, "rack": "rw", "status": "Active"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWatchLongPoll(t *testing.T) {
+	_, db, _, c := newWatchServer(t, server.Config{})
+	ctx := context.Background()
+
+	// From the log start: the demo build's mutations, enriched and in order.
+	resp, err := c.WatchPoll(ctx, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Events) == 0 {
+		t.Fatal("no events from the log start")
+	}
+	for i, ev := range resp.Events {
+		if ev.Index != uint64(i) {
+			t.Fatalf("event %d carries index %d", i, ev.Index)
+		}
+	}
+	if resp.Events[0].Op != "insert_node" || resp.Events[0].Class == "" {
+		t.Fatalf("first event not enriched: %+v", resp.Events[0])
+	}
+	if resp.Next != uint64(len(resp.Events)) || resp.Durable < resp.Next {
+		t.Fatalf("cursor bookkeeping: next %d durable %d events %d", resp.Next, resp.Durable, len(resp.Events))
+	}
+	if resp.LogID == "" {
+		t.Fatal("batch missing log identity")
+	}
+
+	// At the tail with a short wait: empty batch, token unchanged.
+	tail := resp.Next
+	resp, err = c.WatchPoll(ctx, tail, &client.WatchOptions{PollWait: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Events) != 0 || resp.Next != tail {
+		t.Fatalf("tail poll returned %d events next %d", len(resp.Events), resp.Next)
+	}
+
+	// Parked long-poll wakes on the next durable append.
+	type pollOut struct {
+		resp *server.WatchResponse
+		err  error
+	}
+	done := make(chan pollOut, 1)
+	go func() {
+		r, err := c.WatchPoll(ctx, tail, &client.WatchOptions{PollWait: 10 * time.Second})
+		done <- pollOut{r, err}
+	}()
+	time.Sleep(50 * time.Millisecond)
+	insertWatchHost(t, db, 9001, "wake-up")
+	select {
+	case out := <-done:
+		if out.err != nil {
+			t.Fatal(out.err)
+		}
+		if len(out.resp.Events) != 1 || out.resp.Events[0].Index != tail {
+			t.Fatalf("woken poll returned %+v", out.resp.Events)
+		}
+		if out.resp.Events[0].Class != "ComputeHost" || out.resp.Events[0].Fields["name"] != "wake-up" {
+			t.Fatalf("woken event not enriched: %+v", out.resp.Events[0])
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("long-poll never woke on append")
+	}
+}
+
+// TestWatchCompactedResume proves the typed re-sync path: a token below
+// the checkpointed base answers 410 watch_compacted carrying the fresh
+// base, the token at the base serves, and the streaming client surfaces
+// the gap as a synthetic watch_compacted event before resuming there.
+func TestWatchCompactedResume(t *testing.T) {
+	_, db, _, c := newWatchServer(t, server.Config{})
+	ctx := context.Background()
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	base := db.WAL().BaseIndex()
+	if base == 0 {
+		t.Fatal("checkpoint did not advance the base")
+	}
+
+	_, err := c.WatchPoll(ctx, 0, nil)
+	if !errors.Is(err, client.ErrWatchCompacted) {
+		t.Fatalf("poll below base returned %v; want ErrWatchCompacted", err)
+	}
+	var ce *client.WatchCompactedError
+	if !errors.As(err, &ce) || ce.Base != base {
+		t.Fatalf("compacted error carries %+v; want base %d", ce, base)
+	}
+
+	// Resuming exactly at the advertised base works.
+	insertWatchHost(t, db, 9002, "after-checkpoint")
+	resp, err := c.WatchPoll(ctx, ce.Base, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Events) != 1 || resp.Events[0].Index != base {
+		t.Fatalf("resume at base returned %+v", resp.Events)
+	}
+
+	// The streaming client sees the gap as a typed synthetic event and
+	// then the real mutation stream from the fresh base.
+	stream := c.Watch(ctx, 0, nil)
+	defer stream.Close()
+	first, err := stream.Next(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Op != watch.OpCompacted || first.Index != base {
+		t.Fatalf("stream's first event = %+v; want %s at %d", first, watch.OpCompacted, base)
+	}
+	second, err := stream.Next(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Index != base || second.Fields["name"] != "after-checkpoint" {
+		t.Fatalf("stream did not resume at the base: %+v", second)
+	}
+}
+
+// TestWatchStaleEpochRejected proves a diverged-epoch resume is refused:
+// a subscriber pinning a higher epoch than the node's own proves the
+// node was superseded, so the node self-fences and answers 409.
+func TestWatchStaleEpochRejected(t *testing.T) {
+	_, db, base, _ := newWatchServer(t, server.Config{})
+	if err := db.WAL().SetEpoch(3); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	// Same epoch: served normally.
+	sameEpoch := client.New(base, client.WithEpochExchange(func() uint64 { return 3 }, func(uint64) {}))
+	if _, err := sameEpoch.WatchPoll(ctx, 0, nil); err != nil {
+		t.Fatalf("same-epoch poll rejected: %v", err)
+	}
+
+	// Higher epoch: typed rejection.
+	ahead := client.New(base, client.WithEpochExchange(func() uint64 { return 5 }, func(uint64) {}))
+	_, err := ahead.WatchPoll(ctx, 0, nil)
+	if !errors.Is(err, client.ErrWatchStaleEpoch) {
+		t.Fatalf("diverged-epoch poll returned %v; want ErrWatchStaleEpoch", err)
+	}
+	var apiErr *client.APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusConflict {
+		t.Fatalf("stale-epoch rejection = %+v; want 409", err)
+	}
+}
+
+func TestWatchUnavailableWithoutStream(t *testing.T) {
+	// No WAL, no follower: nothing to tail.
+	_, c := newTestServer(t, newDemoDB(t), server.Config{})
+	_, err := c.WatchPoll(context.Background(), 0, nil)
+	var apiErr *client.APIError
+	if !errors.As(err, &apiErr) || apiErr.Code != "watch_unavailable" || apiErr.Status != http.StatusServiceUnavailable {
+		t.Fatalf("in-memory watch returned %v; want 503 watch_unavailable", err)
+	}
+}
+
+// sseReader drains SSE frames off a stream on one background goroutine
+// so tests can wait for named events more than once per connection.
+type sseReader struct {
+	lines chan string
+}
+
+func newSSEReader(body interface{ Read([]byte) (int, error) }) *sseReader {
+	sr := &sseReader{lines: make(chan string)}
+	r := bufio.NewReader(body)
+	go func() {
+		defer close(sr.lines)
+		for {
+			line, err := r.ReadString('\n')
+			if err != nil {
+				return
+			}
+			sr.lines <- strings.TrimRight(line, "\n")
+		}
+	}()
+	return sr
+}
+
+// wait blocks until every wanted event name was seen; returns
+// name -> first data payload seen for it during this call.
+func (sr *sseReader) wait(t *testing.T, want ...string) map[string]string {
+	t.Helper()
+	got := map[string]string{}
+	pending := ""
+	deadline := time.After(10 * time.Second)
+	remaining := map[string]bool{}
+	for _, w := range want {
+		remaining[w] = true
+	}
+	for len(remaining) > 0 {
+		select {
+		case line, ok := <-sr.lines:
+			if !ok {
+				t.Fatalf("SSE stream closed; still waiting for %v (got %v)", remaining, got)
+			}
+			switch {
+			case strings.HasPrefix(line, "event: "):
+				pending = strings.TrimPrefix(line, "event: ")
+			case strings.HasPrefix(line, "data: "):
+				if pending != "" {
+					if _, seen := got[pending]; !seen {
+						got[pending] = strings.TrimPrefix(line, "data: ")
+					}
+					delete(remaining, pending)
+				}
+			}
+		case <-deadline:
+			t.Fatalf("timed out; still waiting for %v (got %v)", remaining, got)
+		}
+	}
+	return got
+}
+
+func TestWatchSSEStream(t *testing.T) {
+	_, _, base, _ := newWatchServer(t, server.Config{})
+	resp, err := http.Get(base + "/v1/watch?stream=sse&from=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	frames := newSSEReader(resp.Body).wait(t, "mutation")
+	if !strings.Contains(frames["mutation"], `"insert_node"`) {
+		t.Fatalf("mutation frame = %s", frames["mutation"])
+	}
+}
+
+func TestWatchQuerySSEDeltas(t *testing.T) {
+	_, db, base, _ := newWatchServer(t, server.Config{})
+	q := url.QueryEscape("Select source(P).name From PATHS P Where P MATCHES ComputeHost()")
+	resp, err := http.Get(base + "/v1/watch/query?name=hosts&q=" + q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	sse := newSSEReader(resp.Body)
+	frames := sse.wait(t, "delta")
+	if !strings.Contains(frames["delta"], `"full":true`) {
+		t.Fatalf("initial delta is not a full snapshot: %s", frames["delta"])
+	}
+
+	// An in-footprint insert pushes an incremental delta with the new row.
+	insertWatchHost(t, db, 9100, "delta-host")
+	frames = sse.wait(t, "delta")
+	if !strings.Contains(frames["delta"], "delta-host") {
+		t.Fatalf("incremental delta missing the new row: %s", frames["delta"])
+	}
+
+	// A malformed standing query is a 400, not a stream.
+	bad, err := http.Get(base + "/v1/watch/query?q=" + url.QueryEscape("Select ???"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad.Body.Close()
+	if bad.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed query answered %d", bad.StatusCode)
+	}
+}
+
+// TestShutdownUnblocksWatch proves the generalized drain: a parked
+// /v1/watch long-poll and a standing-query SSE stream both return
+// promptly when the server shuts down, instead of pinning the drain
+// until their timers fire.
+func TestShutdownUnblocksWatch(t *testing.T) {
+	s, _, base, c := newWatchServer(t, server.Config{})
+	ctx := context.Background()
+
+	tail, err := c.WatchPoll(ctx, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	polled := make(chan error, 1)
+	go func() {
+		_, err := c.WatchPoll(ctx, tail.Next, &client.WatchOptions{PollWait: 25 * time.Second})
+		polled <- err
+	}()
+	streamed := make(chan struct{})
+	go func() {
+		defer close(streamed)
+		q := url.QueryEscape("Select source(P).name From PATHS P Where P MATCHES ComputeHost()")
+		resp, err := http.Get(base + "/v1/watch/query?q=" + q)
+		if err != nil {
+			return
+		}
+		defer resp.Body.Close()
+		r := bufio.NewReader(resp.Body)
+		for {
+			if _, err := r.ReadString('\n'); err != nil {
+				return // server ended the stream
+			}
+		}
+	}()
+	time.Sleep(100 * time.Millisecond)
+
+	sctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+	defer cancel()
+	if err := s.Shutdown(sctx); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-polled:
+		if err != nil {
+			t.Fatalf("drained long-poll errored: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("long-poll still parked after Shutdown")
+	}
+	select {
+	case <-streamed:
+	case <-time.After(5 * time.Second):
+		t.Fatal("standing-query stream still parked after Shutdown")
+	}
+}

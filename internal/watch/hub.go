@@ -1,0 +1,454 @@
+package watch
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/obs"
+	"repro/internal/plan"
+)
+
+// Delta is one standing-query result change, pushed to subscribers.
+type Delta struct {
+	// Query is the subscription name the delta belongs to.
+	Query string `json:"query"`
+	// Index is the resume token the result is evaluated through: the
+	// stream index after the last mutation folded in. A subscriber that
+	// re-subscribes with from=Index misses nothing.
+	Index uint64 `json:"index"`
+	// Full marks a complete result snapshot (initial registration, or the
+	// first delta after a lagging gap): Added holds the whole result set
+	// and Removed is empty.
+	Full bool `json:"full,omitempty"`
+	// Added and Removed are rendered result rows that entered or left the
+	// result set since the previous delta.
+	Added   []string `json:"added,omitempty"`
+	Removed []string `json:"removed,omitempty"`
+}
+
+// Notification is one item on a subscriber's queue: a result delta, or a
+// lagging marker reporting that deltas were dropped on the floor because
+// the queue was full.
+type Notification struct {
+	// Kind is "delta" or "lagging".
+	Kind string `json:"kind"`
+	// Delta is set when Kind is "delta".
+	Delta *Delta `json:"delta,omitempty"`
+	// Resume is the stream index of the last evaluation the subscriber
+	// missed; set when Kind is "lagging". The next delta after a lagging
+	// notification is always a full snapshot.
+	Resume uint64 `json:"resume,omitempty"`
+}
+
+// KindDelta and KindLagging are the Notification kinds.
+const (
+	KindDelta   = "delta"
+	KindLagging = "lagging"
+)
+
+// DefaultQueueLen bounds a subscriber's notification queue when the
+// caller passes 0 to Register.
+const DefaultQueueLen = 16
+
+// Subscription is one registered standing query. Consume notifications
+// with Next; Close unregisters.
+type Subscription struct {
+	hub  *Hub
+	name string
+	src  string
+
+	prepared  *core.Prepared
+	footprint map[string]struct{}
+
+	ch chan Notification
+
+	mu       sync.Mutex
+	lagging  bool   // queue overflowed; deltas are being dropped
+	resume   uint64 // evaluated-through index of the last dropped delta
+	needFull bool   // next evaluation must push a full snapshot
+	prev     map[string]string
+
+	closed    chan struct{}
+	closeOnce sync.Once
+}
+
+// Name returns the subscription's registered name.
+func (s *Subscription) Name() string { return s.name }
+
+// Footprint returns the sorted class footprint the subscription is
+// filtered by.
+func (s *Subscription) Footprint() []string {
+	out := make([]string, 0, len(s.footprint))
+	for c := range s.footprint {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Next blocks until a notification is available, the subscription is
+// closed (ErrClosed), or ctx expires. Delivery is at-least-once: after a
+// KindLagging notification the subscriber's derived state is stale, and
+// the next KindDelta is a full snapshot to rebuild it.
+func (s *Subscription) Next(ctx context.Context) (Notification, error) {
+	for {
+		// Drain queued notifications before surfacing a lagging gap: the
+		// queue holds deltas from before the overflow, still in order.
+		select {
+		case n := <-s.ch:
+			return n, nil
+		default:
+		}
+		s.mu.Lock()
+		if s.lagging {
+			s.lagging = false
+			s.needFull = true
+			r := s.resume
+			s.mu.Unlock()
+			return Notification{Kind: KindLagging, Resume: r}, nil
+		}
+		s.mu.Unlock()
+		select {
+		case n := <-s.ch:
+			return n, nil
+		case <-s.closed:
+			return Notification{}, ErrClosed
+		case <-ctx.Done():
+			return Notification{}, ctx.Err()
+		}
+	}
+}
+
+// Close unregisters the subscription. Idempotent; a blocked Next returns
+// ErrClosed.
+func (s *Subscription) Close() {
+	s.closeOnce.Do(func() { close(s.closed) })
+	s.hub.unregister(s)
+}
+
+// push enqueues a notification without ever blocking the pump: a full
+// queue latches the lagging state and the delta is dropped — the
+// subscriber learns about the gap (with the resume token) the moment it
+// drains, and the next evaluation pushes a full snapshot.
+func (s *Subscription) push(n Notification) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.lagging {
+		s.resume = n.Delta.Index
+		return
+	}
+	select {
+	case s.ch <- n:
+	default:
+		s.lagging = true
+		s.resume = n.Delta.Index
+		s.hub.countLagged()
+	}
+}
+
+// Hub is the standing-query engine: it tails a Feed with a single pump
+// goroutine, and re-evaluates each registered query only when a mutation
+// batch touches the query's class footprint.
+type Hub struct {
+	db   *core.DB
+	feed Feed
+
+	mu     sync.Mutex
+	cursor uint64
+	subs   []*Subscription
+
+	done      chan struct{}
+	closeOnce sync.Once
+
+	mEvents  *obs.Counter
+	mEvals   *obs.Counter
+	mSkipped *obs.Counter
+	mDeltas  *obs.Counter
+	mLagged  *obs.Counter
+}
+
+// NewHub returns a hub tailing feed, with its pump running. The pump
+// starts at the feed's current end: standing queries see mutations from
+// registration time forward (their initial full snapshot covers the
+// history).
+func NewHub(db *core.DB, feed Feed) *Hub {
+	h := &Hub{
+		db:     db,
+		feed:   feed,
+		cursor: feed.NextIndex(),
+		done:   make(chan struct{}),
+	}
+	go h.pump()
+	return h
+}
+
+// Instrument publishes the hub's counters and gauges.
+func (h *Hub) Instrument(reg *obs.Registry) {
+	h.mEvents = reg.Counter("watch.events")
+	h.mEvals = reg.Counter("watch.standing.evals")
+	h.mSkipped = reg.Counter("watch.standing.skipped")
+	h.mDeltas = reg.Counter("watch.standing.deltas")
+	h.mLagged = reg.Counter("watch.standing.lagged")
+	reg.SetHelp("watch.events", "Change-feed events processed by the standing-query pump")
+	reg.SetHelp("watch.standing.evals", "Standing-query re-evaluations triggered by footprint hits")
+	reg.SetHelp("watch.standing.skipped", "Standing-query re-evaluations skipped: batch outside the class footprint")
+	reg.SetHelp("watch.standing.deltas", "Standing-query result deltas pushed to subscribers")
+	reg.SetHelp("watch.standing.lagged", "Subscriber queue overflows (watch_lagging)")
+	reg.GaugeFunc("watch.standing.queries", func() float64 {
+		h.mu.Lock()
+		defer h.mu.Unlock()
+		return float64(len(h.subs))
+	})
+}
+
+func count(c *obs.Counter, n int64) {
+	if c != nil {
+		c.Add(n)
+	}
+}
+
+func (h *Hub) countLagged() { count(h.mLagged, 1) }
+
+// Register compiles src as a standing query named name, evaluates it
+// once for the initial full snapshot (pushed as the first notification),
+// and enrolls it for incremental re-evaluation. queueLen bounds the
+// subscriber's notification queue (DefaultQueueLen when 0): overflow is
+// reported as lagging, never buffered without bound.
+func (h *Hub) Register(name, src string, queueLen int) (*Subscription, error) {
+	select {
+	case <-h.done:
+		return nil, ErrClosed
+	default:
+	}
+	prepared, err := h.db.Prepare(src)
+	if err != nil {
+		return nil, err
+	}
+	if queueLen <= 0 {
+		queueLen = DefaultQueueLen
+	}
+	fp := map[string]struct{}{}
+	for _, c := range prepared.Footprint() {
+		fp[c] = struct{}{}
+	}
+	s := &Subscription{
+		hub:       h,
+		name:      name,
+		src:       src,
+		prepared:  prepared,
+		footprint: fp,
+		ch:        make(chan Notification, queueLen),
+		closed:    make(chan struct{}),
+	}
+	// Snapshot + enroll under the pump lock so no batch lands between the
+	// initial evaluation and the subscription joining the pump's list.
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	res, err := prepared.Exec(context.Background())
+	if err != nil {
+		return nil, err
+	}
+	rows := h.renderRows(res)
+	s.prev = rows
+	full := &Delta{Query: name, Index: h.cursor, Full: true, Added: sortedValues(rows)}
+	s.ch <- Notification{Kind: KindDelta, Delta: full}
+	count(h.mDeltas, 1)
+	h.subs = append(h.subs, s)
+	return s, nil
+}
+
+func (h *Hub) unregister(s *Subscription) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for i, x := range h.subs {
+		if x == s {
+			h.subs = append(h.subs[:i], h.subs[i+1:]...)
+			return
+		}
+	}
+}
+
+// Close stops the pump and closes every subscription. Idempotent.
+func (h *Hub) Close() {
+	h.closeOnce.Do(func() { close(h.done) })
+	h.mu.Lock()
+	subs := append([]*Subscription(nil), h.subs...)
+	h.subs = nil
+	h.mu.Unlock()
+	for _, s := range subs {
+		s.closeOnce.Do(func() { close(s.closed) })
+	}
+}
+
+// pump is the hub's only evaluation goroutine: it folds feed batches
+// into the registered standing queries, one batch at a time.
+func (h *Hub) pump() {
+	for {
+		ch := h.feed.Changed()
+		h.mu.Lock()
+		from := h.cursor
+		h.mu.Unlock()
+		events, next, err := h.feed.Read(from, defaultMaxEvents)
+		if err != nil {
+			if IsCompacted(err) {
+				// The pump's position was contracted away (checkpoint or
+				// ring overflow): mutations it never saw may have touched
+				// any footprint, so every query re-evaluates.
+				base := err.(*CompactedError).Base
+				h.mu.Lock()
+				h.cursor = base
+				h.mu.Unlock()
+				h.evaluate(nil, base, true)
+				continue
+			}
+			// Transient read failure: back off briefly, then retry.
+			select {
+			case <-time.After(50 * time.Millisecond):
+				continue
+			case <-h.done:
+				return
+			}
+		}
+		if len(events) > 0 {
+			count(h.mEvents, int64(len(events)))
+			classes := map[string]struct{}{}
+			unattributed := false
+			for _, ev := range events {
+				if ev.Class == "" {
+					unattributed = true
+					continue
+				}
+				classes[ev.Class] = struct{}{}
+			}
+			h.mu.Lock()
+			h.cursor = next
+			h.mu.Unlock()
+			h.evaluate(classes, next, unattributed)
+			continue
+		}
+		select {
+		case <-ch:
+		case <-h.done:
+			return
+		}
+	}
+}
+
+// evaluate folds one mutation batch (its touched classes) into every
+// registered query: footprint misses are counted and skipped, hits are
+// re-executed and diffed. force bypasses the footprint filter — used
+// when the batch's classes are unknowable (compaction gap, unattributed
+// event).
+func (h *Hub) evaluate(classes map[string]struct{}, through uint64, force bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for _, s := range h.subs {
+		select {
+		case <-s.closed:
+			continue
+		default:
+		}
+		s.mu.Lock()
+		needFull := s.needFull
+		s.mu.Unlock()
+		if !force && !needFull && !touches(classes, s.footprint) {
+			count(h.mSkipped, 1)
+			continue
+		}
+		count(h.mEvals, 1)
+		res, err := s.prepared.Exec(context.Background())
+		if err != nil {
+			continue
+		}
+		rows := h.renderRows(res)
+		d := diff(s.prev, rows)
+		s.prev = rows
+		if needFull {
+			s.mu.Lock()
+			s.needFull = false
+			s.mu.Unlock()
+			d = &Delta{Full: true, Added: sortedValues(rows)}
+		}
+		if d == nil {
+			continue
+		}
+		d.Query = s.name
+		d.Index = through
+		s.push(Notification{Kind: KindDelta, Delta: d})
+		count(h.mDeltas, 1)
+	}
+}
+
+// touches reports whether any touched class is inside the footprint. An
+// empty footprint is conservative: it matches everything.
+func touches(classes, footprint map[string]struct{}) bool {
+	if len(footprint) == 0 {
+		return true
+	}
+	for c := range classes {
+		if _, ok := footprint[c]; ok {
+			return true
+		}
+	}
+	return false
+}
+
+// renderRows keys and renders a result set: pathway values key by their
+// canonical step-UID key and render through the store, scalars by their
+// printed form.
+func (h *Hub) renderRows(res *exec.Result) map[string]string {
+	rows := make(map[string]string, len(res.Rows))
+	for _, row := range res.Rows {
+		keys := make([]string, 0, len(row.Values))
+		parts := make([]string, 0, len(row.Values))
+		for _, v := range row.Values {
+			if pw, ok := v.(plan.Pathway); ok {
+				keys = append(keys, pw.Key())
+				parts = append(parts, h.db.RenderPath(pw))
+			} else {
+				sv := fmt.Sprint(v)
+				keys = append(keys, sv)
+				parts = append(parts, sv)
+			}
+		}
+		rows[strings.Join(keys, "\x1f")] = strings.Join(parts, " | ")
+	}
+	return rows
+}
+
+// diff returns the delta between two keyed result sets, or nil when
+// they are identical.
+func diff(prev, next map[string]string) *Delta {
+	var added, removed []string
+	for k, v := range next {
+		if _, ok := prev[k]; !ok {
+			added = append(added, v)
+		}
+	}
+	for k, v := range prev {
+		if _, ok := next[k]; !ok {
+			removed = append(removed, v)
+		}
+	}
+	if len(added) == 0 && len(removed) == 0 {
+		return nil
+	}
+	sort.Strings(added)
+	sort.Strings(removed)
+	return &Delta{Added: added, Removed: removed}
+}
+
+func sortedValues(rows map[string]string) []string {
+	out := make([]string, 0, len(rows))
+	for _, v := range rows {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
