@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-race bench chaos crash fuzz-smoke serve-smoke obs-smoke repl-smoke watch-smoke vulncheck
+.PHONY: all build vet test test-race bench chaos crash fuzz-smoke serve-smoke obs-smoke repl-smoke watch-smoke stats-smoke vulncheck
 
 all: build vet test
 
@@ -17,7 +17,7 @@ test:
 # exercised under the race detector; the bench fixtures are too slow for
 # -race, so the harness packages run in -short mode.
 test-race:
-	$(GO) test -race ./internal/obs/ ./internal/plan/ ./internal/graph/ ./internal/core/ ./internal/exec/
+	$(GO) test -race ./internal/obs/ ./internal/stats/ ./internal/plan/ ./internal/graph/ ./internal/core/ ./internal/exec/
 	$(GO) test -race ./internal/server/ ./internal/client/ ./internal/repl/
 	$(GO) test -race -short ./internal/wal/ ./internal/chaos/
 	$(GO) test -race -short ./internal/bench/ ./cmd/...
@@ -73,6 +73,13 @@ repl-smoke:
 # checkpoint, and watch.* metrics.
 watch-smoke:
 	./scripts/watch_smoke.sh
+
+# Workload-introspection smoke: two servers over the demo topology;
+# asserts digest folding across literal variants, statement-table
+# sorting and reset, the per-digest Prometheus series, nepal -top, and
+# the /debug/cluster peer probe.
+stats-smoke:
+	./scripts/stats_smoke.sh
 
 # Known-vulnerability scan over the module graph and reachable call
 # paths; advisory in CI (non-blocking), runnable locally at will.

@@ -115,6 +115,18 @@ type options struct {
 	// oldest retained position; a compacted prefix surfaces as a
 	// watch_compacted control line carrying the fresh resume token.
 	watchFrom uint64
+	// top, with -connect, prints the server's per-statement statistics
+	// table (GET /v1/stats/statements) and exits; topN bounds the rows and
+	// topSort picks the order (total_time, calls, or mean_time).
+	top     bool
+	topN    int
+	topSort string
+	// peers, with -serve, is the comma-separated base-URL list of the
+	// deployment's other nodes; GET /debug/cluster probes each one.
+	peers string
+	// statsSize, with -serve, bounds the per-statement statistics table
+	// (0 = default 256 digests; negative disables collection).
+	statsSize int
 	// promote, with -connect, asks the remote replica to promote itself
 	// to primary and exits.
 	promote bool
@@ -162,6 +174,11 @@ func main() {
 	flag.StringVar(&opt.followURL, "follow", "", "serve: replicate from the primary at this URL and serve read-only queries (read replica)")
 	flag.BoolVar(&opt.watch, "watch", false, "connect: tail the server's change feed, printing one JSON event per line")
 	flag.Uint64Var(&opt.watchFrom, "watch-from", 0, "watch: stream index to resume from (0 = oldest retained)")
+	flag.BoolVar(&opt.top, "top", false, "connect: print the server's per-statement statistics table, then exit")
+	flag.IntVar(&opt.topN, "top-n", 20, "top: max statement rows to print (0 = all tracked)")
+	flag.StringVar(&opt.topSort, "top-sort", "total_time", "top: row order: total_time, calls, or mean_time")
+	flag.StringVar(&opt.peers, "peers", "", "serve: comma-separated base URLs of the other cluster nodes (GET /debug/cluster probes them)")
+	flag.IntVar(&opt.statsSize, "stats-size", 0, "serve: per-statement statistics table size in digests (0 = default 256, negative disables)")
 	flag.BoolVar(&opt.promote, "promote", false, "connect: promote the remote replica to primary, then exit")
 	flag.BoolVar(&opt.demote, "demote", false, "connect: fence the remote primary (reads keep serving, writes rejected), then exit")
 	flag.Parse()

@@ -11,6 +11,7 @@ import (
 	"os/signal"
 	"strings"
 	"syscall"
+	"text/tabwriter"
 	"time"
 
 	"repro/internal/client"
@@ -49,14 +50,16 @@ func runServe(db *core.DB, reg *obs.Registry, opt options) error {
 		defer follower.Stop()
 	}
 	s := server.New(db, server.Config{
-		MaxInFlight:   opt.maxInFlight,
-		MaxQueue:      opt.maxQueue,
-		PlanCacheSize: opt.planCache,
-		DefaultLimits: db.Limits(),
-		MaxTimeout:    opt.timeout,
-		Registry:      reg,
-		AccessLog:     accessLog,
-		Follower:      follower,
+		MaxInFlight:        opt.maxInFlight,
+		MaxQueue:           opt.maxQueue,
+		PlanCacheSize:      opt.planCache,
+		DefaultLimits:      db.Limits(),
+		MaxTimeout:         opt.timeout,
+		Registry:           reg,
+		AccessLog:          accessLog,
+		Follower:           follower,
+		Peers:              splitPeers(opt.peers),
+		StatementStatsSize: opt.statsSize,
 	})
 	ln, err := net.Listen("tcp", opt.serveAddr)
 	if err != nil {
@@ -121,6 +124,10 @@ func runConnect(opt options) error {
 		return nil
 	}
 
+	if opt.top {
+		return runTop(ctx, c, out, opt)
+	}
+
 	if opt.demote {
 		resp, err := c.Demote(ctx)
 		if err != nil {
@@ -165,6 +172,50 @@ func runConnect(opt options) error {
 			fmt.Fprintln(os.Stderr, "nepal:", err)
 		}
 	})
+}
+
+// splitPeers parses the -peers list: comma-separated base URLs, blanks
+// dropped, trailing slashes trimmed.
+func splitPeers(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, strings.TrimRight(p, "/"))
+		}
+	}
+	return out
+}
+
+// runTop prints the server's per-statement statistics table — the CLI
+// face of GET /v1/stats/statements: one row per digest, ordered by
+// -top-sort, normalized statement text truncated to keep the table
+// scannable.
+func runTop(ctx context.Context, c *client.Client, out io.Writer, opt options) error {
+	resp, err := c.StatementStats(ctx, opt.topSort, opt.topN)
+	if err != nil {
+		return fmt.Errorf("statement stats from %s: %w", opt.connectURL, err)
+	}
+	rows := resp.Statements
+	if resp.Other != nil {
+		rows = append(rows, *resp.Other)
+	}
+	tw := tabwriter.NewWriter(out, 2, 8, 2, ' ', 0)
+	fmt.Fprintln(tw, "DIGEST\tCALLS\tERRS\tTOTAL(ms)\tMEAN(ms)\tP50\tP95\tP99\tROWS\tEDGES\tCACHE\tSTATEMENT")
+	for _, r := range rows {
+		stmt := r.Statement
+		if len(stmt) > 72 {
+			stmt = stmt[:69] + "..."
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%.2f\t%.2f\t%.2f\t%.2f\t%.2f\t%d\t%d\t%d\t%s\n",
+			r.Digest, r.Calls, r.Errors+r.Canceled+r.Deadline+r.LimitHits,
+			r.TotalMS, r.MeanMS, r.P50MS, r.P95MS, r.P99MS,
+			r.Rows, r.EdgesScanned, r.PlanCacheHits, stmt)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "(%d digests tracked, %d evicted, sorted by %s)\n", resp.Tracked, resp.Evicted, resp.Sort)
+	return nil
 }
 
 // runWatch tails the remote change feed, printing one JSON event per

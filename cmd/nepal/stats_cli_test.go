@@ -1,0 +1,76 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestConnectTop runs the workload-introspection CLI path: queries
+// through -connect accumulate per-digest statistics server-side, and
+// -connect -top renders the table.
+func TestConnectTop(t *testing.T) {
+	ready := make(chan string, 1)
+	stop := make(chan struct{})
+	errCh := make(chan error, 1)
+	go func() {
+		errCh <- run(options{
+			model: "netmodel", demo: true, backend: "gremlin",
+			serveAddr: "127.0.0.1:0",
+			ready:     func(a string) { ready <- a },
+			stop:      stop,
+		})
+	}()
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-errCh:
+		t.Fatalf("server exited before ready: %v", err)
+	case <-time.After(30 * time.Second):
+		t.Fatal("server never became ready")
+	}
+	defer func() {
+		close(stop)
+		select {
+		case err := <-errCh:
+			if err != nil {
+				t.Fatalf("shutdown: %v", err)
+			}
+		case <-time.After(30 * time.Second):
+			t.Fatal("server never shut down")
+		}
+	}()
+
+	url := "http://" + addr
+	var out bytes.Buffer
+	// Two literal variants of one statement: they must fold into a single
+	// digest row.
+	for _, id := range []int{1001, 1002} {
+		out.Reset()
+		q := fmt.Sprintf("Select source(P).name From PATHS P Where P MATCHES VNF()->[Vertical()]{1,6}->Host(id=%d)", id)
+		if err := run(options{connectURL: url, q: q, out: &out}); err != nil {
+			t.Fatalf("query id=%d: %v", id, err)
+		}
+	}
+
+	out.Reset()
+	if err := run(options{connectURL: url, top: true, topN: 10, topSort: "calls", out: &out}); err != nil {
+		t.Fatalf("-top: %v", err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "DIGEST") || !strings.Contains(got, "STATEMENT") {
+		t.Errorf("-top output missing header: %q", got)
+	}
+	if !strings.Contains(got, "SELECT SOURCE") || !strings.Contains(got, "MATCHES VNF") {
+		t.Errorf("-top output missing normalized (keyword-folded) statement: %q", got)
+	}
+	if !strings.Contains(got, "(1 digests tracked, 0 evicted, sorted by calls)") {
+		t.Errorf("-top footer wrong (variants should share one digest): %q", got)
+	}
+	// Exactly one data row: header + row + footer.
+	if lines := strings.Count(strings.TrimSpace(got), "\n"); lines != 2 {
+		t.Errorf("-top printed %d newlines, want 2 (header, one row, footer): %q", lines, got)
+	}
+}

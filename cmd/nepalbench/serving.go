@@ -153,6 +153,9 @@ func runServing(opt options, reg *obs.Registry, report *bench.Report, out io.Wri
 	lat := on.lat
 	hits := reg.Counter("server.plan_cache_hits").Value()
 	misses := reg.Counter("server.plan_cache_misses").Value()
+	// Server-side percentiles come from the handler's own latency
+	// histogram — the same registry the instrumented run served with.
+	srvLat := reg.Histogram("server.request_latency_ms")
 	sr := &bench.ServingResult{
 		Clients:           opt.servingClients,
 		RequestsPerClient: opt.servingRequests,
@@ -163,6 +166,9 @@ func runServing(opt options, reg *obs.Registry, report *bench.Report, out io.Wri
 		P50MS:             percentileMS(lat, 0.50),
 		P95MS:             percentileMS(lat, 0.95),
 		P99MS:             percentileMS(lat, 0.99),
+		ServerP50MS:       srvLat.Quantile(0.50),
+		ServerP95MS:       srvLat.Quantile(0.95),
+		ServerP99MS:       srvLat.Quantile(0.99),
 		PlanCacheHits:     hits,
 		PlanCacheMisses:   misses,
 		TelemetryOffQPS:   off.qps(),
@@ -179,6 +185,7 @@ func runServing(opt options, reg *obs.Registry, report *bench.Report, out io.Wri
 	fmt.Fprintf(out, "  telemetry on   %d requests in %.2fs (%d errors)\n", sr.Requests, on.elapsed.Seconds(), on.errs)
 	fmt.Fprintf(out, "  throughput  %.0f qps (overhead vs dark: %.1f%%)\n", sr.QPS, sr.TelemetryOverheadPct)
 	fmt.Fprintf(out, "  latency     p50 %.2f ms   p95 %.2f ms   p99 %.2f ms\n", sr.P50MS, sr.P95MS, sr.P99MS)
+	fmt.Fprintf(out, "  server-side p50 %.2f ms   p95 %.2f ms   p99 %.2f ms\n", sr.ServerP50MS, sr.ServerP95MS, sr.ServerP99MS)
 	fmt.Fprintf(out, "  plan cache  %d hits / %d misses (%.1f%% hit rate)\n",
 		hits, misses, sr.PlanCacheHitRate*100)
 	return nil

@@ -52,6 +52,10 @@ func TestRunServingBench(t *testing.T) {
 	if sr.QPS <= 0 {
 		t.Errorf("qps = %.1f", sr.QPS)
 	}
+	if sr.ServerP50MS <= 0 || sr.ServerP95MS < sr.ServerP50MS || sr.ServerP99MS < sr.ServerP95MS {
+		t.Errorf("server-side percentiles not ordered: p50=%.3f p95=%.3f p99=%.3f",
+			sr.ServerP50MS, sr.ServerP95MS, sr.ServerP99MS)
+	}
 	if sr.PlanCacheHitRate <= 0 {
 		t.Errorf("plan cache hit rate = %.3f (hits=%d misses=%d)",
 			sr.PlanCacheHitRate, sr.PlanCacheHits, sr.PlanCacheMisses)

@@ -56,6 +56,15 @@ type ServingResult struct {
 	PlanCacheMisses   int64   `json:"plan_cache_misses"`
 	PlanCacheHitRate  float64 `json:"plan_cache_hit_rate"`
 
+	// Server-side latency percentiles, estimated from the server's
+	// request-latency histogram (server.request_latency_ms) over the
+	// instrumented run. Where the client-side percentiles above include
+	// connection handling and the network round trip, these measure only
+	// the handler's view — the gap between the two is the transport cost.
+	ServerP50MS float64 `json:"server_p50_ms,omitempty"`
+	ServerP95MS float64 `json:"server_p95_ms,omitempty"`
+	ServerP99MS float64 `json:"server_p99_ms,omitempty"`
+
 	// Telemetry overhead: the same closed-loop workload is driven twice,
 	// once with request telemetry disabled (no root span, no span
 	// propagation, no trace-store capture) and once fully instrumented
@@ -94,7 +103,7 @@ type ReadScalingResult struct {
 // would otherwise pay in staleness.
 type WatchResult struct {
 	// Events is the number of mutations ingested per fan-out level.
-	Events int               `json:"events"`
+	Events int                `json:"events"`
 	Levels []WatchFanoutLevel `json:"levels"`
 }
 

@@ -247,6 +247,9 @@ type Result struct {
 	// it has none). A lower value than the highest epoch the caller has
 	// seen means the answer predates the latest failover.
 	Epoch uint64
+	// Digest is the statement's literal-masked fingerprint — the key into
+	// StatementStats rows and the server's per-digest /metrics series.
+	Digest string
 }
 
 // QueryOptions carries the optional per-request fields of /v1/query.
@@ -306,6 +309,7 @@ type Stmt struct {
 	c      *Client
 	query  string
 	handle string
+	digest string
 }
 
 // Prepare compiles the statement server-side and returns its handle.
@@ -314,11 +318,16 @@ func (c *Client) Prepare(ctx context.Context, query string) (*Stmt, error) {
 	if err := c.post(ctx, "/v1/prepare", server.PrepareRequest{Query: query}, &resp); err != nil {
 		return nil, err
 	}
-	return &Stmt{c: c, query: query, handle: resp.Handle}, nil
+	return &Stmt{c: c, query: query, handle: resp.Handle, digest: resp.Digest}, nil
 }
 
 // Text returns the statement's query text.
 func (s *Stmt) Text() string { return s.query }
+
+// Digest returns the statement's literal-masked fingerprint: all
+// literal-only variants of this statement aggregate under it in the
+// server's statistics surfaces.
+func (s *Stmt) Digest() string { return s.digest }
 
 // Exec executes the prepared statement.
 func (s *Stmt) Exec(ctx context.Context, o *QueryOptions) (*Result, error) {
@@ -444,6 +453,47 @@ func (c *Client) Metrics(ctx context.Context) (string, error) {
 // format (Accept: text/plain negotiates it server-side).
 func (c *Client) PrometheusMetrics(ctx context.Context) (string, error) {
 	return c.rawGet(ctx, "/metrics", "text/plain")
+}
+
+// StatementStats fetches GET /v1/stats/statements: the server's
+// per-digest workload table, ordered by sortBy ("total_time" — the
+// default when empty — "calls", or "mean_time") and truncated to limit
+// rows when limit > 0.
+func (c *Client) StatementStats(ctx context.Context, sortBy string, limit int) (*server.StatementStatsResponse, error) {
+	path := "/v1/stats/statements"
+	q := make([]string, 0, 2)
+	if sortBy != "" {
+		q = append(q, "sort="+sortBy)
+	}
+	if limit > 0 {
+		q = append(q, "limit="+strconv.Itoa(limit))
+	}
+	if len(q) > 0 {
+		path += "?" + strings.Join(q, "&")
+	}
+	var resp server.StatementStatsResponse
+	if err := c.get(ctx, path, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// ResetStats discards the server's per-statement aggregates (POST
+// /v1/stats/reset) — bracket an experiment with it.
+func (c *Client) ResetStats(ctx context.Context) error {
+	var resp server.StatsResetResponse
+	return c.post(ctx, "/v1/stats/reset", struct{}{}, &resp)
+}
+
+// ClusterView fetches GET /debug/cluster from this node: its own
+// readiness plus every configured peer's, one map of role, epoch,
+// applied index, and lag per node.
+func (c *Client) ClusterView(ctx context.Context) (*server.ClusterResponse, error) {
+	var resp server.ClusterResponse
+	if err := c.get(ctx, "/debug/cluster", &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
 }
 
 // Traces lists the server's retained request traces, newest first.
@@ -606,6 +656,7 @@ func decodeResult(resp *server.QueryResponse) *Result {
 		TraceID:        resp.TraceID,
 		AppliedThrough: resp.AppliedThrough,
 		Epoch:          resp.Epoch,
+		Digest:         resp.Digest,
 	}
 	for _, row := range resp.Rows {
 		r := Row{Values: make([]any, len(row.Values)), Coexist: server.IntervalsIn(row.Coexist)}

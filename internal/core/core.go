@@ -34,6 +34,7 @@ import (
 	"repro/internal/relational"
 	"repro/internal/rpe"
 	"repro/internal/schema"
+	"repro/internal/stats"
 	"repro/internal/temporal"
 	"repro/internal/wal"
 )
@@ -94,16 +95,17 @@ func WithAccessorWrapper(w func(plan.Accessor) plan.Accessor) Option {
 
 // DB is an open Nepal database.
 type DB struct {
-	store    *graph.Store
-	engine   *plan.Engine
-	executor *exec.Executor
-	backend  string
-	views    query.Views
-	reg      *obs.Registry
-	slowLog  *obs.SlowLog
-	wal      *wal.Manager
-	recovery wal.RecoveryStats
-	closed   atomic.Bool
+	store     *graph.Store
+	engine    *plan.Engine
+	executor  *exec.Executor
+	backend   string
+	views     query.Views
+	reg       *obs.Registry
+	slowLog   *obs.SlowLog
+	stmtStats *stats.Store
+	wal       *wal.Manager
+	recovery  wal.RecoveryStats
+	closed    atomic.Bool
 }
 
 // Open creates an empty database over the finalized schema.
@@ -274,6 +276,15 @@ func (db *DB) Instrument(reg *obs.Registry) {
 	}
 }
 
+// SetStatementStats installs a per-statement statistics store: every
+// query records its digest, outcome, latency, scan volume, and row
+// count into the store's bounded top-K aggregates. A nil store disables
+// collection. Call before the database starts serving queries.
+func (db *DB) SetStatementStats(s *stats.Store) { db.stmtStats = s }
+
+// StatementStats returns the installed statistics store, if any.
+func (db *DB) StatementStats() *stats.Store { return db.stmtStats }
+
 // SetSlowLog installs a slow-query log: every Query/QueryTraced whose
 // total time reaches the log's threshold is captured with its text, plan,
 // metrics, and trace (when traced). A nil log disables capture.
@@ -311,7 +322,7 @@ func (db *DB) QueryContext(ctx context.Context, src string) (*exec.Result, error
 	}
 	start := time.Now()
 	res, err := db.executor.RunContext(ctx, a)
-	db.observeQuery(ctx, src, res, time.Since(start), err)
+	db.observeQuery(ctx, src, "", "", res, time.Since(start), err)
 	if err != nil {
 		return nil, err
 	}
@@ -329,20 +340,32 @@ func (db *DB) QueryTraced(src string) (*exec.Result, error) {
 	}
 	start := time.Now()
 	res, err := db.executor.RunTraced(a, nil)
-	db.observeQuery(context.Background(), src, res, time.Since(start), err)
+	db.observeQuery(context.Background(), src, "", "", res, time.Since(start), err)
 	if err != nil {
 		return nil, err
 	}
 	return res, nil
 }
 
-// observeQuery records one finished query into the registry and the slow
-// log. Aborted queries (err != nil) count into db.queries_aborted and
-// are always logged — regardless of duration — with their termination
-// outcome, since a query that died 1ms into its deadline is exactly the
-// one an operator wants to see. The context supplies the trace ID that
-// links slow-log entries to their end-to-end request trace.
-func (db *DB) observeQuery(ctx context.Context, src string, res *exec.Result, dur time.Duration, err error) {
+// observeQuery records one finished query into the registry, the
+// per-statement statistics store, and the slow log. Aborted queries
+// (err != nil) count into db.queries_aborted and are always logged —
+// regardless of duration — with their termination outcome, since a
+// query that died 1ms into its deadline is exactly the one an operator
+// wants to see. The context supplies the trace ID that links slow-log
+// entries to their end-to-end request trace.
+//
+// digest/norm are the statement's precomputed fingerprint (prepared
+// statements carry it from Prepare); when empty it is computed here so
+// ad-hoc Query paths stamp the same digest. The digest lands on the
+// result, the slow-log entry, and the stats store.
+func (db *DB) observeQuery(ctx context.Context, src, digest, norm string, res *exec.Result, dur time.Duration, err error) {
+	if digest == "" {
+		digest, norm = stats.Fingerprint(src)
+	}
+	if res != nil {
+		res.Digest = digest
+	}
 	if db.reg != nil {
 		db.reg.Counter("db.queries").Add(1)
 		if err != nil {
@@ -353,6 +376,14 @@ func (db *DB) observeQuery(ctx context.Context, src string, res *exec.Result, du
 			db.reg.HistogramBuckets("db.query_edges_scanned", obs.DefaultSizeBuckets).
 				Observe(float64(res.Metrics.EdgesScanned))
 		}
+	}
+	if db.stmtStats != nil {
+		o := stats.Observation{Duration: dur, Outcome: exec.Outcome(err)}
+		if res != nil {
+			o.Edges = int64(res.Metrics.EdgesScanned)
+			o.Rows = int64(len(res.Rows))
+		}
+		db.stmtStats.Observe(digest, norm, o)
 	}
 	if db.slowLog == nil {
 		return
@@ -366,6 +397,7 @@ func (db *DB) observeQuery(ctx context.Context, src string, res *exec.Result, du
 		Duration: dur,
 		Outcome:  exec.Outcome(err),
 		TraceID:  obs.TraceIDFrom(ctx),
+		Digest:   digest,
 	}
 	if res != nil {
 		var planText strings.Builder
@@ -459,7 +491,7 @@ func (r *Router) QueryContext(ctx context.Context, src string) (*exec.Result, er
 	}
 	start := time.Now()
 	res, err := r.x.RunContext(ctx, a)
-	r.db.observeQuery(ctx, src, res, time.Since(start), err)
+	r.db.observeQuery(ctx, src, "", "", res, time.Since(start), err)
 	if err != nil {
 		return nil, err
 	}
@@ -537,7 +569,7 @@ func (db *DB) ExplainAnalyze(src string) (string, *exec.Result, error) {
 	start := time.Now()
 	res, err := db.executor.RunTraced(a, nil)
 	dur := time.Since(start)
-	db.observeQuery(context.Background(), src, res, dur, err)
+	db.observeQuery(context.Background(), src, "", "", res, dur, err)
 	if err != nil {
 		return "", nil, err
 	}

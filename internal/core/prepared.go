@@ -9,6 +9,7 @@ import (
 	"repro/internal/plan"
 	"repro/internal/query"
 	"repro/internal/rpe"
+	"repro/internal/stats"
 )
 
 // Prepared is a query parsed and semantically analyzed once, ready to
@@ -25,6 +26,10 @@ type Prepared struct {
 	db  *DB
 	src string
 	a   *query.Analyzed
+	// digest/norm are the statement's literal-masked fingerprint and
+	// normalized text, computed once here so executions never re-lex.
+	digest string
+	norm   string
 }
 
 // Prepare parses and analyzes src against the database's schema and
@@ -35,11 +40,20 @@ func (db *DB) Prepare(src string) (*Prepared, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Prepared{db: db, src: src, a: a}, nil
+	digest, norm := stats.Fingerprint(src)
+	return &Prepared{db: db, src: src, a: a, digest: digest, norm: norm}, nil
 }
 
 // Text returns the statement's original query text.
 func (p *Prepared) Text() string { return p.src }
+
+// Digest returns the statement's literal-masked fingerprint — the key
+// under which its executions aggregate in the statistics store.
+func (p *Prepared) Digest() string { return p.digest }
+
+// NormalizedText returns the literal-masked statement the digest is
+// computed from.
+func (p *Prepared) NormalizedText() string { return p.norm }
 
 // Footprint returns the sorted set of class names whose mutations can
 // change this statement's result: the union of every atom's subclass
@@ -94,7 +108,7 @@ func (p *Prepared) ExecTraced(ctx context.Context, lim exec.Limits, parent *obs.
 	} else {
 		res, err = p.db.executor.RunContextLimits(ctx, p.a, lim)
 	}
-	p.db.observeQuery(ctx, p.src, res, time.Since(start), err)
+	p.db.observeQuery(ctx, p.src, p.digest, p.norm, res, time.Since(start), err)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,126 @@
+package core
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/netmodel"
+	"repro/internal/stats"
+	"repro/internal/temporal"
+)
+
+func TestPreparedCarriesDigest(t *testing.T) {
+	db, _, _ := openDemo(t, BackendGremlin)
+	st := stats.NewStore(16)
+	db.SetStatementStats(st)
+
+	p1, err := db.Prepare("Select source(P).name From PATHS P Where P MATCHES VNF()->[Vertical()]{1,6}->Host(id=1001)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := db.Prepare("Select source(P).name From PATHS P Where P MATCHES VNF()->[Vertical()]{1,6}->Host(id=1002)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1.Digest() == "" || p1.Digest() != p2.Digest() {
+		t.Fatalf("literal-only variants should share a digest: %q vs %q", p1.Digest(), p2.Digest())
+	}
+	res, err := p1.Exec(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Digest != p1.Digest() {
+		t.Fatalf("result digest %q != prepared digest %q", res.Digest, p1.Digest())
+	}
+	// Ad-hoc Query stamps the same digest as the prepared path.
+	res2, err := db.Query("Select source(P).name From PATHS P Where P MATCHES VNF()->[Vertical()]{1,6}->Host(id=1001)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Digest != p1.Digest() {
+		t.Fatalf("ad-hoc digest %q != prepared digest %q", res2.Digest, p1.Digest())
+	}
+	snap := st.Snapshot(stats.SortCalls, 0)
+	if len(snap.Statements) != 1 || snap.Statements[0].Calls != 2 {
+		t.Fatalf("stats store should hold one digest with 2 calls: %+v", snap)
+	}
+	if snap.Statements[0].Statement == "" || snap.Statements[0].EdgesScanned == 0 {
+		t.Fatalf("aggregate missing normalized text or edges: %+v", snap.Statements[0])
+	}
+}
+
+// BenchmarkStatsOverhead pins the per-statement statistics cost on the
+// hot query path: the same prepared statement executed with the store
+// attached ("on") and detached ("off"). The acceptance bar is ≤3%
+// — the store adds one read-locked map hit plus a handful of atomic
+// adds and one histogram observation per query.
+func BenchmarkStatsOverhead(b *testing.B) {
+	open := func(b *testing.B, attach bool) *Prepared {
+		clock := temporal.NewManualClock(t0)
+		db, err := Open(netmodel.MustSchema(), WithClock(clock))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := netmodel.BuildDemo(db.Store(), 1000); err != nil {
+			b.Fatal(err)
+		}
+		if attach {
+			db.SetStatementStats(stats.NewStore(0))
+		}
+		p, err := db.Prepare("Select source(P).name From PATHS P Where P MATCHES VNF()->[Vertical()]{1,6}->Host(id=1001)")
+		if err != nil {
+			b.Fatal(err)
+		}
+		return p
+	}
+	run := func(b *testing.B, attach bool) {
+		p := open(b, attach)
+		ctx := context.Background()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := p.Exec(ctx); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("off", func(b *testing.B) { run(b, false) })
+	b.Run("on", func(b *testing.B) { run(b, true) })
+	// paired interleaves executions against an off-DB and an on-DB,
+	// timing each side separately. Sequential off-then-on sub-benchmark
+	// runs are biased by heap growth and machine-load drift between
+	// them; alternating query-by-query exposes both configurations to
+	// the same noise, so the reported overhead-% is a fair paired
+	// estimate — the number the ≤3% acceptance bar is judged on.
+	b.Run("paired", func(b *testing.B) {
+		ctx := context.Background()
+		off := open(b, false)
+		on := open(b, true)
+		for i := 0; i < 2; i++ { // warm both paths before timing
+			if _, err := off.Exec(ctx); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := on.Exec(ctx); err != nil {
+				b.Fatal(err)
+			}
+		}
+		var tOff, tOn time.Duration
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			start := time.Now()
+			_, errOff := off.Exec(ctx)
+			tOff += time.Since(start)
+			start = time.Now()
+			_, errOn := on.Exec(ctx)
+			tOn += time.Since(start)
+			if errOff != nil || errOn != nil {
+				b.Fatal(errOff, errOn)
+			}
+		}
+		b.StopTimer()
+		n := float64(b.N)
+		b.ReportMetric(float64(tOff.Nanoseconds())/n, "ns/query-off")
+		b.ReportMetric(float64(tOn.Nanoseconds())/n, "ns/query-on")
+		b.ReportMetric((float64(tOn)-float64(tOff))*100/float64(tOff), "overhead-%")
+	})
+}

@@ -44,6 +44,10 @@ type Row struct {
 type Result struct {
 	Columns []string
 	Rows    []Row
+	// Digest is the statement's literal-masked fingerprint (16 hex
+	// chars), the key into the per-statement statistics surfaces. Filled
+	// by core after execution; empty for results produced below it.
+	Digest string
 	// Agg carries the answer of a temporal aggregate query; nil otherwise.
 	Agg *AggValue
 	// Metrics totals the operator-pipeline counters across every variable

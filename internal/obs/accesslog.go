@@ -35,6 +35,9 @@ type AccessEntry struct {
 	// aggregation; Statement is the raw text.
 	StatementHash string `json:"statement_hash,omitempty"`
 	Statement     string `json:"statement,omitempty"`
+	// Digest is the literal-masked statement fingerprint — the key into
+	// GET /v1/stats/statements, shared with the slow log and trace store.
+	Digest string `json:"digest,omitempty"`
 	// EdgesScanned is the query's engine-side scan volume.
 	EdgesScanned int  `json:"edges_scanned,omitempty"`
 	Degraded     bool `json:"degraded,omitempty"`
@@ -102,6 +105,10 @@ func (l *AccessLog) Log(e AccessEntry) {
 	if e.Statement != "" {
 		b = append(b, `,"statement":`...)
 		b = appendJSONString(b, e.Statement)
+	}
+	if e.Digest != "" {
+		b = append(b, `,"digest":`...)
+		b = appendJSONString(b, e.Digest)
 	}
 	if e.EdgesScanned != 0 {
 		b = append(b, `,"edges_scanned":`...)

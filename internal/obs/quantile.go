@@ -1,0 +1,87 @@
+package obs
+
+import "math"
+
+// Quantile estimates the q-th quantile (0 ≤ q ≤ 1) of the observed
+// distribution from the histogram's buckets, the same way Prometheus's
+// histogram_quantile does: find the bucket the target rank falls in and
+// linearly interpolate between its bounds. Values landing in the +Inf
+// overflow bucket are reported as the highest finite bound — the
+// histogram cannot know how far past it they went. Returns 0 when the
+// histogram is empty or nil.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	h.mu.Lock()
+	count := h.count
+	counts := make([]int64, len(h.counts))
+	copy(counts, h.counts)
+	h.mu.Unlock()
+	if count == 0 || len(h.bounds) == 0 {
+		return 0
+	}
+	rank := q * float64(count)
+	var cum int64
+	lower := 0.0
+	for i, n := range counts {
+		if n > 0 && float64(cum+n) >= rank {
+			if i >= len(h.bounds) {
+				// Overflow bucket: clamp to the largest finite bound.
+				return h.bounds[len(h.bounds)-1]
+			}
+			upper := h.bounds[i]
+			frac := (rank - float64(cum)) / float64(n)
+			return lower + (upper-lower)*frac
+		}
+		cum += n
+		if i < len(h.bounds) {
+			lower = h.bounds[i]
+		}
+	}
+	return lower
+}
+
+// Merge folds a snapshot of another histogram into h. When the bucket
+// layouts match (same number of buckets), per-bucket counts are added
+// and quantile estimates stay meaningful; otherwise only the total
+// count and sum are absorbed, which keeps counts and means exact but
+// degrades quantiles. Used by the statement-stats store to fold evicted
+// digests into its overflow bucket. Safe on a nil receiver.
+func (h *Histogram) Merge(s HistogramSnapshot) {
+	if h == nil || s.Count == 0 {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(s.Buckets) == len(h.counts) {
+		aligned := true
+		for i, b := range s.Buckets {
+			ub := math.Inf(1)
+			if i < len(h.bounds) {
+				ub = h.bounds[i]
+			}
+			if b.UpperBound != ub && !(math.IsInf(b.UpperBound, 1) && math.IsInf(ub, 1)) {
+				aligned = false
+				break
+			}
+		}
+		if aligned {
+			for i, b := range s.Buckets {
+				h.counts[i] += b.Count
+			}
+			h.count += s.Count
+			h.sum += s.Sum
+			return
+		}
+	}
+	// Mismatched layouts: absorb totals only, dropping bucket detail.
+	h.counts[len(h.counts)-1] += s.Count
+	h.count += s.Count
+	h.sum += s.Sum
+}

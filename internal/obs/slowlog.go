@@ -22,6 +22,9 @@ type SlowLogEntry struct {
 	// TraceID links the entry to its end-to-end request trace when the
 	// query arrived over the server (empty for embedded callers).
 	TraceID string
+	// Digest is the statement's literal-masked fingerprint, linking the
+	// entry to its per-digest aggregate in GET /v1/stats/statements.
+	Digest  string
 	Plan    string
 	Metrics string
 	Trace   *Span
@@ -43,6 +46,9 @@ func (e SlowLogEntry) Format() string {
 	}
 	if e.TraceID != "" {
 		fmt.Fprintf(&sb, "  trace_id: %s\n", e.TraceID)
+	}
+	if e.Digest != "" {
+		fmt.Fprintf(&sb, "  digest: %s\n", e.Digest)
 	}
 	if e.Metrics != "" {
 		fmt.Fprintf(&sb, "  metrics: %s\n", e.Metrics)

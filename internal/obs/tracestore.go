@@ -17,13 +17,16 @@ type RequestTrace struct {
 	Path          string
 	Statement     string
 	StatementHash string
-	Status        int
-	Outcome       string
-	Duration      time.Duration
-	EdgesScanned  int
-	Degraded      bool
-	Error         string
-	Root          *Span
+	// Digest is the literal-masked statement fingerprint shared with the
+	// access log, slow log, and the per-digest statistics store.
+	Digest       string
+	Status       int
+	Outcome      string
+	Duration     time.Duration
+	EdgesScanned int
+	Degraded     bool
+	Error        string
+	Root         *Span
 }
 
 // Interesting reports whether the trace should survive tail-sampling

@@ -193,23 +193,27 @@ func (s *Server) stampStaleness(w http.ResponseWriter, resp *QueryResponse) {
 	}
 }
 
-// handleReady serves GET /readyz: 200 when this node can serve reads at
-// its advertised staleness bound, 503 while it is syncing or lagging.
-// Primaries (and promoted replicas) are always ready.
-func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+// readyState computes this node's /readyz verdict: the response body
+// and whether it answers 200. Shared by handleReady and the
+// /debug/cluster self entry, so an operator sees the same verdict
+// either way.
+func (s *Server) readyState() (ReadyResponse, bool) {
 	fenced := s.fenced.Load()
 	if s.cfg.Follower == nil {
 		resp := ReadyResponse{Status: "ready", Role: "primary", Epoch: s.nodeEpoch(), Fenced: fenced}
+		if mgr := s.db.WAL(); mgr != nil {
+			// A primary's applied index is its own stream end: every durably
+			// logged record is applied. Lets /debug/cluster compute per-node
+			// lag without a second endpoint.
+			resp.AppliedIndex = mgr.NextIndex()
+		}
 		if fenced {
 			// A fenced primary still serves reads, but it must not win a
 			// readiness probe: traffic belongs on the new primary.
 			resp.Status = "fenced"
-			w.Header().Set("Retry-After", "1")
-			writeJSON(w, http.StatusServiceUnavailable, resp)
-			return
+			return resp, false
 		}
-		writeJSON(w, http.StatusOK, resp)
-		return
+		return resp, true
 	}
 	st := s.cfg.Follower.Status()
 	resp := ReadyResponse{
@@ -251,7 +255,16 @@ func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
 	default:
 		resp.Status = "ready"
 	}
-	if resp.Status != "ready" {
+	return resp, resp.Status == "ready"
+}
+
+// handleReady serves GET /readyz: 200 when this node can serve reads at
+// its advertised staleness bound, 503 while it is syncing, lagging,
+// fenced, or diverged. Primaries (and promoted replicas) are ready
+// unless fenced.
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	resp, ready := s.readyState()
+	if !ready {
 		w.Header().Set("Retry-After", "1")
 		writeJSON(w, http.StatusServiceUnavailable, resp)
 		return

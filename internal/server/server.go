@@ -44,6 +44,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/plan"
 	"repro/internal/repl"
+	"repro/internal/stats"
 	"repro/internal/watch"
 )
 
@@ -100,6 +101,17 @@ type Config struct {
 	// /v1/watch subscribers (the primary serves the feed straight off the
 	// WAL and ignores this); 0 means watch.DefaultRingSize.
 	WatchRingSize int
+	// StatementStatsSize bounds how many distinct statement digests the
+	// per-statement statistics store tracks before folding the coldest
+	// into its "other" bucket; 0 means stats.DefaultMaxStatements,
+	// negative disables the store entirely.
+	StatementStatsSize int
+	// Peers lists the base URLs of the other nodes of this deployment
+	// (e.g. "http://10.0.0.2:7687"). GET /debug/cluster probes each
+	// peer's /readyz and returns the cluster-wide role/epoch/lag map.
+	Peers []string
+	// PeerProbeTimeout bounds each /debug/cluster peer probe; 0 means 2s.
+	PeerProbeTimeout time.Duration
 }
 
 // Server serves one core.DB over HTTP. Create with New, attach with
@@ -113,6 +125,7 @@ type Server struct {
 	adm       *admission
 	accessLog *obs.AccessLog
 	traces    *obs.TraceStore
+	stats     *stats.Store
 	source    *repl.Source
 	feed      watch.Feed
 	ffeed     *watch.FollowerFeed // non-nil when feed tails a follower
@@ -184,6 +197,11 @@ func New(db *core.DB, cfg Config) *Server {
 	if !cfg.DisableTelemetry {
 		s.traces = obs.NewTraceStore(cfg.TraceKeep, cfg.SlowTraceThreshold)
 	}
+	if cfg.StatementStatsSize >= 0 {
+		s.stats = stats.NewStore(cfg.StatementStatsSize)
+		db.SetStatementStats(s.stats)
+		s.stats.Instrument(reg)
+	}
 	s.mux.HandleFunc("POST /v1/query", s.handleQuery)
 	s.mux.HandleFunc("POST /v1/prepare", s.handlePrepare)
 	s.mux.HandleFunc("POST /v1/execute", s.handleExecute)
@@ -191,6 +209,9 @@ func New(db *core.DB, cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/checkpoint", s.handleCheckpoint)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /v1/stats/statements", s.handleStatements)
+	s.mux.HandleFunc("POST /v1/stats/reset", s.handleStatsReset)
+	s.mux.HandleFunc("GET /debug/cluster", s.handleCluster)
 	s.mux.HandleFunc("GET /debug/traces", s.handleTraces)
 	s.mux.HandleFunc("GET /debug/traces/{id}", s.handleTraceByID)
 	s.mountReplication()
@@ -209,6 +230,10 @@ func (s *Server) Cache() *PlanCache { return s.cache }
 // Traces returns the in-memory trace store (nil when telemetry is
 // disabled).
 func (s *Server) Traces() *obs.TraceStore { return s.traces }
+
+// Stats returns the per-statement statistics store (nil when disabled
+// via a negative Config.StatementStatsSize).
+func (s *Server) Stats() *stats.Store { return s.stats }
 
 // Handler returns the server's full HTTP handler, for httptest harnesses
 // and custom listeners.
@@ -448,6 +473,10 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, r, http.StatusBadRequest, "parse_error", err.Error())
 		return
 	}
+	rt.setDigest(stmt.Digest())
+	if hit {
+		s.stats.CacheHit(stmt.Digest(), stmt.NormalizedText())
+	}
 	ex := rt.child("Execute", "")
 	res, err := stmt.ExecTraced(ctx, s.effectiveLimits(req.Limits), ex)
 	ex.Finish()
@@ -485,12 +514,13 @@ func (s *Server) handlePrepare(w http.ResponseWriter, r *http.Request) {
 	}
 	rt := rtFrom(r.Context())
 	rt.setStatement(req.Query)
-	_, hit, err := s.cache.Get(s.db, req.Query)
+	stmt, hit, err := s.cache.Get(s.db, req.Query)
 	if err != nil {
 		writeErr(w, r, http.StatusBadRequest, "parse_error", err.Error())
 		return
 	}
-	writeJSON(w, http.StatusOK, PrepareResponse{Handle: Handle(req.Query), Cached: hit})
+	rt.setDigest(stmt.Digest())
+	writeJSON(w, http.StatusOK, PrepareResponse{Handle: Handle(req.Query), Cached: hit, Digest: stmt.Digest()})
 }
 
 func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request) {
@@ -513,6 +543,9 @@ func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request) {
 	if rt != nil {
 		rt.stmtHash = req.Handle
 	}
+	rt.setDigest(stmt.Digest())
+	// Executing by handle is by definition a plan-cache hit.
+	s.stats.CacheHit(stmt.Digest(), stmt.NormalizedText())
 	if !s.waitFresh(r.Context(), w, r, req.MinTimestamp) {
 		return
 	}
@@ -656,6 +689,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	case strings.Contains(accept, "text/plain"), strings.Contains(accept, "openmetrics"):
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		obs.WritePrometheus(w, s.reg)
+		// Per-digest statement series ride the same scrape, bounded to the
+		// top statements by total time so cardinality stays fixed.
+		stats.WritePrometheus(w, s.stats, 0)
 	default:
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		s.reg.Dump(w)
@@ -679,6 +715,7 @@ func (s *Server) resultOut(res *exec.Result, cached bool, elapsed time.Duration)
 		DegradedVars: res.DegradedVars,
 		Cached:       cached,
 		ElapsedMS:    float64(elapsed) / 1e6,
+		Digest:       res.Digest,
 	}
 	if res.Agg != nil {
 		agg := &Agg{Exists: res.Agg.Exists, Current: res.Agg.Current, Set: intervalsOut(res.Agg.Set)}

@@ -29,6 +29,7 @@ type requestTelemetry struct {
 	admissionWait time.Duration
 	statement     string
 	stmtHash      string
+	digest        string
 	outcome       string // set by writeErr; empty means derive from status
 	edges         int
 	degraded      bool
@@ -71,14 +72,27 @@ func (rt *requestTelemetry) setStatement(src string) {
 	rt.stmtHash = Handle(src)
 }
 
-// recordResult captures result-derived telemetry: engine scan volume
-// and degraded-path service.
+// setDigest records the statement's literal-masked fingerprint so the
+// access log, trace store, and trace summaries all carry the key into
+// the per-digest statistics surfaces.
+func (rt *requestTelemetry) setDigest(digest string) {
+	if rt == nil || digest == "" {
+		return
+	}
+	rt.digest = digest
+}
+
+// recordResult captures result-derived telemetry: engine scan volume,
+// degraded-path service, and the statement digest the engine stamped.
 func (rt *requestTelemetry) recordResult(res *exec.Result) {
 	if rt == nil || res == nil {
 		return
 	}
 	rt.edges = res.Metrics.EdgesScanned
 	rt.degraded = res.Degraded
+	if res.Digest != "" {
+		rt.digest = res.Digest
+	}
 }
 
 // statusWriter captures the response status and body size for the
@@ -164,6 +178,7 @@ func (s *Server) telemetry() http.Handler {
 			AdmissionWaitMS: float64(rt.admissionWait) / 1e6,
 			StatementHash:   rt.stmtHash,
 			Statement:       rt.statement,
+			Digest:          rt.digest,
 			EdgesScanned:    rt.edges,
 			Degraded:        rt.degraded,
 			BytesOut:        sw.bytes,
@@ -182,6 +197,7 @@ func (s *Server) telemetry() http.Handler {
 				Path:          r.URL.Path,
 				Statement:     rt.statement,
 				StatementHash: rt.stmtHash,
+				Digest:        rt.digest,
 				Status:        sw.status,
 				Outcome:       outcome,
 				Duration:      dur,
@@ -226,6 +242,7 @@ func traceSummaryOut(t *obs.RequestTrace) TraceSummary {
 		Path:          t.Path,
 		Statement:     t.Statement,
 		StatementHash: t.StatementHash,
+		Digest:        t.Digest,
 		Status:        t.Status,
 		Outcome:       t.Outcome,
 		DurationMS:    float64(t.Duration) / 1e6,

@@ -9,6 +9,7 @@ import (
 	"repro/internal/exec"
 	"repro/internal/graph"
 	"repro/internal/plan"
+	"repro/internal/stats"
 	"repro/internal/temporal"
 )
 
@@ -114,6 +115,10 @@ type PrepareRequest struct {
 type PrepareResponse struct {
 	Handle string `json:"handle"`
 	Cached bool   `json:"cached"`
+	// Digest is the statement's literal-masked fingerprint: literal-only
+	// variants of one statement share it, so clients can correlate their
+	// prepared handles with the per-digest statistics surfaces.
+	Digest string `json:"digest,omitempty"`
 }
 
 // ExecuteRequest is the body of POST /v1/execute: a handle from
@@ -232,6 +237,10 @@ type QueryResponse struct {
 	// Cached reports whether the statement came from the plan cache.
 	Cached    bool    `json:"cached"`
 	ElapsedMS float64 `json:"elapsed_ms"`
+	// Digest is the statement's literal-masked fingerprint — the key into
+	// GET /v1/stats/statements, the slow log, and the per-digest /metrics
+	// series.
+	Digest string `json:"digest,omitempty"`
 	// TraceID identifies the request's end-to-end trace; while retained,
 	// the full span tree resolves at /debug/traces/{trace_id}.
 	TraceID string `json:"trace_id,omitempty"`
@@ -374,6 +383,7 @@ type TraceSummary struct {
 	Path          string    `json:"path"`
 	Statement     string    `json:"statement,omitempty"`
 	StatementHash string    `json:"statement_hash,omitempty"`
+	Digest        string    `json:"digest,omitempty"`
 	Status        int       `json:"status"`
 	Outcome       string    `json:"outcome"`
 	DurationMS    float64   `json:"duration_ms"`
@@ -406,6 +416,53 @@ type SpanNode struct {
 	RowsOut    int64            `json:"rows_out,omitempty"`
 	Counters   map[string]int64 `json:"counters,omitempty"`
 	Children   []*SpanNode      `json:"children,omitempty"`
+}
+
+// StatementStatsResponse is the body of GET /v1/stats/statements: the
+// per-digest workload table, ordered by the requested sort.
+type StatementStatsResponse struct {
+	// Sort echoes the applied order: "total_time" (default), "calls", or
+	// "mean_time".
+	Sort string `json:"sort"`
+	// Statements holds one aggregate row per tracked digest, descending
+	// by Sort; see stats.StatementStats for the row shape.
+	Statements []stats.StatementStats `json:"statements"`
+	// Other aggregates every digest evicted to cap cardinality; present
+	// only once at least one eviction happened.
+	Other *stats.StatementStats `json:"other,omitempty"`
+	// Tracked is the number of digests currently held (before the limit
+	// truncation); Evicted counts digests folded into Other since the
+	// last reset.
+	Tracked int   `json:"tracked"`
+	Evicted int64 `json:"evicted"`
+}
+
+// StatsResetResponse acknowledges POST /v1/stats/reset.
+type StatsResetResponse struct {
+	OK bool `json:"ok"`
+}
+
+// ClusterNode is one node's entry in the GET /debug/cluster map: how the
+// probing node reached it and, when reachable, its /readyz verdict —
+// role, epoch, applied index, and lag in one place.
+type ClusterNode struct {
+	URL string `json:"url"`
+	// Self marks the node serving this response (probed in-process, not
+	// over HTTP).
+	Self bool `json:"self,omitempty"`
+	// Reachable reports whether the probe produced a readiness verdict;
+	// false means Error explains the failure and Ready is nil.
+	Reachable bool   `json:"reachable"`
+	Error     string `json:"error,omitempty"`
+	// Ready is the node's /readyz body. A node can be reachable yet not
+	// ready (syncing, lagging, fenced, diverged) — Status says which.
+	Ready *ReadyResponse `json:"ready,omitempty"`
+}
+
+// ClusterResponse is the body of GET /debug/cluster: every configured
+// node keyed by its peer URL ("self" for the serving node).
+type ClusterResponse struct {
+	Nodes map[string]ClusterNode `json:"nodes"`
 }
 
 // ErrorBody is the JSON error envelope every non-2xx answer carries.

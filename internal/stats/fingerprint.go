@@ -1,0 +1,94 @@
+// Package stats aggregates per-statement workload statistics, in the
+// style of pg_stat_statements: every query is normalized to a stable
+// digest by masking literals through the query lexer, and a bounded
+// top-K store accumulates calls, outcomes, latency, and scan volume per
+// digest. The store is the rollup layer above the per-request telemetry
+// from internal/obs — the slow-query log, access log, and trace store
+// all carry the same digest so one hot statement can be chased across
+// every surface.
+package stats
+
+import (
+	"hash/fnv"
+	"strings"
+
+	"repro/internal/rpe"
+)
+
+// MaskedLiteral is the placeholder substituted for every string, int,
+// and float literal in the normalized statement text.
+const MaskedLiteral = "?"
+
+// Fingerprint normalizes src and returns its digest (16 lowercase hex
+// characters) together with the normalized text. Normalization lexes
+// the statement with the shared RPE/Nepal lexer, masks every literal
+// token as "?", uppercases reserved keywords, and rejoins tokens with
+// single spaces — so two statements that differ only in literal values,
+// whitespace, or keyword case share a digest, while any structural
+// difference (different tokens) yields a different one.
+//
+// Text that does not lex (the server still counts statements that fail
+// to parse) falls back to hashing the whitespace-trimmed raw text with
+// an "!" prefix on the normalized form, keeping the digest stable per
+// unlexable spelling without colliding with lexable statements.
+func Fingerprint(src string) (digest, normalized string) {
+	normalized = Normalize(src)
+	h := fnv.New64a()
+	h.Write([]byte(normalized))
+	const hexdigits = "0123456789abcdef"
+	sum := h.Sum64()
+	var buf [16]byte
+	for i := 15; i >= 0; i-- {
+		buf[i] = hexdigits[sum&0xf]
+		sum >>= 4
+	}
+	return string(buf[:]), normalized
+}
+
+// Normalize returns the literal-masked canonical form of src that
+// Fingerprint hashes. Exposed separately so surfaces that show the
+// statement shape (the stats endpoint, the -top CLI) can display the
+// same text the digest is computed from.
+func Normalize(src string) string {
+	toks, err := rpe.Lex(src)
+	if err != nil {
+		return "!" + strings.TrimSpace(src)
+	}
+	var sb strings.Builder
+	sb.Grow(len(src))
+	for _, t := range toks {
+		if t.Kind == rpe.KindEOF {
+			break
+		}
+		if sb.Len() > 0 {
+			sb.WriteByte(' ')
+		}
+		switch t.Kind {
+		case rpe.KindString, rpe.KindInt, rpe.KindFloat:
+			sb.WriteString(MaskedLiteral)
+		case rpe.KindIdent:
+			if isKeyword(t.Text) {
+				sb.WriteString(strings.ToUpper(t.Text))
+			} else {
+				sb.WriteString(t.Text)
+			}
+		default:
+			sb.WriteString(t.Text)
+		}
+	}
+	return sb.String()
+}
+
+// isKeyword reports whether an identifier is one of the language's
+// case-insensitive reserved words (mirrors the query parser's reserved
+// set). Class and variable names stay case-sensitive; keywords fold so
+// "select" and "SELECT" digest identically.
+func isKeyword(s string) bool {
+	switch strings.ToLower(s) {
+	case "retrieve", "select", "from", "where", "and", "matches", "paths",
+		"at", "not", "exists", "source", "target", "len", "count", "first",
+		"last", "time", "when":
+		return true
+	}
+	return false
+}

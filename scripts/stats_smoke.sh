@@ -1,0 +1,121 @@
+#!/bin/sh
+# stats_smoke.sh — workload-introspection smoke test.
+#
+# Starts the nepal server over the demo topology, runs literal variants
+# of one statement plus a second statement shape over the wire, and
+# checks the introspection surfaces from the outside:
+#   1. /v1/stats/statements folds literal variants into one digest with
+#      correct call counts, honors sort=calls, and rejects a bogus sort.
+#   2. nepal -connect -top renders the table with the digest footer.
+#   3. /metrics carries per-digest statement_* series and the
+#      stats_statements_tracked gauge.
+#   4. POST /v1/stats/reset clears the table.
+#   5. /debug/cluster on a second node maps itself plus the first node
+#      (reachable, role primary).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+TMP="$(mktemp -d)"
+LOG="$TMP/server.log"
+LOG2="$TMP/server2.log"
+trap 'kill "$SERVER_PID" "$SERVER2_PID" 2>/dev/null || true; rm -rf "$TMP"' EXIT
+
+echo "stats-smoke: building nepal..."
+go build -o "$TMP/nepal" ./cmd/nepal
+
+"$TMP/nepal" -demo -serve 127.0.0.1:0 2>"$LOG" &
+SERVER_PID=$!
+SERVER2_PID=""
+
+wait_addr() {
+    _log="$1"; _pid="$2"; _addr=""
+    for _ in $(seq 1 100); do
+        _addr="$(sed -n 's|.*serving on http://\([0-9.:]*\).*|\1|p' "$_log" | head -n 1)"
+        [ -n "$_addr" ] && break
+        kill -0 "$_pid" 2>/dev/null || { echo "stats-smoke: server died during startup:" >&2; cat "$_log" >&2; exit 1; }
+        sleep 0.1
+    done
+    [ -n "$_addr" ] || { echo "stats-smoke: server never logged its address" >&2; cat "$_log" >&2; exit 1; }
+    echo "$_addr"
+}
+
+ADDR="$(wait_addr "$LOG" "$SERVER_PID")"
+echo "stats-smoke: server up at $ADDR"
+
+# Two literal variants of one statement (one digest) plus a second
+# statement shape (a second digest).
+for id in 1001 1002; do
+    "$TMP/nepal" -connect "http://$ADDR" \
+        -q "Select source(P).name From PATHS P Where P MATCHES VNF()->[Vertical()]{1,6}->Host(id=$id)" >/dev/null
+done
+"$TMP/nepal" -connect "http://$ADDR" \
+    -q "Retrieve P From PATHS P Where P MATCHES VNF()->[Vertical()]{1,6}->Host()" >/dev/null
+echo "stats-smoke: workload over the wire ok"
+
+# 1. The stats endpoint: variants folded, counts exact.
+STATS="$(curl -sf "http://$ADDR/v1/stats/statements")"
+for want in '"tracked":2' '"calls":2' '"calls":1' '"evicted":0' '"sort":"total_time"' '"digest":"' 'Host ( id = ? )'; do
+    case "$STATS" in
+        *"$want"*) ;;
+        *) echo "stats-smoke: /v1/stats/statements missing $want"; echo "$STATS"; exit 1 ;;
+    esac
+done
+SORTED="$(curl -sf "http://$ADDR/v1/stats/statements?sort=calls&limit=1")"
+case "$SORTED" in
+    *'"sort":"calls"'*'"calls":2'*) ;;
+    *) echo "stats-smoke: sort=calls&limit=1 did not lead with the 2-call digest"; echo "$SORTED"; exit 1 ;;
+esac
+if curl -sf "http://$ADDR/v1/stats/statements?sort=bogus" >/dev/null 2>&1; then
+    echo "stats-smoke: bogus sort accepted"; exit 1
+fi
+echo "stats-smoke: /v1/stats/statements ok (variants folded, sort honored)"
+
+# 2. The CLI table.
+TOP="$("$TMP/nepal" -connect "http://$ADDR" -top -top-sort calls)"
+for want in "DIGEST" "STATEMENT" "(2 digests tracked, 0 evicted, sorted by calls)"; do
+    case "$TOP" in
+        *"$want"*) ;;
+        *) echo "stats-smoke: -top output missing $want"; echo "$TOP"; exit 1 ;;
+    esac
+done
+echo "stats-smoke: nepal -top ok"
+
+# 3. Per-digest Prometheus series.
+PROM="$(curl -sf -H 'Accept: text/plain' "http://$ADDR/metrics")"
+for want in 'statement_calls_total{digest="' 'statement_seconds_total{digest="' "stats_statements_tracked 2"; do
+    case "$PROM" in
+        *"$want"*) ;;
+        *) echo "stats-smoke: /metrics missing $want"; echo "$PROM" | grep statement | head -20; exit 1 ;;
+    esac
+done
+echo "stats-smoke: per-digest /metrics series ok"
+
+# 4. Reset clears the table.
+curl -sf -X POST "http://$ADDR/v1/stats/reset" >/dev/null
+AFTER="$(curl -sf "http://$ADDR/v1/stats/statements")"
+case "$AFTER" in
+    *'"tracked":0'*) ;;
+    *) echo "stats-smoke: reset left residue"; echo "$AFTER"; exit 1 ;;
+esac
+echo "stats-smoke: /v1/stats/reset ok"
+
+# 5. Cluster view: a second node whose -peers names the first.
+"$TMP/nepal" -demo -serve 127.0.0.1:0 -peers "http://$ADDR" 2>"$LOG2" &
+SERVER2_PID=$!
+ADDR2="$(wait_addr "$LOG2" "$SERVER2_PID")"
+CLUSTER="$(curl -sf "http://$ADDR2/debug/cluster")"
+for want in '"self":true' "\"http://$ADDR\"" '"reachable":true' '"role":"primary"'; do
+    case "$CLUSTER" in
+        *"$want"*) ;;
+        *) echo "stats-smoke: /debug/cluster missing $want"; echo "$CLUSTER"; exit 1 ;;
+    esac
+done
+echo "stats-smoke: /debug/cluster ok (self + probed peer)"
+
+kill -TERM "$SERVER2_PID"
+wait "$SERVER2_PID" || { echo "stats-smoke: second server exited nonzero:"; cat "$LOG2"; exit 1; }
+SERVER2_PID=""
+kill -TERM "$SERVER_PID"
+wait "$SERVER_PID" || { echo "stats-smoke: server exited nonzero:"; cat "$LOG"; exit 1; }
+echo "stats-smoke: PASS"
